@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: sensitivity to the MAC verification latency (paper Section
+ * 5.2 notes latencies vary with scheme/technology; this sweeps the
+ * decrypt-to-verify gap). Expectation: authen-then-issue degrades
+ * steeply with latency (verification on the critical path), while
+ * authen-then-commit absorbs it until the RUU fills.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace acp;
+
+int
+main()
+{
+    const char *names[] = {"mcf", "art", "swim", "twolf"};
+    const unsigned latencies[] = {74, 148, 296};
+
+    std::printf("Ablation: authentication latency sweep "
+                "(normalized IPC vs decrypt-only baseline, 256KB L2)\n");
+
+    for (core::AuthPolicy policy : {core::AuthPolicy::kAuthThenIssue,
+                                    core::AuthPolicy::kAuthThenCommit}) {
+        std::printf("\n%s:\n", core::policyName(policy));
+        std::printf("%-10s %12s %12s %12s\n", "bench", "74ns", "148ns",
+                    "296ns");
+        bench::rule('-', 50);
+        for (const char *name : names) {
+            sim::SimConfig cfg = bench::paperConfig();
+            cfg.policy = core::AuthPolicy::kBaseline;
+            double base = bench::runIpcCached(name, cfg);
+            std::printf("%-10s", name);
+            for (unsigned lat : latencies) {
+                cfg.policy = policy;
+                cfg.authLatency = lat;
+                double ratio = base > 0
+                                   ? bench::runIpcCached(name, cfg) / base
+                                   : 0;
+                std::printf(" %11.1f%%", 100.0 * ratio);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks: runs a
+ * (workload, configuration) pair through fast-forward + timed window
+ * and returns the IPC, with environment-variable knobs for scale:
+ *
+ *   REPRO_MEASURE_INSTS  timed window per run        (default 200000)
+ *   REPRO_WARMUP_INSTS   functional warmup per run   (default 100000)
+ *   REPRO_WS_BYTES       workload working set        (default 4 MiB)
+ *
+ * The paper simulates 400M instructions per SPEC benchmark on a farm;
+ * the defaults here reproduce the *shape* of every figure in minutes
+ * on a laptop. Raise the knobs for tighter numbers.
+ */
+
+#ifndef ACP_BENCH_BENCH_UTIL_HH
+#define ACP_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/auth_policy.hh"
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "workloads/workloads.hh"
+
+namespace acp::bench
+{
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 0) : fallback;
+}
+
+inline std::uint64_t
+measureInsts()
+{
+    return envU64("REPRO_MEASURE_INSTS", 60000);
+}
+
+inline std::uint64_t
+warmupInsts()
+{
+    return envU64("REPRO_WARMUP_INSTS", 30000);
+}
+
+inline std::uint64_t
+workingSetBytes()
+{
+    return envU64("REPRO_WS_BYTES", 2ULL << 20);
+}
+
+/** Base configuration = paper Table 3 (256KB L2 variant). */
+inline sim::SimConfig
+paperConfig()
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 64ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+    return cfg;
+}
+
+/** Run one (workload, config) pair and return measured IPC. */
+inline double
+runIpc(const std::string &workload, const sim::SimConfig &cfg)
+{
+    workloads::WorkloadParams params;
+    params.workingSetBytes = workingSetBytes();
+    sim::System system(cfg, workloads::build(workload, params));
+    system.fastForward(warmupInsts());
+    sim::RunResult res = system.measureTimed(measureInsts(),
+                                             measureInsts() * 400);
+    return res.ipc;
+}
+
+/** Cache key describing everything that affects a run's IPC. */
+inline std::string
+cacheKey(const std::string &workload, const sim::SimConfig &cfg)
+{
+    char key[256];
+    std::snprintf(key, sizeof(key),
+                  "%s|pol%d|l2_%llu|ruu%u_%u|tree%d|remap%llu|auth%u|"
+                  "int%u|m%llu|w%llu|ws%llu",
+                  workload.c_str(), int(cfg.policy),
+                  (unsigned long long)cfg.l2.sizeBytes, cfg.ruuSize,
+                  cfg.lsqSize,
+                  cfg.hashTreeEnabled ? 1 : 0,
+                  (unsigned long long)cfg.remapCache.sizeBytes,
+                  cfg.authLatency, cfg.authEngineInterval,
+                  (unsigned long long)measureInsts(),
+                  (unsigned long long)warmupInsts(),
+                  (unsigned long long)workingSetBytes());
+    return key;
+}
+
+/**
+ * Cached runner: results persist in ./acp_bench_cache.txt so derived
+ * figures (8, 11, 13) reuse the runs of their siblings (7, 10, 12)
+ * and re-running a bench binary is cheap. Delete the file to force
+ * fresh measurements.
+ */
+inline double
+runIpcCached(const std::string &workload, const sim::SimConfig &cfg)
+{
+    static const char *kCacheFile = "acp_bench_cache.txt";
+    std::string key = cacheKey(workload, cfg);
+
+    if (std::FILE *f = std::fopen(kCacheFile, "r")) {
+        char line[512];
+        while (std::fgets(line, sizeof(line), f)) {
+            std::string entry(line);
+            auto eq = entry.rfind('=');
+            if (eq != std::string::npos &&
+                entry.compare(0, eq, key) == 0) {
+                std::fclose(f);
+                return std::strtod(entry.c_str() + eq + 1, nullptr);
+            }
+        }
+        std::fclose(f);
+    }
+
+    std::fprintf(stderr, "  [run] %s\n", key.c_str());
+    double ipc = runIpc(workload, cfg);
+    if (std::FILE *f = std::fopen(kCacheFile, "a")) {
+        std::fprintf(f, "%s=%.6f\n", key.c_str(), ipc);
+        std::fclose(f);
+    }
+    return ipc;
+}
+
+/** Pretty separator. */
+inline void
+rule(char ch = '-', int n = 72)
+{
+    for (int i = 0; i < n; ++i)
+        std::putchar(ch);
+    std::putchar('\n');
+}
+
+/** A named configuration variant in a figure. */
+struct Scheme
+{
+    const char *label;
+    core::AuthPolicy policy;
+};
+
+/** The six evaluated schemes of Fig. 7 in the paper's order. */
+inline std::vector<Scheme>
+fig7Schemes()
+{
+    return {
+        {"issue", core::AuthPolicy::kAuthThenIssue},
+        {"write", core::AuthPolicy::kAuthThenWrite},
+        {"commit", core::AuthPolicy::kAuthThenCommit},
+        {"fetch", core::AuthPolicy::kAuthThenFetch},
+        {"commit+fetch", core::AuthPolicy::kCommitPlusFetch},
+        {"commit+obf", core::AuthPolicy::kCommitPlusObfuscation},
+    };
+}
+
+/**
+ * Print a paper-style normalized-IPC table: one row per workload, one
+ * column per scheme, each cell = IPC(scheme)/IPC(baseline) in percent,
+ * with a final average row. Returns the per-scheme averages.
+ */
+inline std::vector<double>
+normalizedIpcTable(const char *title, const std::vector<std::string> &names,
+                   const std::vector<Scheme> &schemes,
+                   sim::SimConfig base_cfg)
+{
+    std::printf("\n%s (baseline: decryption only, no authentication)\n",
+                title);
+    bench::rule('-', 16 + 14 * int(schemes.size()));
+    std::printf("%-10s", "bench");
+    for (const Scheme &scheme : schemes)
+        std::printf(" %13s", scheme.label);
+    std::printf("\n");
+    bench::rule('-', 16 + 14 * int(schemes.size()));
+
+    std::vector<std::vector<double>> ratios(schemes.size());
+    for (const std::string &name : names) {
+        sim::SimConfig cfg = base_cfg;
+        cfg.policy = core::AuthPolicy::kBaseline;
+        double base = runIpcCached(name, cfg);
+        std::printf("%-10s", name.c_str());
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            cfg.policy = schemes[s].policy;
+            double ipc = runIpcCached(name, cfg);
+            double ratio = base > 0 ? ipc / base : 0.0;
+            ratios[s].push_back(ratio);
+            std::printf(" %12.1f%%", 100.0 * ratio);
+        }
+        std::printf("\n");
+    }
+    bench::rule('-', 16 + 14 * int(schemes.size()));
+    std::printf("%-10s", "average");
+    std::vector<double> avgs;
+    for (auto &col : ratios) {
+        double sum = 0;
+        for (double v : col)
+            sum += v;
+        double avg = col.empty() ? 0.0 : sum / double(col.size());
+        avgs.push_back(avg);
+        std::printf(" %12.1f%%", 100.0 * avg);
+    }
+    std::printf("\n");
+    return avgs;
+}
+
+/** Speedup-over-issue table (Figs. 8, 11, 13). */
+inline void
+speedupOverIssueTable(const char *title,
+                      const std::vector<std::string> &names,
+                      const std::vector<Scheme> &schemes,
+                      sim::SimConfig base_cfg)
+{
+    std::printf("\n%s (IPC speedup over authen-then-issue)\n", title);
+    bench::rule('-', 16 + 14 * int(schemes.size()));
+    std::printf("%-10s", "bench");
+    for (const Scheme &scheme : schemes)
+        std::printf(" %13s", scheme.label);
+    std::printf("\n");
+    bench::rule('-', 16 + 14 * int(schemes.size()));
+
+    std::vector<std::vector<double>> speedups(schemes.size());
+    for (const std::string &name : names) {
+        sim::SimConfig cfg = base_cfg;
+        cfg.policy = core::AuthPolicy::kAuthThenIssue;
+        double issue_ipc = runIpcCached(name, cfg);
+        std::printf("%-10s", name.c_str());
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            cfg.policy = schemes[s].policy;
+            double ipc = runIpcCached(name, cfg);
+            double speedup = issue_ipc > 0 ? ipc / issue_ipc : 0.0;
+            speedups[s].push_back(speedup);
+            std::printf(" %+11.1f%%", 100.0 * (speedup - 1.0));
+        }
+        std::printf("\n");
+    }
+    bench::rule('-', 16 + 14 * int(schemes.size()));
+    std::printf("%-10s", "average");
+    for (auto &col : speedups) {
+        double sum = 0;
+        for (double v : col)
+            sum += v;
+        std::printf(" %+11.1f%%",
+                    100.0 * (sum / double(col.size()) - 1.0));
+    }
+    std::printf("\n");
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        int over10 = 0, over20 = 0, over30 = 0;
+        for (double v : speedups[s]) {
+            if (v >= 1.10)
+                ++over10;
+            if (v >= 1.20)
+                ++over20;
+            if (v >= 1.30)
+                ++over30;
+        }
+        std::printf("  %-14s benchmarks improved >10%%: %d, >20%%: %d, "
+                    ">30%%: %d\n", schemes[s].label, over10, over20,
+                    over30);
+    }
+}
+
+/** Geometric-mean helper used for "average" rows (ratios). */
+inline double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : vals)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(vals.size()));
+}
+
+} // namespace acp::bench
+
+#endif // ACP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the crypto substrate: the
+ * functional engines whose *hardware* latencies the simulator models.
+ * Useful for gauging simulation cost (every L2 fill pays one real AES
+ * line transcode + one real HMAC in functional mode).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/hmac.hh"
+#include "crypto/line_mac.hh"
+#include "crypto/sha256.hh"
+
+using namespace acp;
+using namespace acp::crypto;
+
+namespace
+{
+
+std::uint8_t kKey[32] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
+                         11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21,
+                         22, 23, 24, 25, 26, 27, 28, 29, 30, 31};
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    Aes aes(kKey, std::size_t(state.range(0)));
+    std::uint8_t block[16] = {0};
+    for (auto _ : state) {
+        aes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock)->Arg(16)->Arg(32);
+
+void
+BM_Sha256Line(benchmark::State &state)
+{
+    std::uint8_t line[64];
+    Rng rng(1);
+    for (auto &byte : line)
+        byte = std::uint8_t(rng.next());
+    for (auto _ : state) {
+        auto digest = Sha256::digest(line, sizeof(line));
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256Line);
+
+void
+BM_HmacLineMac(benchmark::State &state)
+{
+    LineMac mac(kKey, 16);
+    std::uint8_t line[64] = {0};
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mac.compute(0x1000, ++counter, line, sizeof(line)));
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_HmacLineMac);
+
+void
+BM_CtrTranscodeLine(benchmark::State &state)
+{
+    CtrModeEngine engine(kKey, 16);
+    std::uint8_t line[64] = {0};
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        engine.transcode(0x2000, ++counter, line, line, sizeof(line));
+        benchmark::DoNotOptimize(line);
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_CtrTranscodeLine);
+
+} // namespace
+
+BENCHMARK_MAIN();

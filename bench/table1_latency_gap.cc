@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Table 1: the latency gap between decryption and integrity
+ * verification under [Counter mode + HMAC] vs [CBC + CBC-MAC], using
+ * the reference model parameters (Table 3) to turn the paper's
+ * symbolic expressions into concrete cycle numbers.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "crypto/sha256.hh"
+
+using namespace acp;
+
+int
+main()
+{
+    sim::SimConfig cfg = bench::paperConfig();
+
+    // Representative external fetch latency: page-hit access plus the
+    // full line (+MAC) burst on the 200MHz x 8B bus.
+    unsigned beats =
+        unsigned((64 + cfg.macTransferBeats * cfg.busWidthBytes) /
+                 cfg.busWidthBytes);
+    unsigned fetch_hit =
+        (cfg.casLatency + beats) * cfg.busClockRatio;
+    unsigned fetch_miss =
+        (cfg.prechargeLatency + cfg.rasToCasLatency + cfg.casLatency +
+         beats) * cfg.busClockRatio;
+
+    unsigned aes = cfg.decryptLatency;  // one pipelined AES pass
+    unsigned hmac = cfg.authLatency;    // truncated HMAC over the line
+    // CBC decryption is serial per 128-bit chunk: N chunks per line.
+    unsigned chunks = 64 / 16;
+    // Serial CBC-MAC over the whole line.
+    unsigned cbc_mac = aes * chunks;
+
+    std::printf("Table 1: Latency Gap Between Decryption and Integrity "
+                "Verification\n");
+    std::printf("(model parameters: AES pass %u ns, HMAC %u ns, line "
+                "fetch %u-%u ns)\n\n", aes, hmac, fetch_hit, fetch_miss);
+    bench::rule('=');
+    std::printf("%-22s %-28s %-28s\n", "", "Decryption latency",
+                "Authentication latency");
+    bench::rule();
+
+    // Counter mode + HMAC: pad overlaps the fetch; MAC starts at data.
+    std::printf("%-22s %-28s %-28s\n", "Counter mode + HMAC",
+                "MAX(fetch, decrypt)", "fetch + HMAC");
+    std::printf("%-22s %4u .. %4u cycles %10s %4u .. %4u cycles\n", "",
+                std::max(fetch_hit, aes), std::max(fetch_miss, aes), "",
+                fetch_hit + hmac, fetch_miss + hmac);
+
+    // CBC + CBC-MAC: serial chunk-by-chunk decryption; the n-th chunk
+    // is ready at fetch + (n+1) AES passes; the MAC needs all N.
+    std::printf("%-22s %-28s %-28s\n", "CBC + CBC MAC",
+                "fetch + decrypt*(n+1)", "fetch + decrypt*N");
+    std::printf("%-22s %4u .. %4u cycles %10s %4u .. %4u cycles\n", "",
+                fetch_hit + aes, fetch_miss + aes * chunks, "",
+                fetch_hit + cbc_mac, fetch_miss + cbc_mac);
+    bench::rule('=');
+
+    unsigned ctr_gap = (fetch_hit + hmac) - std::max(fetch_hit, aes);
+    unsigned cbc_gap_first = (fetch_hit + cbc_mac) - (fetch_hit + aes);
+    unsigned cbc_gap_full = (fetch_hit + cbc_mac) - (fetch_hit + cbc_mac);
+    std::printf("\nDecrypt-to-verify gap (page-hit fetch):\n");
+    std::printf("  Counter mode + HMAC : %u cycles  <-- the speculation "
+                "window the paper studies\n", ctr_gap);
+    std::printf("  CBC + CBC MAC       : %u cycles after the critical "
+                "word, %u after the full line\n", cbc_gap_first,
+                cbc_gap_full);
+    std::printf("  (CBC's gap is narrower, but its critical word "
+                "arrives %u cycles later than counter\n   mode's — "
+                "which is why performance-optimized designs pick "
+                "counter mode and face the gap)\n",
+                (fetch_hit + aes) - std::max(fetch_hit, aes));
+
+    std::printf("\nSHA-256 padded-block check: a 64B line + 16B "
+                "(addr,counter) binding = %zu compression passes\n",
+                crypto::Sha256::paddedBlocks(80));
+    return 0;
+}

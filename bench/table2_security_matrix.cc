@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Table 2 *empirically*: every exploit of Section 3.2 is
+ * staged against every authentication control point on the live
+ * simulator, and the four characteristics are derived from what
+ * actually happened (bus trace, exception precision, tainted commits
+ * and tainted store drains) rather than asserted.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/attack_scenarios.hh"
+
+using namespace acp;
+using core::AuthPolicy;
+using sim::Exploit;
+using sim::ScenarioResult;
+
+int
+main()
+{
+    const std::vector<AuthPolicy> policies = {
+        AuthPolicy::kAuthThenIssue,    AuthPolicy::kAuthThenWrite,
+        AuthPolicy::kAuthThenCommit,   AuthPolicy::kAuthThenFetch,
+        AuthPolicy::kCommitPlusFetch,  AuthPolicy::kCommitPlusObfuscation,
+        AuthPolicy::kBaseline,
+    };
+    const std::vector<Exploit> fetch_exploits = {
+        Exploit::kPointerConversion,
+        Exploit::kBinarySearch,
+        Exploit::kDisclosingKernel,
+    };
+
+    std::printf("Table 2: Characteristics Comparison of Different Schemes "
+                "(measured)\n");
+    std::printf("Each cell is derived from staged exploits on the live "
+                "simulator.\n\n");
+    bench::rule('=', 100);
+    std::printf("%-22s %-14s %-10s %-12s %-12s %-10s\n", "",
+                "prevent fetch", "precise", "authentic", "authentic",
+                "I/O leak");
+    std::printf("%-22s %-14s %-10s %-12s %-12s %-10s\n", "scheme",
+                "side-channel", "exception", "mem state", "proc state",
+                "blocked");
+    bench::rule('-', 100);
+
+    for (AuthPolicy policy : policies) {
+        bool any_leak = false;
+        bool precise = true;
+        bool exception_seen = false;
+        std::uint64_t tainted_commits = 0;
+        std::uint64_t tainted_drains = 0;
+
+        for (Exploit exploit : fetch_exploits) {
+            ScenarioResult res = sim::runExploit(exploit, policy);
+            any_leak |= res.leaked;
+            exception_seen |= res.exceptionRaised;
+            precise &= res.precise;
+            tainted_commits += res.taintedCommits;
+            tainted_drains += res.taintedStoreDrains;
+        }
+        ScenarioResult io = sim::runExploit(Exploit::kIoDisclosure, policy);
+
+        bool verifying = core::verifies(policy);
+        const char *prevent = any_leak ? " " : "X";
+        const char *prec = (verifying && exception_seen && precise)
+                               ? "X" : " ";
+        const char *mem_ok = (verifying && tainted_drains == 0) ? "X" : " ";
+        const char *proc_ok = (verifying && tainted_commits == 0)
+                                  ? "X" : " ";
+        const char *io_ok = io.leaked ? " " : "X";
+
+        std::printf("%-22s %-14s %-10s %-12s %-12s %-10s\n",
+                    core::policyName(policy), prevent, prec, mem_ok,
+                    proc_ok, io_ok);
+    }
+    bench::rule('=', 100);
+    std::printf("\nPaper rows for comparison (X = property holds):\n");
+    std::printf("  authen-then-issue      X X X X\n");
+    std::printf("  authen-then-write      _ _ X _\n");
+    std::printf("  authen-then-commit     _ X X X\n");
+    std::printf("  fetch plus commit      X X X X\n");
+    std::printf("  obfuscation + commit   X X X X\n");
+    std::printf("(our extra rows: authen-then-fetch alone and the "
+                "no-verification baseline)\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The binary-search exploit of paper Figure 2, run to full secret
+ * recovery: the victim compares its secret against an in-memory
+ * constant with known plaintext; the adversary re-encrypts the
+ * constant to an arbitrary pivot with one ciphertext XOR and reads the
+ * comparison outcome off the fetch-address trace. log2(N) adaptive
+ * probes recover an N-bit secret — unless the authentication control
+ * point closes the channel.
+ *
+ *   $ ./build/examples/binary_search_attack [secret-hex]
+ */
+
+#include <cstdio>
+#include <initializer_list>
+#include <cstdlib>
+
+#include "core/auth_policy.hh"
+#include "sim/attack_scenarios.hh"
+
+using namespace acp;
+using core::AuthPolicy;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t secret = 0x2f31;
+    if (argc > 1)
+        secret = std::strtoull(argv[1], nullptr, 16) & 0xffff;
+
+    std::printf("Binary-search attack (paper Fig. 2): recovering the "
+                "16-bit secret 0x%04llx\n\n", (unsigned long long)secret);
+
+    for (AuthPolicy policy : {AuthPolicy::kAuthThenCommit,
+                              AuthPolicy::kAuthThenWrite,
+                              AuthPolicy::kAuthThenIssue,
+                              AuthPolicy::kCommitPlusFetch}) {
+        sim::BinarySearchRecovery recovery =
+            sim::recoverSecretViaBinarySearch(policy, secret, 16);
+        if (recovery.success) {
+            std::printf("%-22s RECOVERED 0x%04llx in %u probes "
+                        "(<= 16, as the paper's log2 analysis "
+                        "predicts)\n",
+                        core::policyName(policy),
+                        (unsigned long long)recovery.recovered,
+                        recovery.trials);
+        } else {
+            std::printf("%-22s blocked after %u probe(s) — the channel "
+                        "is closed\n",
+                        core::policyName(policy), recovery.trials);
+        }
+    }
+
+    std::printf("\nEach probe is a fresh run: the adversary tampers the "
+                "encrypted constant to the\ncurrent pivot, lets the "
+                "victim execute speculatively, and observes which "
+                "marker\nline is fetched before the authentication "
+                "exception stops the machine.\n");
+    return 0;
+}

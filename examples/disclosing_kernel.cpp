@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The disclosing-kernel exploit of paper Figures 3/4: code injection
+ * into encrypted instruction space without knowing the key.
+ *
+ * The victim's function epilogue is compiler-invariant (predictable
+ * plaintext). The adversary computes
+ *
+ *     mask = known_plaintext XOR disclosing_kernel
+ *
+ * and XORs it into the epilogue's ciphertext; counter-mode decryption
+ * then yields the kernel. The injected code loads the (on-chip cached)
+ * secret, masks its low byte into a valid page (the shift-window
+ * technique of Section 3.3.1) and dereferences it — 8 bits of the
+ * secret per window appear as a fetch address. A second variant OUTs
+ * the secret to an I/O port instead.
+ *
+ *   $ ./build/examples/disclosing_kernel
+ */
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/auth_policy.hh"
+#include "sim/attack_scenarios.hh"
+
+using namespace acp;
+using core::AuthPolicy;
+
+namespace
+{
+
+void
+table(const char *title, sim::Exploit exploit)
+{
+    std::printf("%s\n", title);
+    std::printf("%-22s %-8s %-12s %-10s\n", "policy", "leaked",
+                "exception", "precise");
+    for (AuthPolicy policy : {AuthPolicy::kBaseline,
+                              AuthPolicy::kAuthThenWrite,
+                              AuthPolicy::kAuthThenCommit,
+                              AuthPolicy::kAuthThenFetch,
+                              AuthPolicy::kAuthThenIssue,
+                              AuthPolicy::kCommitPlusFetch,
+                              AuthPolicy::kCommitPlusObfuscation}) {
+        sim::ScenarioResult res = sim::runExploit(exploit, policy);
+        std::printf("%-22s %-8s %-12s %-10s\n", core::policyName(policy),
+                    res.leaked ? "YES" : "no",
+                    res.exceptionRaised ? "raised" : "-",
+                    res.exceptionRaised ? (res.precise ? "yes" : "no")
+                                        : "-");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Disclosing kernel injected over a predictable function "
+                "epilogue\n(two XORs, no key needed — Section 3.2.3)\n\n");
+
+    table("Variant A: secret disclosed as a fetch address "
+          "(8-bit shift window, Fig. 4):",
+          sim::Exploit::kDisclosingKernel);
+
+    table("Variant B: secret disclosed through an I/O port (OUT):",
+          sim::Exploit::kIoDisclosure);
+
+    std::printf("Note the asymmetry the paper highlights: "
+                "authen-then-fetch closes the fetch-address\nchannel but "
+                "NOT the I/O channel (output waits on commit/write "
+                "gating), which is why\nthe paper recommends "
+                "authen-then-fetch *plus* authen-then-commit.\n");
+    return 0;
+}

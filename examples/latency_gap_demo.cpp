@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The decrypt-to-verify latency gap, observed on a single line fill —
+ * the quantitative heart of the paper (Table 1) made concrete.
+ *
+ * One cold load is issued through the timed hierarchy under each
+ * policy; the demo prints when the data became usable by the pipeline
+ * versus when its authentication verdict arrived, and therefore how
+ * wide the speculation window is that the chosen control point leaves
+ * open.
+ *
+ *   $ ./build/examples/latency_gap_demo
+ */
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "secmem/mem_hierarchy.hh"
+#include "sim/config.hh"
+
+using namespace acp;
+
+int
+main()
+{
+    std::printf("One cold 8-byte load at cycle 0 (L1+L2 miss, counter "
+                "predicted, page-hit DRAM):\n\n");
+    std::printf("%-22s %12s %12s %14s\n", "policy", "data usable",
+                "verdict", "open window");
+
+    for (core::AuthPolicy policy : {core::AuthPolicy::kBaseline,
+                                    core::AuthPolicy::kAuthThenCommit,
+                                    core::AuthPolicy::kAuthThenIssue}) {
+        sim::SimConfig cfg;
+        cfg.policy = policy;
+        cfg.memoryBytes = 1 << 24;
+        cfg.protectedBytes = cfg.memoryBytes;
+        secmem::MemHierarchy hier(cfg);
+
+        std::uint64_t value;
+        secmem::MemAccess access =
+            hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
+        Cycle verdict =
+            access.authSeq == kNoAuthSeq
+                ? access.ready
+                : hier.ctrl().authEngine().doneCycle(access.authSeq);
+        std::printf("%-22s %9llu ns %9llu ns %11lld ns\n",
+                    core::policyName(policy),
+                    (unsigned long long)access.ready,
+                    (unsigned long long)verdict,
+                    (long long)verdict - (long long)access.ready);
+    }
+
+    std::printf("\nReading the table: under authen-then-commit the "
+                "pipeline consumes the data ~%u ns\nbefore the MAC "
+                "verdict exists — enough time for dozens of dependent "
+                "instructions,\nincluding loads whose addresses reach "
+                "the bus (Section 3). authen-then-issue\ncloses the "
+                "window by definition and pays for it on every miss.\n",
+                sim::SimConfig{}.authLatency);
+
+    // The CBC comparison of Table 1, measured the same way.
+    std::printf("\nEncryption-mode comparison (decrypt-only baseline):\n");
+    std::printf("%-22s %12s\n", "mode", "data usable");
+    for (sim::EncryptionMode mode : {sim::EncryptionMode::kCounterMode,
+                                     sim::EncryptionMode::kCbc}) {
+        sim::SimConfig cfg;
+        cfg.policy = core::AuthPolicy::kBaseline;
+        cfg.encryptionMode = mode;
+        cfg.memoryBytes = 1 << 24;
+        cfg.protectedBytes = cfg.memoryBytes;
+        secmem::MemHierarchy hier(cfg);
+        std::uint64_t value;
+        secmem::MemAccess access =
+            hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
+        std::printf("%-22s %9llu ns\n",
+                    mode == sim::EncryptionMode::kCounterMode
+                        ? "counter mode" : "CBC (serial)",
+                    (unsigned long long)access.ready);
+    }
+    return 0;
+}

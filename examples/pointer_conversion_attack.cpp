@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The pointer-conversion exploit of paper Figure 1, staged end to end.
+ *
+ * A victim traverses a NULL-terminated linked list and separately owns
+ * a 64-bit secret. The adversary, with physical access to the
+ * encrypted DRAM, XORs one 8-byte mask into the ciphertext of the
+ * terminator — counter-mode malleability turns the encrypted NULL into
+ * an encrypted pointer at the secret. When the victim traverses the
+ * list, the secret is dereferenced and appears in plaintext as a fetch
+ * address on the front-side bus.
+ *
+ * Run it under different policies to see the control point at work:
+ *
+ *   $ ./build/examples/pointer_conversion_attack
+ */
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/auth_policy.hh"
+#include "sim/attack_scenarios.hh"
+
+using namespace acp;
+using core::AuthPolicy;
+
+int
+main()
+{
+    std::printf("Pointer-conversion attack (paper Fig. 1): encrypted NULL "
+                "-> pointer at the secret\n\n");
+    std::printf("%-22s %-8s %-16s %-11s %-9s %-14s\n", "policy", "leaked",
+                "leak@cycle", "exception", "precise", "tainted commits");
+
+    for (AuthPolicy policy : {AuthPolicy::kBaseline,
+                              AuthPolicy::kAuthThenWrite,
+                              AuthPolicy::kAuthThenCommit,
+                              AuthPolicy::kAuthThenIssue,
+                              AuthPolicy::kCommitPlusFetch,
+                              AuthPolicy::kCommitPlusObfuscation}) {
+        sim::ScenarioResult res =
+            sim::runExploit(sim::Exploit::kPointerConversion, policy);
+        char leak_at[32] = "-";
+        if (res.leaked)
+            std::snprintf(leak_at, sizeof(leak_at), "%llu",
+                          (unsigned long long)res.firstLeakCycle);
+        char exc[32] = "-";
+        if (res.exceptionRaised)
+            std::snprintf(exc, sizeof(exc), "@%llu",
+                          (unsigned long long)res.exceptionCycle);
+        std::printf("%-22s %-8s %-16s %-11s %-9s %llu\n",
+                    core::policyName(policy), res.leaked ? "YES" : "no",
+                    leak_at, exc, res.precise ? "yes" : "no",
+                    (unsigned long long)res.taintedCommits);
+    }
+
+    std::printf("\nReading the table:\n");
+    std::printf(" * baseline / write / commit: the secret is on the bus "
+                "BEFORE verification completes\n");
+    std::printf("   (commit and write still detect the tamper, but the "
+                "privacy is already gone);\n");
+    std::printf(" * issue: tampered data never becomes usable, nothing "
+                "leaks;\n");
+    std::printf(" * commit+fetch: the dependent fetch is never granted a "
+                "bus cycle;\n");
+    std::printf(" * commit+obfuscation: the fetch happens but the bus "
+                "shows a re-mapped address.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef ACP_COMMON_BITOPS_HH
+#define ACP_COMMON_BITOPS_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace acp
+{
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; result undefined for v == 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(v); 0 for v <= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v, right-justified. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    std::uint64_t mask = (hi - lo >= 63) ? ~std::uint64_t(0)
+                                         : ((std::uint64_t(1) << (hi - lo + 1)) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Sign-extend the low @p nbits of @p v to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t v, unsigned nbits)
+{
+    unsigned shift = 64 - nbits;
+    return std::int64_t(v << shift) >> shift;
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Ceiling integer division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace acp
+
+#endif // ACP_COMMON_BITOPS_HH

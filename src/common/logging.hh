@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error and status reporting helpers, following gem5 semantics:
+ * panic() for internal invariant violations (aborts), fatal() for
+ * user/configuration errors (clean exit), warn()/inform() for status.
+ */
+
+#ifndef ACP_COMMON_LOGGING_HH
+#define ACP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace acp
+{
+
+namespace detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity switch; when false, inform() output is suppressed. */
+extern bool verboseLogging;
+
+} // namespace acp
+
+/** Internal simulator bug: print and abort. */
+#define acp_panic(...) \
+    ::acp::detail::panicImpl(__FILE__, __LINE__, \
+                             ::acp::detail::vformat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+#define acp_fatal(...) \
+    ::acp::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::acp::detail::vformat(__VA_ARGS__))
+
+/** Possibly-incorrect behaviour the user should know about. */
+#define acp_warn(...) \
+    ::acp::detail::warnImpl(::acp::detail::vformat(__VA_ARGS__))
+
+/** Normal operating status message. */
+#define acp_inform(...) \
+    ::acp::detail::informImpl(::acp::detail::vformat(__VA_ARGS__))
+
+#endif // ACP_COMMON_LOGGING_HH

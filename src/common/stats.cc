@@ -1,0 +1,37 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace acp
+{
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[stat_name, counter] : counters_)
+        counter->reset();
+    for (auto &[stat_name, avg] : averages_)
+        avg->reset();
+}
+
+void
+StatGroup::dump(std::string &out) const
+{
+    char line[256];
+    for (const auto &[stat_name, counter] : counters_) {
+        std::snprintf(line, sizeof(line), "%s.%s %llu\n", name_.c_str(),
+                      stat_name.c_str(),
+                      (unsigned long long)counter->value());
+        out += line;
+    }
+    for (const auto &[stat_name, avg] : averages_) {
+        std::snprintf(line, sizeof(line),
+                      "%s.%s mean=%.4f count=%llu min=%.2f max=%.2f\n",
+                      name_.c_str(), stat_name.c_str(), avg->mean(),
+                      (unsigned long long)avg->count(), avg->min(),
+                      avg->max());
+        out += line;
+    }
+}
+
+} // namespace acp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages and
+ * distributions grouped per component, with a registry for dumping.
+ * Modeled loosely on gem5's Stats package but kept minimal.
+ */
+
+#ifndef ACP_COMMON_STATS_HH
+#define ACP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace acp
+{
+
+/** A named 64-bit event counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    StatCounter &operator++() { ++value_; return *this; }
+    StatCounter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples and reports count/mean/min/max. */
+class StatAverage
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * A group of named statistics owned by one simulated component.
+ * Components register their counters once; StatGroup handles naming,
+ * reset and text dumps.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name; group keeps a pointer. */
+    void
+    addCounter(const std::string &stat_name, StatCounter *counter)
+    {
+        counters_.emplace_back(stat_name, counter);
+    }
+
+    /** Register an average under @p stat_name. */
+    void
+    addAverage(const std::string &stat_name, StatAverage *avg)
+    {
+        averages_.emplace_back(stat_name, avg);
+    }
+
+    /** Zero every registered statistic (start of a measurement window). */
+    void resetAll();
+
+    /** Append "group.stat value" lines to @p out. */
+    void dump(std::string &out) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, StatCounter *>> counters_;
+    std::vector<std::pair<std::string, StatAverage *>> averages_;
+};
+
+} // namespace acp
+
+#endif // ACP_COMMON_STATS_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental simulator-wide type aliases.
+ */
+
+#ifndef ACP_COMMON_TYPES_HH
+#define ACP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace acp
+{
+
+/** Simulated core-clock cycle count (1 GHz core in the reference model). */
+using Cycle = std::uint64_t;
+
+/** Physical/virtual address within the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Authentication request sequence number (LastRequest register value). */
+using AuthSeq = std::uint64_t;
+
+/** Sequence number used by an authentication queue to mark "no request". */
+constexpr AuthSeq kNoAuthSeq = 0;
+
+/** A cycle value meaning "never" / not yet scheduled. */
+constexpr Cycle kCycleNever = ~Cycle(0);
+
+} // namespace acp
+
+#endif // ACP_COMMON_TYPES_HH

@@ -1,0 +1,67 @@
+#include "core/security_monitor.hh"
+
+namespace acp::core
+{
+
+LeakReport
+SecurityMonitor::scan(const std::function<bool(const mem::BusTxn &)> &pred,
+                      Cycle before_cycle) const
+{
+    LeakReport report;
+    for (const mem::BusTxn &txn : trace_.txns()) {
+        if (txn.cycle >= before_cycle)
+            continue;
+        if (!pred(txn))
+            continue;
+        if (!report.leaked) {
+            report.leaked = true;
+            report.firstLeakCycle = txn.cycle;
+        }
+        ++report.matchCount;
+    }
+    return report;
+}
+
+std::function<bool(const mem::BusTxn &)>
+SecurityMonitor::addressRevealsSecret(std::uint64_t secret,
+                                      unsigned window_bits, unsigned shift,
+                                      Addr page_base)
+{
+    std::uint64_t window_mask = (window_bits >= 64)
+                                    ? ~std::uint64_t(0)
+                                    : ((std::uint64_t(1) << window_bits) - 1);
+    std::uint64_t expect = (secret >> shift) & window_mask;
+    return [=](const mem::BusTxn &txn) {
+        if (txn.kind != mem::BusTxnKind::kDataFetch &&
+            txn.kind != mem::BusTxnKind::kInstrFetch)
+            return false;
+        // The adversary sees the line-granular fetch address; the
+        // low-order within-line bits are lost, so compare the secret
+        // window above the line offset.
+        std::uint64_t observed = (txn.addr - page_base) & window_mask;
+        std::uint64_t line_mask = ~std::uint64_t(63);
+        return (observed & line_mask) == (expect & line_mask);
+    };
+}
+
+std::function<bool(const mem::BusTxn &)>
+SecurityMonitor::addressEquals(Addr value)
+{
+    Addr line = value & ~Addr(63);
+    return [line](const mem::BusTxn &txn) {
+        if (txn.kind != mem::BusTxnKind::kDataFetch &&
+            txn.kind != mem::BusTxnKind::kInstrFetch)
+            return false;
+        return (txn.addr & ~Addr(63)) == line;
+    };
+}
+
+std::function<bool(const mem::BusTxn &)>
+SecurityMonitor::ioOutEquals(std::uint64_t value)
+{
+    return [value](const mem::BusTxn &txn) {
+        return txn.kind == mem::BusTxnKind::kIoOut && txn.addr == value;
+    };
+}
+
+} // namespace acp::core

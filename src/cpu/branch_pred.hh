@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Branch prediction: bimodal 2-bit counter table, direct-mapped BTB,
+ * and a return address stack — the SimpleScalar default configuration
+ * class used by the paper's processor model.
+ */
+
+#ifndef ACP_CPU_BRANCH_PRED_HH
+#define ACP_CPU_BRANCH_PRED_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/instr.hh"
+#include "sim/config.hh"
+
+namespace acp::cpu
+{
+
+/** Fetch-time prediction. */
+struct Prediction
+{
+    bool taken = false;
+    Addr target = 0;
+};
+
+/** The predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const sim::SimConfig &cfg);
+
+    /**
+     * Predict a decoded control instruction at @p pc.
+     * Direct jumps are always taken with the decoded target; JALR uses
+     * RAS (returns) or BTB (indirect); conditional branches use the
+     * bimodal table and their decoded target.
+     */
+    Prediction predict(Addr pc, const isa::DecodedInst &inst);
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, const isa::DecodedInst &inst, bool taken,
+                Addr target);
+
+    /** Squash-side RAS repair is not modeled; RAS corruption after a
+     *  misprediction simply costs accuracy, as in SimpleScalar. */
+    StatGroup &stats() { return stats_; }
+    std::uint64_t lookups() const { return lookups_.value(); }
+
+  private:
+    unsigned bimodalIndex(Addr pc) const;
+    unsigned btbIndex(Addr pc) const;
+
+    std::vector<std::uint8_t> bimodal_; // 2-bit saturating counters
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::vector<Addr> ras_;
+    std::size_t rasTop_ = 0; // count of valid entries
+
+    StatGroup stats_;
+    StatCounter lookups_;
+    StatCounter rasPushes_;
+    StatCounter rasPops_;
+};
+
+} // namespace acp::cpu
+
+#endif // ACP_CPU_BRANCH_PRED_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sparse flat plaintext memory used by the standalone functional
+ * executor (fast-forward reference and commit-time co-simulation
+ * shadow). Independent of the cache hierarchy so the shadow never
+ * perturbs timing state.
+ */
+
+#ifndef ACP_CPU_FLAT_MEM_HH
+#define ACP_CPU_FLAT_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace acp::cpu
+{
+
+/** Page-granular sparse memory. */
+class FlatMem
+{
+  public:
+    explicit FlatMem(std::uint64_t size_bytes) : sizeMask_(size_bytes - 1) {}
+
+    std::uint64_t
+    read(Addr addr, unsigned bytes)
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            value |= std::uint64_t(byteAt((addr + i) & sizeMask_))
+                     << (8 * i);
+        return value;
+    }
+
+    void
+    write(Addr addr, unsigned bytes, std::uint64_t value)
+    {
+        for (unsigned i = 0; i < bytes; ++i)
+            byteAt((addr + i) & sizeMask_) = std::uint8_t(value >> (8 * i));
+    }
+
+    std::uint32_t
+    fetch(Addr pc)
+    {
+        return std::uint32_t(read(pc, 4));
+    }
+
+    /** Copy a program's code and data segments in. */
+    void
+    loadProgram(const isa::Program &prog)
+    {
+        for (std::size_t i = 0; i < prog.code.size(); ++i)
+            write(prog.codeBase + 4 * i, 4, prog.code[i]);
+        for (const isa::DataSegment &seg : prog.data)
+            for (std::size_t i = 0; i < seg.bytes.size(); ++i)
+                write(seg.base + i, 1, seg.bytes[i]);
+    }
+
+  private:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::uint64_t kPageBytes = 1ULL << kPageShift;
+
+    std::uint8_t &
+    byteAt(Addr addr)
+    {
+        Addr page = addr >> kPageShift;
+        auto it = pages_.find(page);
+        if (it == pages_.end())
+            it = pages_.emplace(page,
+                                std::vector<std::uint8_t>(kPageBytes, 0))
+                     .first;
+        return it->second[addr & (kPageBytes - 1)];
+    }
+
+    std::uint64_t sizeMask_;
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+};
+
+} // namespace acp::cpu
+
+#endif // ACP_CPU_FLAT_MEM_HH

@@ -1,0 +1,649 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/auth_policy.hh"
+#include "isa/semantics.hh"
+
+namespace acp::cpu
+{
+
+using core::gatesCommit;
+using core::gatesFetch;
+using core::gatesIssue;
+using core::gatesWrite;
+using core::verifies;
+
+OooCore::OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
+                 Addr entry)
+    : cfg_(cfg), hier_(hier), bpred_(cfg), regs_(32, 0),
+      regTainted_(32, false), fetchPc_(entry), ruu_(cfg.ruuSize),
+      renameMap_(32, -1), stats_("core")
+{
+    stats_.addCounter("committed", &committed_);
+    stats_.addCounter("fetched", &fetched_);
+    stats_.addCounter("issued", &issued_);
+    stats_.addCounter("branches", &branches_);
+    stats_.addCounter("mispredicts", &mispredicts_);
+    stats_.addCounter("loads_issued", &loadsIssued_);
+    stats_.addCounter("stores_committed", &storesCommitted_);
+    stats_.addCounter("load_forwards", &loadForwards_);
+    stats_.addCounter("auth_commit_stalls", &authCommitStalls_);
+    stats_.addCounter("store_release_stalls", &storeReleaseStalls_);
+    stats_.addCounter("sb_full_stalls", &sbFullStalls_);
+    stats_.addCounter("ruu_full_stalls", &ruuFullStalls_);
+    stats_.addCounter("lsq_full_stalls", &lsqFullStalls_);
+    stats_.addCounter("squashed", &squashedInsts_);
+    stats_.addCounter("tainted_commits", &taintedCommits_);
+    stats_.addCounter("tainted_store_drains", &taintedStoreDrains_);
+}
+
+OooCore::~OooCore() = default;
+
+unsigned
+OooCore::ruuIndex(unsigned pos) const
+{
+    return (ruuHead_ + pos) % cfg_.ruuSize;
+}
+
+OooCore::RuuEntry &
+OooCore::entryAt(unsigned pos)
+{
+    return ruu_[ruuIndex(pos)];
+}
+
+bool
+OooCore::verifiedOk(AuthSeq seq) const
+{
+    const secmem::AuthEngine &eng =
+        const_cast<secmem::MemHierarchy &>(hier_).ctrl().authEngine();
+    if (seq == kNoAuthSeq)
+        return true;
+    if (eng.anyFailure() && seq >= eng.firstFailedSeq())
+        return false; // a failed (or later) request never verifies
+    return eng.verifiedBy(seq, cycle_);
+}
+
+void
+OooCore::raiseSecurityException(bool precise)
+{
+    stopReason_ = StopReason::kSecurityException;
+    exceptionPrecise_ = precise;
+    exceptionCycle_ = cycle_;
+}
+
+bool
+OooCore::checkEngineFailure()
+{
+    if (!verifies(cfg_.policy))
+        return false;
+    const secmem::AuthEngine &eng = hier_.ctrl().authEngine();
+    if (!eng.anyFailure() || cycle_ < eng.firstFailureCycle())
+        return false;
+    raiseSecurityException(gatesCommit(cfg_.policy) ||
+                           gatesIssue(cfg_.policy));
+    return true;
+}
+
+void
+OooCore::rebuildRenameMap()
+{
+    std::fill(renameMap_.begin(), renameMap_.end(), -1);
+    for (unsigned pos = 0; pos < ruuCount_; ++pos) {
+        RuuEntry &entry = entryAt(pos);
+        if (entry.writesRd)
+            renameMap_[entry.inst.destReg()] = int(ruuIndex(pos));
+    }
+}
+
+void
+OooCore::squashAfter(unsigned pos)
+{
+    while (ruuCount_ > pos + 1) {
+        RuuEntry &entry = entryAt(ruuCount_ - 1);
+        if (entry.isLoad || entry.isStore)
+            --lsqUsed_;
+        entry.valid = false;
+        ++squashedInsts_;
+        --ruuCount_;
+    }
+    rebuildRenameMap();
+    fetchQueue_.clear();
+}
+
+bool
+OooCore::resolveOperand(RuuEntry &entry, int which)
+{
+    bool &ready = (which == 1) ? entry.v1Ready : entry.v2Ready;
+    if (ready)
+        return true;
+    std::uint64_t &value = (which == 1) ? entry.v1 : entry.v2;
+    int prod = (which == 1) ? entry.prod1 : entry.prod2;
+    std::uint64_t prod_seq = (which == 1) ? entry.prod1Seq : entry.prod2Seq;
+    unsigned src = (which == 1) ? entry.inst.srcReg1()
+                                : entry.inst.srcReg2();
+
+    if (prod < 0) {
+        value = regs_[src];
+        entry.tainted = entry.tainted || regTainted_[src];
+        ready = true;
+        return true;
+    }
+    RuuEntry &producer = ruu_[prod];
+    if (!producer.valid || producer.seq != prod_seq) {
+        // Producer has committed: its value is architectural now.
+        value = regs_[src];
+        entry.tainted = entry.tainted || regTainted_[src];
+        ready = true;
+        return true;
+    }
+    if (producer.completed && producer.readyAt <= cycle_) {
+        value = producer.result;
+        entry.tainted = entry.tainted || producer.tainted;
+        ready = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
+{
+    unsigned bytes = isa::memAccessBytes(entry.inst.op);
+    Addr addr = entry.v1 + std::uint64_t(entry.inst.imm);
+    entry.memAddr = addr;
+    entry.memBytes = bytes;
+
+    if (entry.isStore) {
+        entry.storeValue = entry.v2;
+        entry.readyAt = cycle_ + 1;
+        return true;
+    }
+
+    // Load: memory disambiguation against older stores.
+    // Scan from the youngest older memory op to the oldest; the first
+    // overlapping store with a known address decides.
+    for (int prior = int(pos) - 1; prior >= 0; --prior) {
+        RuuEntry &older = entryAt(unsigned(prior));
+        if (!older.isStore)
+            continue;
+        if (!older.issued)
+            return false; // unknown store address: conservative stall
+        Addr s_begin = older.memAddr;
+        Addr s_end = older.memAddr + older.memBytes;
+        Addr l_begin = addr;
+        Addr l_end = addr + bytes;
+        if (l_end <= s_begin || s_end <= l_begin)
+            continue; // disjoint
+        if (s_begin <= l_begin && l_end <= s_end) {
+            // Full containment: forward from the store queue.
+            std::uint64_t raw = older.storeValue >>
+                                (8 * (l_begin - s_begin));
+            if (bytes < 8)
+                raw &= (1ULL << (8 * bytes)) - 1;
+            entry.result = isa::adjustLoadValue(entry.inst.op, raw);
+            entry.readyAt = cycle_ + 2;
+            entry.dataSeq = kNoAuthSeq; // data never left the chip
+            entry.tainted = entry.tainted || older.tainted;
+            ++loadForwards_;
+            return true;
+        }
+        return false; // partial overlap: wait for the store to drain
+    }
+
+    // Post-commit store buffer (youngest first).
+    for (auto it = storeBuffer_.rbegin(); it != storeBuffer_.rend(); ++it) {
+        if (it->isOut)
+            continue;
+        Addr s_begin = it->addr;
+        Addr s_end = it->addr + it->bytes;
+        if (addr + bytes <= s_begin || s_end <= addr)
+            continue;
+        if (s_begin <= addr && addr + bytes <= s_end) {
+            std::uint64_t raw = it->value >> (8 * (addr - s_begin));
+            if (bytes < 8)
+                raw &= (1ULL << (8 * bytes)) - 1;
+            entry.result = isa::adjustLoadValue(entry.inst.op, raw);
+            entry.readyAt = cycle_ + 2;
+            entry.dataSeq = kNoAuthSeq;
+            entry.tainted = entry.tainted || it->tainted;
+            ++loadForwards_;
+            return true;
+        }
+        return false; // partial overlap with a pending release
+    }
+
+    // Real memory access: this is where a speculative load's address
+    // reaches the front-side bus (the side channel).
+    AuthSeq gate = gatesFetch(cfg_.policy)
+                       ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
+                       : kNoAuthSeq;
+    std::uint64_t raw = 0;
+    secmem::MemAccess access =
+        hier_.readTimed(addr, bytes, cycle_ + 1, gate, raw);
+    entry.result = isa::adjustLoadValue(entry.inst.op, raw);
+    entry.readyAt = access.ready;
+    entry.dataSeq = access.authSeq;
+    entry.tainted = entry.tainted ||
+                    hier_.ctrl().authEngine().requestFailed(access.authSeq);
+    ++loadsIssued_;
+    return true;
+}
+
+void
+OooCore::stageComplete()
+{
+    for (unsigned pos = 0; pos < ruuCount_; ++pos) {
+        RuuEntry &entry = entryAt(pos);
+        if (!entry.issued || entry.completed || entry.readyAt > cycle_)
+            continue;
+        entry.completed = true;
+
+        if (!entry.isControl)
+            continue;
+
+        ++branches_;
+        bpred_.update(entry.pc, entry.inst, entry.taken,
+                      entry.taken ? entry.actualNext : 0);
+        Addr predicted_next = entry.predTaken
+                                  ? entry.predTarget
+                                  : entry.pc + isa::kInstrBytes;
+        if (predicted_next != entry.actualNext) {
+            entry.mispredict = true;
+            ++mispredicts_;
+            squashAfter(pos);
+            fetchPc_ = entry.actualNext;
+            fetchStallUntil_ = cycle_ + cfg_.mispredictPenalty;
+            break; // everything younger is gone
+        }
+    }
+}
+
+void
+OooCore::stageCommit()
+{
+    for (unsigned done = 0; done < cfg_.commitWidth && ruuCount_ > 0;
+         ++done) {
+        RuuEntry &entry = entryAt(0);
+        if (!entry.issued || !entry.completed || entry.readyAt > cycle_)
+            break;
+
+        if (gatesCommit(cfg_.policy)) {
+            AuthSeq gate = std::max(entry.fetchSeq, entry.dataSeq);
+            if (!verifiedOk(gate)) {
+                ++authCommitStalls_;
+                break;
+            }
+        }
+
+        if (entry.isStore || entry.isOut) {
+            if (storeBuffer_.size() >= cfg_.storeBufferSize) {
+                ++sbFullStalls_;
+                break;
+            }
+            StoreBufEntry sb;
+            sb.tag = entry.issueTag;
+            sb.tainted = entry.tainted;
+            if (entry.isOut) {
+                sb.isOut = true;
+                sb.value = entry.storeValue;
+                sb.outPort = entry.outPort;
+            } else {
+                sb.addr = entry.memAddr;
+                sb.bytes = entry.memBytes;
+                sb.value = entry.storeValue;
+                ++storesCommitted_;
+            }
+            storeBuffer_.push_back(sb);
+        }
+
+        if (entry.writesRd) {
+            regs_[entry.inst.destReg()] = entry.result;
+            regTainted_[entry.inst.destReg()] = entry.tainted;
+        }
+
+        if (shadow_) {
+            StepInfo ref = shadow_->step();
+            if (ref.pc != entry.pc)
+                acp_panic("cosim PC mismatch: core 0x%llx shadow 0x%llx "
+                          "(%s)",
+                          (unsigned long long)entry.pc,
+                          (unsigned long long)ref.pc,
+                          isa::disassemble(entry.inst, entry.pc).c_str());
+            if (entry.writesRd &&
+                (!ref.wroteRd || ref.rdValue != entry.result))
+                acp_panic("cosim value mismatch @0x%llx %s: core %llx "
+                          "shadow %llx",
+                          (unsigned long long)entry.pc,
+                          isa::disassemble(entry.inst, entry.pc).c_str(),
+                          (unsigned long long)entry.result,
+                          (unsigned long long)ref.rdValue);
+            if (entry.isStore &&
+                (ref.memAddr != entry.memAddr ||
+                 ref.storeValue != entry.storeValue))
+                acp_panic("cosim store mismatch @0x%llx",
+                          (unsigned long long)entry.pc);
+        }
+
+        if (traceOut_ && traceRemaining_ > 0) {
+            --traceRemaining_;
+            std::fprintf(traceOut_, "%10llu  0x%08llx  %-28s",
+                         (unsigned long long)cycle_,
+                         (unsigned long long)entry.pc,
+                         isa::disassemble(entry.inst, entry.pc).c_str());
+            if (entry.writesRd)
+                std::fprintf(traceOut_, " x%u=0x%llx",
+                             entry.inst.destReg(),
+                             (unsigned long long)entry.result);
+            if (entry.isStore)
+                std::fprintf(traceOut_, " [0x%llx]<=0x%llx",
+                             (unsigned long long)entry.memAddr,
+                             (unsigned long long)entry.storeValue);
+            if (entry.tainted)
+                std::fprintf(traceOut_, " TAINTED");
+            std::fputc('\n', traceOut_);
+        }
+
+        if (entry.tainted)
+            ++taintedCommits_;
+        ++committed_;
+        lastCommitCycle_ = cycle_;
+
+        if (entry.writesRd &&
+            renameMap_[entry.inst.destReg()] == int(ruuIndex(0)))
+            renameMap_[entry.inst.destReg()] = -1;
+        if (entry.isLoad || entry.isStore)
+            --lsqUsed_;
+        bool halt = entry.isHalt;
+        entry.valid = false;
+        ruuHead_ = (ruuHead_ + 1) % cfg_.ruuSize;
+        --ruuCount_;
+
+        if (halt) {
+            stopReason_ = StopReason::kHalted;
+            break;
+        }
+    }
+}
+
+void
+OooCore::stageStoreBufferDrain()
+{
+    if (storeBuffer_.empty())
+        return;
+    StoreBufEntry &sb = storeBuffer_.front();
+    if (gatesWrite(cfg_.policy) && !verifiedOk(sb.tag)) {
+        ++storeReleaseStalls_;
+        return;
+    }
+    if (sb.tainted)
+        ++taintedStoreDrains_;
+    if (sb.isOut) {
+        // Value leaves the chip through an output port: observable.
+        hier_.ctrl().busTrace().record(cycle_, sb.value,
+                                       mem::BusTxnKind::kIoOut);
+    } else {
+        AuthSeq gate = gatesFetch(cfg_.policy)
+                           ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
+                           : kNoAuthSeq;
+        hier_.writeTimed(sb.addr, sb.bytes, sb.value, cycle_, gate);
+    }
+    storeBuffer_.pop_front();
+}
+
+void
+OooCore::stageIssue()
+{
+    unsigned slots = cfg_.issueWidth;
+    unsigned int_alu = cfg_.intAluUnits;
+    unsigned int_mul = cfg_.intMulUnits;
+    unsigned mem_ports = cfg_.memPorts;
+    unsigned fp_add = cfg_.fpAddUnits;
+    unsigned fp_mul = cfg_.fpMulUnits;
+
+    for (unsigned pos = 0; pos < ruuCount_ && slots > 0; ++pos) {
+        RuuEntry &entry = entryAt(pos);
+        if (entry.issued)
+            continue;
+        if (!resolveOperand(entry, 1) || !resolveOperand(entry, 2))
+            continue;
+
+        const isa::OpInfo &oi = entry.inst.info();
+        switch (oi.fu) {
+          case isa::FuClass::kIntAlu:
+            if (int_alu == 0)
+                continue;
+            --int_alu;
+            break;
+          case isa::FuClass::kIntMul:
+            if (int_mul == 0)
+                continue;
+            --int_mul;
+            break;
+          case isa::FuClass::kIntDiv:
+            if (intDivFreeAt_ > cycle_)
+                continue;
+            intDivFreeAt_ = cycle_ + oi.latency;
+            break;
+          case isa::FuClass::kFpAdd:
+            if (fp_add == 0)
+                continue;
+            --fp_add;
+            break;
+          case isa::FuClass::kFpMul:
+            if (fp_mul == 0)
+                continue;
+            --fp_mul;
+            break;
+          case isa::FuClass::kFpDiv:
+            if (fpDivFreeAt_ > cycle_)
+                continue;
+            fpDivFreeAt_ = cycle_ + oi.latency;
+            break;
+          case isa::FuClass::kMemPort:
+            if (mem_ports == 0)
+                continue;
+            break;
+          case isa::FuClass::kNone:
+            break;
+        }
+
+        // Sample the LastRequest register at issue: the tag consulted
+        // by the write gate and the fetch gate (Section 4.2.2/4.2.4).
+        entry.issueTag = verifies(cfg_.policy)
+                             ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
+                             : kNoAuthSeq;
+
+        if (oi.fu == isa::FuClass::kMemPort) {
+            if (!tryIssueMemOp(entry, pos))
+                continue;
+            --mem_ports;
+        } else {
+            isa::ExecResult res =
+                isa::execute(entry.inst, entry.v1, entry.v2, entry.pc);
+            entry.result = res.value;
+            entry.readyAt = cycle_ + oi.latency;
+            if (entry.isControl) {
+                entry.taken = res.taken;
+                entry.actualNext = res.taken
+                                       ? res.target
+                                       : entry.pc + isa::kInstrBytes;
+            }
+            if (entry.isOut) {
+                entry.storeValue = res.storeValue;
+                entry.outPort = res.outPort;
+            }
+        }
+
+        entry.issued = true;
+        ++issued_;
+        --slots;
+    }
+}
+
+void
+OooCore::stageDispatch()
+{
+    for (unsigned done = 0; done < cfg_.decodeWidth && !fetchQueue_.empty();
+         ++done) {
+        if (ruuCount_ >= cfg_.ruuSize) {
+            ++ruuFullStalls_;
+            break;
+        }
+        FetchedInst &fetched_inst = fetchQueue_.front();
+        const isa::OpInfo &oi = fetched_inst.inst.info();
+        bool is_mem = oi.isLoad || oi.isStore;
+        if (is_mem && lsqUsed_ >= cfg_.lsqSize) {
+            ++lsqFullStalls_;
+            break;
+        }
+
+        unsigned slot = (ruuHead_ + ruuCount_) % cfg_.ruuSize;
+        RuuEntry &entry = ruu_[slot];
+        entry = RuuEntry{};
+        entry.valid = true;
+        entry.seq = nextSeq_++;
+        entry.pc = fetched_inst.pc;
+        entry.inst = fetched_inst.inst;
+        entry.fetchSeq = fetched_inst.fetchSeq;
+        entry.tainted =
+            hier_.ctrl().authEngine().requestFailed(entry.fetchSeq);
+        entry.predTaken = fetched_inst.predTaken;
+        entry.predTarget = fetched_inst.predTarget;
+        entry.isLoad = oi.isLoad;
+        entry.isStore = oi.isStore;
+        entry.isControl = oi.isBranch || oi.isJump;
+        entry.isOut = (entry.inst.op == isa::Op::kOut);
+        entry.isHalt = (entry.inst.op == isa::Op::kHalt);
+        entry.writesRd = (entry.inst.destReg() != 0);
+
+        unsigned src1 = entry.inst.srcReg1();
+        unsigned src2 = entry.inst.srcReg2();
+        if (src1 != 0 && renameMap_[src1] >= 0) {
+            entry.prod1 = renameMap_[src1];
+            entry.prod1Seq = ruu_[entry.prod1].seq;
+        } else {
+            entry.v1 = regs_[src1];
+            entry.v1Ready = true;
+        }
+        if (src2 != 0 && renameMap_[src2] >= 0) {
+            entry.prod2 = renameMap_[src2];
+            entry.prod2Seq = ruu_[entry.prod2].seq;
+        } else {
+            entry.v2 = regs_[src2];
+            entry.v2Ready = true;
+        }
+        if (entry.writesRd)
+            renameMap_[entry.inst.destReg()] = int(slot);
+
+        ++ruuCount_;
+        if (is_mem)
+            ++lsqUsed_;
+        fetchQueue_.pop_front();
+    }
+}
+
+void
+OooCore::stageFetch()
+{
+    if (cycle_ < fetchStallUntil_)
+        return;
+
+    unsigned budget = cfg_.fetchWidth;
+    const unsigned queue_cap = 2 * cfg_.fetchWidth;
+    const Addr line_mask = cfg_.l1i.lineBytes - 1;
+
+    while (budget > 0 && fetchQueue_.size() < queue_cap) {
+        AuthSeq gate = gatesFetch(cfg_.policy)
+                           ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
+                           : kNoAuthSeq;
+        std::uint32_t word = 0;
+        secmem::MemAccess access =
+            hier_.fetchTimed(fetchPc_, cycle_, gate, word);
+        // L1I hits are pipelined: data arriving within the hit latency
+        // feeds this cycle's fetch group; anything slower stalls.
+        if (access.ready > cycle_ + cfg_.l1i.hitLatency) {
+            fetchStallUntil_ = access.ready;
+            break;
+        }
+
+        FetchedInst fetched_inst;
+        fetched_inst.pc = fetchPc_;
+        fetched_inst.inst = isa::decode(word);
+        fetched_inst.fetchSeq = access.authSeq;
+        const isa::OpInfo &oi = fetched_inst.inst.info();
+        if (oi.isBranch || oi.isJump) {
+            Prediction pred = bpred_.predict(fetchPc_, fetched_inst.inst);
+            fetched_inst.predTaken = pred.taken;
+            fetched_inst.predTarget = pred.target;
+        }
+        fetchQueue_.push_back(fetched_inst);
+        ++fetched_;
+        --budget;
+
+        if (fetched_inst.predTaken) {
+            fetchPc_ = fetched_inst.predTarget;
+            break; // taken control flow ends the fetch group
+        }
+        fetchPc_ += isa::kInstrBytes;
+        if ((fetchPc_ & line_mask) == 0)
+            break; // I-cache line boundary ends the fetch group
+    }
+}
+
+bool
+OooCore::tick()
+{
+    if (stopReason_ != StopReason::kRunning)
+        return false;
+    if (checkEngineFailure())
+        return false;
+
+    stageComplete();
+    stageCommit();
+    if (stopReason_ != StopReason::kRunning) {
+        ++cycle_;
+        return false;
+    }
+    stageStoreBufferDrain();
+    stageIssue();
+    stageDispatch();
+    stageFetch();
+    ++cycle_;
+
+    if (cycle_ - lastCommitCycle_ > 1000000)
+        acp_panic("no commit progress for 1M cycles (pc 0x%llx)",
+                  (unsigned long long)fetchPc_);
+    return true;
+}
+
+StopReason
+OooCore::run(std::uint64_t max_insts, std::uint64_t max_cycles)
+{
+    std::uint64_t inst_limit = instsCommitted() + max_insts;
+    Cycle cycle_limit = cycle_ + max_cycles;
+    while (stopReason_ == StopReason::kRunning) {
+        if (instsCommitted() >= inst_limit)
+            return StopReason::kInstLimit;
+        if (cycle_ >= cycle_limit)
+            return StopReason::kCycleLimit;
+        tick();
+    }
+    return stopReason_;
+}
+
+void
+OooCore::resetStats()
+{
+    stats_.resetAll();
+}
+
+void
+OooCore::traceCommits(std::FILE *out, std::uint64_t insts)
+{
+    traceOut_ = out;
+    traceRemaining_ = insts;
+}
+
+} // namespace acp::cpu

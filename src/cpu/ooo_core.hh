@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Out-of-order core in the SimpleScalar RUU style: an 8-wide
+ * fetch/decode/issue/commit pipeline with a unified Register Update
+ * Unit (ROB + reservation stations), a load/store queue with
+ * store-to-load forwarding, a post-commit store(-release) buffer, and
+ * speculative execution down predicted paths.
+ *
+ * The four *authentication control points* of the paper are
+ * implemented here and in the memory hierarchy:
+ *   issue  — fill data unusable until verified (hierarchy usableAt)
+ *   commit — ROB head held until own-line + operand-line tags verify
+ *   write  — committed stores parked in the store-release buffer
+ *            until their LastRequest tag verifies
+ *   fetch  — external fetches gated in the secure memory controller
+ *            on the LastRequest tag captured at issue
+ *
+ * Speculative loads issue real bus transactions before commit — this
+ * is precisely the side channel the paper studies, and the attack
+ * examples observe it through the bus trace.
+ */
+
+#ifndef ACP_CPU_OOO_CORE_HH
+#define ACP_CPU_OOO_CORE_HH
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/flat_mem.hh"
+#include "cpu/func_executor.hh"
+#include "isa/instr.hh"
+#include "secmem/mem_hierarchy.hh"
+#include "sim/config.hh"
+
+namespace acp::cpu
+{
+
+/** Why the core stopped. */
+enum class StopReason
+{
+    kRunning,
+    kHalted,
+    kSecurityException,
+    kInstLimit,
+    kCycleLimit,
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
+            Addr entry);
+    ~OooCore();
+
+    /**
+     * Enable commit-time co-simulation against a functional shadow
+     * (non-owning; typically the System's reference machine, already
+     * advanced to the same architectural point). Never combine with
+     * ciphertext tampering — the shadow models the untampered program.
+     */
+    void setCosimShadow(FuncExecutor *shadow) { shadow_ = shadow; }
+
+    /** Advance one cycle. Returns false once stopped. */
+    bool tick();
+
+    /**
+     * Run until @p max_insts commits, @p max_cycles elapse, HALT
+     * commits, or a security exception fires.
+     */
+    StopReason run(std::uint64_t max_insts, std::uint64_t max_cycles);
+
+    // ----- results ------------------------------------------------------
+    Cycle cycles() const { return cycle_; }
+    std::uint64_t instsCommitted() const { return committed_.value(); }
+    double
+    ipc() const
+    {
+        return cycle_ ? double(instsCommitted()) / double(cycle_) : 0.0;
+    }
+    StopReason stopReason() const { return stopReason_; }
+    bool securityException() const
+    {
+        return stopReason_ == StopReason::kSecurityException;
+    }
+    /** Precise exceptions pin the fault to an instruction boundary. */
+    bool exceptionPrecise() const { return exceptionPrecise_; }
+    Cycle exceptionCycle() const { return exceptionCycle_; }
+
+    /** Architectural register value (committed state). */
+    std::uint64_t reg(unsigned idx) const { return regs_[idx & 31]; }
+    void
+    setReg(unsigned idx, std::uint64_t v)
+    {
+        if ((idx & 31) != 0)
+            regs_[idx & 31] = v;
+    }
+
+    /** Zero the measurement statistics (start of the timed window). */
+    void resetStats();
+
+    /**
+     * Emit a one-line commit trace for the next @p insts committed
+     * instructions to @p out (cycle, pc, disassembly, result) — the
+     * debugging view of architectural progress.
+     */
+    void traceCommits(std::FILE *out, std::uint64_t insts);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    // ----- pipeline structures -------------------------------------------
+    struct RuuEntry
+    {
+        bool valid = false;
+        std::uint64_t seq = 0; // dynamic instruction number
+        Addr pc = 0;
+        isa::DecodedInst inst;
+
+        // Operand tracking: producer RUU slot + its seq, or -1.
+        int prod1 = -1, prod2 = -1;
+        std::uint64_t prod1Seq = 0, prod2Seq = 0;
+        bool v1Ready = false, v2Ready = false;
+        std::uint64_t v1 = 0, v2 = 0;
+
+        bool issued = false;
+        bool completed = false;
+        Cycle readyAt = 0;
+        std::uint64_t result = 0;
+        bool writesRd = false;
+
+        // Memory
+        bool isLoad = false, isStore = false;
+        Addr memAddr = 0;
+        unsigned memBytes = 0;
+        std::uint64_t storeValue = 0;
+
+        // Control
+        bool isControl = false;
+        bool predTaken = false;
+        Addr predTarget = 0;
+        bool taken = false;
+        Addr actualNext = 0;
+        bool mispredict = false;
+
+        // System
+        bool isOut = false;
+        std::uint64_t outPort = 0;
+        bool isHalt = false;
+
+        // Security tags
+        AuthSeq fetchSeq = kNoAuthSeq; // I-line auth request
+        AuthSeq dataSeq = kNoAuthSeq;  // loaded-data auth request
+        AuthSeq issueTag = kNoAuthSeq; // LastRequest at issue
+        /** Precise dataflow taint: this instruction's value derives
+         *  from a line whose verification (functionally) failed. */
+        bool tainted = false;
+    };
+
+    struct FetchedInst
+    {
+        Addr pc = 0;
+        isa::DecodedInst inst;
+        bool predTaken = false;
+        Addr predTarget = 0;
+        AuthSeq fetchSeq = kNoAuthSeq;
+    };
+
+    struct StoreBufEntry
+    {
+        Addr addr = 0;
+        unsigned bytes = 0;
+        std::uint64_t value = 0;
+        AuthSeq tag = kNoAuthSeq; // LastRequest at issue of the store
+        bool tainted = false;
+        bool isOut = false;
+        std::uint64_t outPort = 0;
+    };
+
+    // ----- stages ---------------------------------------------------------
+    void stageComplete();
+    void stageCommit();
+    void stageStoreBufferDrain();
+    void stageIssue();
+    void stageDispatch();
+    void stageFetch();
+
+    // ----- helpers ----------------------------------------------------------
+    unsigned ruuIndex(unsigned pos) const; // age position -> slot
+    RuuEntry &entryAt(unsigned pos);
+    void squashAfter(unsigned pos);
+    void rebuildRenameMap();
+    bool resolveOperand(RuuEntry &entry, int which);
+    bool tryIssueMemOp(RuuEntry &entry, unsigned pos);
+    /** Gate predicate: completed verification that also passed. */
+    bool verifiedOk(AuthSeq seq) const;
+    void raiseSecurityException(bool precise);
+    bool checkEngineFailure();
+
+    const sim::SimConfig &cfg_;
+    secmem::MemHierarchy &hier_;
+    BranchPredictor bpred_;
+
+    // Architectural state
+    std::vector<std::uint64_t> regs_;
+    /** Per-register dataflow taint (only set when a tainted value
+     *  commits, i.e. under policies without a commit gate). */
+    std::vector<bool> regTainted_;
+    Addr fetchPc_;
+    Cycle fetchStallUntil_ = 0;
+
+    // RUU circular buffer
+    std::vector<RuuEntry> ruu_;
+    unsigned ruuHead_ = 0;
+    unsigned ruuCount_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::vector<int> renameMap_; // reg -> RUU slot (-1 = regfile)
+    unsigned lsqUsed_ = 0;
+
+    std::deque<FetchedInst> fetchQueue_;
+    std::deque<StoreBufEntry> storeBuffer_;
+
+    // FU availability (per cycle) + unpipelined units
+    Cycle intDivFreeAt_ = 0;
+    Cycle fpDivFreeAt_ = 0;
+
+    Cycle cycle_ = 0;
+    StopReason stopReason_ = StopReason::kRunning;
+    bool exceptionPrecise_ = false;
+    Cycle exceptionCycle_ = 0;
+    std::uint64_t lastCommitCycle_ = 0;
+
+    // Co-simulation shadow (non-owning)
+    FuncExecutor *shadow_ = nullptr;
+
+    // Commit tracing
+    std::FILE *traceOut_ = nullptr;
+    std::uint64_t traceRemaining_ = 0;
+
+    // Statistics
+    StatGroup stats_;
+    StatCounter committed_;
+    StatCounter fetched_;
+    StatCounter issued_;
+    StatCounter branches_;
+    StatCounter mispredicts_;
+    StatCounter loadsIssued_;
+    StatCounter storesCommitted_;
+    StatCounter loadForwards_;
+    StatCounter authCommitStalls_;
+    StatCounter storeReleaseStalls_;
+    StatCounter sbFullStalls_;
+    StatCounter ruuFullStalls_;
+    StatCounter lsqFullStalls_;
+    StatCounter squashedInsts_;
+    /** Instructions committed whose gate tag covered a failed request
+     *  (empirical "authenticated processor state" check, Table 2). */
+    StatCounter taintedCommits_;
+    /** Stores released to memory with a failed-or-later tag
+     *  (empirical "authenticated memory state" check, Table 2). */
+    StatCounter taintedStoreDrains_;
+
+  public:
+    std::uint64_t taintedCommits() const { return taintedCommits_.value(); }
+    std::uint64_t
+    taintedStoreDrains() const
+    {
+        return taintedStoreDrains_.value();
+    }
+};
+
+} // namespace acp::cpu
+
+#endif // ACP_CPU_OOO_CORE_HH

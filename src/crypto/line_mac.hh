@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-cache-line MAC (paper Section 5.2.3): a 64-bit truncated
+ * HMAC-SHA256 over (line address || line counter || plaintext). Binding
+ * the address prevents block relocation; binding the counter prevents
+ * replay of stale versions of the same line (within the counter's
+ * integrity domain — full anti-replay needs the hash tree).
+ */
+
+#ifndef ACP_CRYPTO_LINE_MAC_HH
+#define ACP_CRYPTO_LINE_MAC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/types.hh"
+#include "crypto/hmac.hh"
+
+namespace acp::crypto
+{
+
+/** Computes 64-bit line MACs with a fixed key. */
+class LineMac
+{
+  public:
+    LineMac(const std::uint8_t *key, std::size_t key_len)
+        : hmac_(key, key_len)
+    {}
+
+    /** MAC over address, counter and the line plaintext. */
+    std::uint64_t
+    compute(Addr addr, std::uint64_t counter, const std::uint8_t *plaintext,
+            std::size_t line_bytes) const
+    {
+        std::vector<std::uint8_t> buf(16 + line_bytes);
+        for (int i = 0; i < 8; ++i) {
+            buf[i] = std::uint8_t(addr >> (8 * i));
+            buf[8 + i] = std::uint8_t(counter >> (8 * i));
+        }
+        std::memcpy(buf.data() + 16, plaintext, line_bytes);
+        return hmac_.mac64(buf.data(), buf.size());
+    }
+
+  private:
+    HmacSha256 hmac_;
+};
+
+} // namespace acp::crypto
+
+#endif // ACP_CRYPTO_LINE_MAC_HH

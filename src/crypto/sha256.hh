@@ -1,0 +1,64 @@
+/**
+ * @file
+ * FIPS-180 SHA-256 hash. Functional model of the SHA-256 engine used
+ * for HMAC-based line authentication; the paper's reference hardware
+ * latency (74 ns per padded 512-bit input) is modeled in the
+ * authentication engine, not here.
+ */
+
+#ifndef ACP_CRYPTO_SHA256_HH
+#define ACP_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace acp::crypto
+{
+
+/** SHA-256 digest size in bytes. */
+constexpr std::size_t kSha256DigestBytes = 32;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Reset to the initial hash state. */
+    void reset();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Finish and write the 32-byte digest; context must be reset after. */
+    void final(std::uint8_t digest[kSha256DigestBytes]);
+
+    /** One-shot convenience. */
+    static std::array<std::uint8_t, kSha256DigestBytes>
+    digest(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Number of 512-bit compression blocks a message of @p len bytes
+     * requires after mandatory padding. Used by the timing model: each
+     * block costs one engine pass.
+     */
+    static std::size_t
+    paddedBlocks(std::size_t len)
+    {
+        // 1 byte of 0x80 plus 8 bytes of length must fit.
+        return (len + 1 + 8 + 63) / 64;
+    }
+
+  private:
+    void processBlock(const std::uint8_t block[64]);
+
+    std::uint32_t state_[8];
+    std::uint64_t totalLen_;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_;
+};
+
+} // namespace acp::crypto
+
+#endif // ACP_CRYPTO_SHA256_HH

@@ -1,0 +1,119 @@
+#include "isa/instr.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace acp::isa
+{
+
+std::uint32_t
+encode(const DecodedInst &inst)
+{
+    std::uint32_t op_bits = std::uint32_t(inst.op) << 26;
+    std::uint32_t rd_bits = (std::uint32_t(inst.rd) & 0x1f) << 21;
+    const OpInfo &oi = inst.info();
+
+    switch (oi.format) {
+      case Format::kRType:
+        return op_bits | rd_bits | ((std::uint32_t(inst.rs1) & 0x1f) << 16) |
+               ((std::uint32_t(inst.rs2) & 0x1f) << 11);
+      case Format::kIType:
+      case Format::kSType:
+      case Format::kBType:
+        if (inst.imm < -32768 || inst.imm > 32767)
+            acp_panic("imm16 overflow: %lld for %s", (long long)inst.imm,
+                      oi.mnemonic);
+        return op_bits | rd_bits | ((std::uint32_t(inst.rs1) & 0x1f) << 16) |
+               (std::uint32_t(inst.imm) & 0xffff);
+      case Format::kJType:
+        if (inst.imm < -(1 << 20) || inst.imm >= (1 << 20))
+            acp_panic("imm21 overflow: %lld", (long long)inst.imm);
+        return op_bits | rd_bits | (std::uint32_t(inst.imm) & 0x1fffff);
+      case Format::kNType:
+        return op_bits;
+    }
+    acp_panic("encode: bad format");
+}
+
+DecodedInst
+decode(std::uint32_t word)
+{
+    DecodedInst inst;
+    unsigned op_raw = (word >> 26) & 0x3f;
+    if (op_raw >= unsigned(Op::kNumOps)) {
+        // Tampered/garbage encodings decode to HALT so the pipeline
+        // stops deterministically instead of executing junk.
+        inst.op = Op::kHalt;
+        return inst;
+    }
+    inst.op = Op(op_raw);
+    inst.rd = std::uint8_t((word >> 21) & 0x1f);
+
+    const OpInfo &oi = inst.info();
+    switch (oi.format) {
+      case Format::kRType:
+        inst.rs1 = std::uint8_t((word >> 16) & 0x1f);
+        inst.rs2 = std::uint8_t((word >> 11) & 0x1f);
+        break;
+      case Format::kIType:
+      case Format::kSType:
+      case Format::kBType:
+        inst.rs1 = std::uint8_t((word >> 16) & 0x1f);
+        inst.imm = sext(word & 0xffff, 16);
+        break;
+      case Format::kJType:
+        inst.imm = sext(word & 0x1fffff, 21);
+        break;
+      case Format::kNType:
+        inst.rd = 0; // rd slot is a don't-care for operand-less ops
+        break;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const DecodedInst &inst, Addr pc)
+{
+    const OpInfo &oi = inst.info();
+    char buf[96];
+    switch (oi.format) {
+      case Format::kRType:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, x%u, x%u", oi.mnemonic,
+                      inst.rd, inst.rs1, inst.rs2);
+        break;
+      case Format::kIType:
+        if (oi.isLoad) {
+            std::snprintf(buf, sizeof(buf), "%-6s x%u, %lld(x%u)",
+                          oi.mnemonic, inst.rd, (long long)inst.imm,
+                          inst.rs1);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-6s x%u, x%u, %lld",
+                          oi.mnemonic, inst.rd, inst.rs1,
+                          (long long)inst.imm);
+        }
+        break;
+      case Format::kSType:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, %lld(x%u)", oi.mnemonic,
+                      inst.rd, (long long)inst.imm, inst.rs1);
+        break;
+      case Format::kBType:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, x%u, 0x%llx",
+                      oi.mnemonic, inst.rd, inst.rs1,
+                      (unsigned long long)inst.relTarget(pc));
+        break;
+      case Format::kJType:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, 0x%llx", oi.mnemonic,
+                      inst.rd, (unsigned long long)inst.relTarget(pc));
+        break;
+      case Format::kNType:
+        std::snprintf(buf, sizeof(buf), "%s", oi.mnemonic);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "<bad>");
+        break;
+    }
+    return buf;
+}
+
+} // namespace acp::isa

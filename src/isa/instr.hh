@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Instruction word encoding and decoding.
+ *
+ * Word layout (bit 31 is MSB):
+ *   R-type:  op[31:26] rd[25:21] rs1[20:16] rs2[15:11] zero[10:0]
+ *   I/S/B:   op[31:26] rd[25:21] rs1[20:16] imm16[15:0] (signed)
+ *   J-type:  op[31:26] rd[25:21] imm21[20:0] (signed)
+ *
+ * For stores the "rd" slot names the data source register; for
+ * branches the "rd" slot names the first comparison source. Branch and
+ * jump immediates are in units of instruction words, PC-relative.
+ */
+
+#ifndef ACP_ISA_INSTR_HH
+#define ACP_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace acp::isa
+{
+
+/** Size of one instruction word in bytes. */
+constexpr unsigned kInstrBytes = 4;
+
+/** A fully decoded instruction. */
+struct DecodedInst
+{
+    Op op = Op::kNop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    /** Sign-extended immediate (raw; branch/jump offsets in words). */
+    std::int64_t imm = 0;
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** Destination register actually written (0 means none: x0 sink). */
+    std::uint8_t
+    destReg() const
+    {
+        return info().writesRd ? rd : 0;
+    }
+
+    /** First source register read, or 0 (x0) if unused. */
+    std::uint8_t
+    srcReg1() const
+    {
+        const OpInfo &oi = info();
+        if (oi.format == Format::kBType)
+            return rd; // branches compare rd-slot and rs1-slot regs
+        if (oi.format == Format::kSType)
+            return rs1; // store base address
+        return oi.readsRs1 ? rs1 : 0;
+    }
+
+    /** Second source register read, or 0 if unused. */
+    std::uint8_t
+    srcReg2() const
+    {
+        const OpInfo &oi = info();
+        if (oi.format == Format::kBType)
+            return rs1;
+        if (oi.format == Format::kSType)
+            return rd; // store data source lives in the rd slot
+        return oi.readsRs2 ? rs2 : 0;
+    }
+
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isBranch() const { return info().isBranch; }
+    bool isJump() const { return info().isJump; }
+    bool isControl() const { return isBranch() || isJump(); }
+    bool isHalt() const { return op == Op::kHalt; }
+
+    /** Branch/jump target for PC-relative forms. */
+    Addr
+    relTarget(Addr pc) const
+    {
+        return Addr(std::int64_t(pc) + imm * std::int64_t(kInstrBytes));
+    }
+};
+
+/** Encode a decoded instruction back into a 32-bit word. */
+std::uint32_t encode(const DecodedInst &inst);
+
+/** Decode a 32-bit word. Unknown opcodes decode as kHalt (fault-stop). */
+DecodedInst decode(std::uint32_t word);
+
+/** Human-readable disassembly, e.g. "addi x5, x5, -1". */
+std::string disassemble(const DecodedInst &inst, Addr pc = 0);
+
+} // namespace acp::isa
+
+#endif // ACP_ISA_INSTR_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Opcode definitions and static per-opcode properties for the ACP
+ * mini-ISA: a 64-bit RISC with 32 integer registers (x0 hardwired to
+ * zero), fixed 32-bit instruction words and byte-addressed memory.
+ * The ISA is deliberately SimpleScalar/Alpha-flavoured: enough to
+ * express the SPEC2000-class synthetic workloads and the paper's
+ * attack kernels, while keeping decode trivial.
+ */
+
+#ifndef ACP_ISA_OPCODES_HH
+#define ACP_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace acp::isa
+{
+
+/** Number of architectural integer registers. */
+constexpr unsigned kNumRegs = 32;
+
+/** All opcodes. FP ops operate on IEEE-754 doubles stored in x-regs. */
+enum class Op : std::uint8_t
+{
+    kNop = 0,
+    // Register-register ALU
+    kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+    kMul, kDiv, kRem,
+    // Register-immediate ALU
+    kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kLui,
+    // Memory
+    kLd, kLw, kLb, kSd, kSw, kSb,
+    // Control transfer
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu, kJal, kJalr,
+    // Floating point (double precision bit patterns in integer regs)
+    kFadd, kFsub, kFmul, kFdiv, kFsqrt, kFcvtLD, kFcvtDL, kFlt,
+    // System
+    kOut, kHalt,
+    kNumOps
+};
+
+/** Functional-unit class an opcode executes on. */
+enum class FuClass : std::uint8_t
+{
+    kIntAlu,
+    kIntMul,
+    kIntDiv,
+    kMemPort,
+    kFpAdd,
+    kFpMul,
+    kFpDiv,
+    kNone, // kNop / kHalt
+};
+
+/** Instruction word format. */
+enum class Format : std::uint8_t
+{
+    kRType, // op rd, rs1, rs2
+    kIType, // op rd, rs1, imm16
+    kSType, // op rs2(data, in rd slot), rs1(base), imm16
+    kBType, // op rs1(rd slot), rs2(rs1 slot), imm16 (pc-relative words)
+    kJType, // op rd, imm21 (pc-relative words)
+    kNType, // no operands
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    FuClass fu;
+    /** Execution latency in cycles once issued to its unit. */
+    std::uint8_t latency;
+    /** Whether the unit is pipelined (can accept an op every cycle). */
+    bool pipelined;
+    bool isLoad;
+    bool isStore;
+    /** Conditional branch. */
+    bool isBranch;
+    /** Unconditional jump (kJal/kJalr). */
+    bool isJump;
+    bool writesRd;
+    bool readsRs1;
+    bool readsRs2;
+};
+
+/** Look up static properties; aborts on out-of-range opcode. */
+const OpInfo &opInfo(Op op);
+
+/** Memory access size in bytes for load/store opcodes (else 0). */
+unsigned memAccessBytes(Op op);
+
+} // namespace acp::isa
+
+#endif // ACP_ISA_OPCODES_HH

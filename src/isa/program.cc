@@ -1,0 +1,296 @@
+#include "isa/program.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace acp::isa
+{
+
+ProgramBuilder::ProgramBuilder(Addr code_base, std::string name)
+    : name_(std::move(name)), codeBase_(code_base)
+{
+    if (code_base % kInstrBytes != 0)
+        acp_fatal("code base 0x%llx not instruction-aligned",
+                  (unsigned long long)code_base);
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label l;
+    l.id = std::uint32_t(labelPos_.size());
+    labelPos_.push_back(-1);
+    return l;
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    if (!l.valid() || l.id >= labelPos_.size())
+        acp_panic("bind: invalid label");
+    if (labelPos_[l.id] >= 0)
+        acp_panic("bind: label %u already bound", l.id);
+    labelPos_[l.id] = std::int64_t(code_.size());
+}
+
+Addr
+ProgramBuilder::here() const
+{
+    return codeBase_ + code_.size() * kInstrBytes;
+}
+
+void
+ProgramBuilder::emit(const DecodedInst &inst)
+{
+    code_.push_back(encode(inst));
+    pending_.push_back(inst);
+}
+
+void
+ProgramBuilder::emitWord(std::uint32_t word)
+{
+    code_.push_back(word);
+    pending_.push_back(decode(word));
+}
+
+namespace
+{
+
+DecodedInst
+rtype(Op op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    DecodedInst inst;
+    inst.op = op;
+    inst.rd = std::uint8_t(rd);
+    inst.rs1 = std::uint8_t(rs1);
+    inst.rs2 = std::uint8_t(rs2);
+    return inst;
+}
+
+DecodedInst
+itype(Op op, unsigned rd, unsigned rs1, std::int64_t imm)
+{
+    DecodedInst inst;
+    inst.op = op;
+    inst.rd = std::uint8_t(rd);
+    inst.rs1 = std::uint8_t(rs1);
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace
+
+void ProgramBuilder::add(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kAdd, rd, rs1, rs2)); }
+void ProgramBuilder::sub(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kSub, rd, rs1, rs2)); }
+void ProgramBuilder::and_(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kAnd, rd, rs1, rs2)); }
+void ProgramBuilder::or_(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kOr, rd, rs1, rs2)); }
+void ProgramBuilder::xor_(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kXor, rd, rs1, rs2)); }
+void ProgramBuilder::sll(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kSll, rd, rs1, rs2)); }
+void ProgramBuilder::srl(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kSrl, rd, rs1, rs2)); }
+void ProgramBuilder::sra(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kSra, rd, rs1, rs2)); }
+void ProgramBuilder::slt(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kSlt, rd, rs1, rs2)); }
+void ProgramBuilder::sltu(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kSltu, rd, rs1, rs2)); }
+void ProgramBuilder::mul(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kMul, rd, rs1, rs2)); }
+void ProgramBuilder::div(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kDiv, rd, rs1, rs2)); }
+void ProgramBuilder::rem(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kRem, rd, rs1, rs2)); }
+
+void ProgramBuilder::addi(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emit(itype(Op::kAddi, rd, rs1, imm)); }
+void ProgramBuilder::andi(unsigned rd, unsigned rs1, std::uint64_t imm)
+{ emit(itype(Op::kAndi, rd, rs1, std::int64_t(sext(imm, 16)))); }
+void ProgramBuilder::ori(unsigned rd, unsigned rs1, std::uint64_t imm)
+{ emit(itype(Op::kOri, rd, rs1, std::int64_t(sext(imm, 16)))); }
+void ProgramBuilder::xori(unsigned rd, unsigned rs1, std::uint64_t imm)
+{ emit(itype(Op::kXori, rd, rs1, std::int64_t(sext(imm, 16)))); }
+void ProgramBuilder::slli(unsigned rd, unsigned rs1, unsigned sh)
+{ emit(itype(Op::kSlli, rd, rs1, sh)); }
+void ProgramBuilder::srli(unsigned rd, unsigned rs1, unsigned sh)
+{ emit(itype(Op::kSrli, rd, rs1, sh)); }
+void ProgramBuilder::srai(unsigned rd, unsigned rs1, unsigned sh)
+{ emit(itype(Op::kSrai, rd, rs1, sh)); }
+void ProgramBuilder::slti(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emit(itype(Op::kSlti, rd, rs1, imm)); }
+void ProgramBuilder::lui(unsigned rd, std::uint64_t imm16)
+{ emit(itype(Op::kLui, rd, 0, std::int64_t(sext(imm16, 16)))); }
+
+void ProgramBuilder::ld(unsigned rd, std::int64_t off, unsigned base)
+{ emit(itype(Op::kLd, rd, base, off)); }
+void ProgramBuilder::lw(unsigned rd, std::int64_t off, unsigned base)
+{ emit(itype(Op::kLw, rd, base, off)); }
+void ProgramBuilder::lb(unsigned rd, std::int64_t off, unsigned base)
+{ emit(itype(Op::kLb, rd, base, off)); }
+void ProgramBuilder::sd(unsigned rsrc, std::int64_t off, unsigned base)
+{ emit(itype(Op::kSd, rsrc, base, off)); }
+void ProgramBuilder::sw(unsigned rsrc, std::int64_t off, unsigned base)
+{ emit(itype(Op::kSw, rsrc, base, off)); }
+void ProgramBuilder::sb(unsigned rsrc, std::int64_t off, unsigned base)
+{ emit(itype(Op::kSb, rsrc, base, off)); }
+
+void
+ProgramBuilder::emitBranch(Op op, unsigned r1, unsigned r2, Label target)
+{
+    if (!target.valid() || target.id >= labelPos_.size())
+        acp_panic("branch to invalid label");
+    DecodedInst inst = itype(op, r1, r2, 0);
+    fixups_.push_back({code_.size(), target.id});
+    emit(inst);
+}
+
+void ProgramBuilder::beq(unsigned r1, unsigned r2, Label t)
+{ emitBranch(Op::kBeq, r1, r2, t); }
+void ProgramBuilder::bne(unsigned r1, unsigned r2, Label t)
+{ emitBranch(Op::kBne, r1, r2, t); }
+void ProgramBuilder::blt(unsigned r1, unsigned r2, Label t)
+{ emitBranch(Op::kBlt, r1, r2, t); }
+void ProgramBuilder::bge(unsigned r1, unsigned r2, Label t)
+{ emitBranch(Op::kBge, r1, r2, t); }
+void ProgramBuilder::bltu(unsigned r1, unsigned r2, Label t)
+{ emitBranch(Op::kBltu, r1, r2, t); }
+void ProgramBuilder::bgeu(unsigned r1, unsigned r2, Label t)
+{ emitBranch(Op::kBgeu, r1, r2, t); }
+
+void
+ProgramBuilder::jal(unsigned rd, Label target)
+{
+    if (!target.valid() || target.id >= labelPos_.size())
+        acp_panic("jal to invalid label");
+    DecodedInst inst;
+    inst.op = Op::kJal;
+    inst.rd = std::uint8_t(rd);
+    fixups_.push_back({code_.size(), target.id});
+    emit(inst);
+}
+
+void
+ProgramBuilder::jalr(unsigned rd, unsigned rs1, std::int64_t imm)
+{
+    emit(itype(Op::kJalr, rd, rs1, imm));
+}
+
+void ProgramBuilder::fadd(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kFadd, rd, rs1, rs2)); }
+void ProgramBuilder::fsub(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kFsub, rd, rs1, rs2)); }
+void ProgramBuilder::fmul(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kFmul, rd, rs1, rs2)); }
+void ProgramBuilder::fdiv(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kFdiv, rd, rs1, rs2)); }
+void ProgramBuilder::fsqrt(unsigned rd, unsigned rs1)
+{ emit(rtype(Op::kFsqrt, rd, rs1, 0)); }
+void ProgramBuilder::fcvtld(unsigned rd, unsigned rs1)
+{ emit(rtype(Op::kFcvtLD, rd, rs1, 0)); }
+void ProgramBuilder::fcvtdl(unsigned rd, unsigned rs1)
+{ emit(rtype(Op::kFcvtDL, rd, rs1, 0)); }
+void ProgramBuilder::flt(unsigned rd, unsigned rs1, unsigned rs2)
+{ emit(rtype(Op::kFlt, rd, rs1, rs2)); }
+
+void
+ProgramBuilder::out(unsigned rs1, std::uint16_t port)
+{
+    // OUT encodes the port in the imm field; rs1 is the value source.
+    DecodedInst inst = itype(Op::kOut, 0, rs1, std::int64_t(port));
+    emit(inst);
+}
+
+void ProgramBuilder::halt()
+{
+    DecodedInst inst;
+    inst.op = Op::kHalt;
+    emit(inst);
+}
+
+void ProgramBuilder::nop()
+{
+    DecodedInst inst;
+    inst.op = Op::kNop;
+    emit(inst);
+}
+
+void
+ProgramBuilder::li(unsigned rd, std::uint64_t value)
+{
+    std::int64_t sv = std::int64_t(value);
+    if (sv >= -32768 && sv <= 32767) {
+        addi(rd, 0, sv);
+        return;
+    }
+    if (value <= 0xffffffffULL) {
+        lui(rd, (value >> 16) & 0xffff);
+        if (value & 0xffff)
+            ori(rd, rd, value & 0xffff);
+        return;
+    }
+    // General 64-bit: build 16 bits at a time, high to low.
+    ori(rd, 0, (value >> 48) & 0xffff);
+    slli(rd, rd, 16);
+    ori(rd, rd, (value >> 32) & 0xffff);
+    slli(rd, rd, 16);
+    ori(rd, rd, (value >> 16) & 0xffff);
+    slli(rd, rd, 16);
+    ori(rd, rd, value & 0xffff);
+}
+
+void
+ProgramBuilder::lid(unsigned rd, double d)
+{
+    std::uint64_t bits_value;
+    std::memcpy(&bits_value, &d, sizeof(d));
+    li(rd, bits_value);
+}
+
+void
+ProgramBuilder::addData(Addr base, std::vector<std::uint8_t> bytes)
+{
+    data_.push_back({base, std::move(bytes)});
+}
+
+void
+ProgramBuilder::addData64(Addr addr, std::uint64_t value)
+{
+    std::vector<std::uint8_t> bytes(8);
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = std::uint8_t(value >> (8 * i));
+    addData(addr, std::move(bytes));
+}
+
+Program
+ProgramBuilder::finish()
+{
+    if (finished_)
+        acp_panic("ProgramBuilder::finish called twice");
+    finished_ = true;
+
+    for (const Fixup &fixup : fixups_) {
+        std::int64_t pos = labelPos_[fixup.labelId];
+        if (pos < 0)
+            acp_fatal("program '%s': label %u never bound", name_.c_str(),
+                      fixup.labelId);
+        DecodedInst inst = pending_[fixup.wordIndex];
+        inst.imm = pos - std::int64_t(fixup.wordIndex);
+        code_[fixup.wordIndex] = encode(inst);
+    }
+
+    Program prog;
+    prog.name = name_;
+    prog.codeBase = codeBase_;
+    prog.entry = codeBase_;
+    prog.code = std::move(code_);
+    prog.data = std::move(data_);
+    return prog;
+}
+
+} // namespace acp::isa

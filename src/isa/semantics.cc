@@ -1,0 +1,170 @@
+#include "isa/semantics.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace acp::isa
+{
+
+namespace
+{
+
+double
+asDouble(std::uint64_t bits_value)
+{
+    double d;
+    std::memcpy(&d, &bits_value, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+asBits(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+} // namespace
+
+std::uint64_t
+adjustLoadValue(Op op, std::uint64_t raw)
+{
+    switch (op) {
+      case Op::kLd:
+        return raw;
+      case Op::kLw:
+        return std::uint64_t(sext(raw & 0xffffffffULL, 32));
+      case Op::kLb:
+        return std::uint64_t(sext(raw & 0xffULL, 8));
+      default:
+        acp_panic("adjustLoadValue: not a load opcode");
+    }
+}
+
+ExecResult
+execute(const DecodedInst &inst, std::uint64_t v1, std::uint64_t v2,
+        Addr pc)
+{
+    ExecResult res;
+    const std::int64_t s1 = std::int64_t(v1);
+    const std::int64_t s2 = std::int64_t(v2);
+    const std::int64_t imm = inst.imm;
+    const std::uint64_t uimm = std::uint64_t(inst.imm) & 0xffff;
+
+    switch (inst.op) {
+      case Op::kNop:
+        break;
+      case Op::kAdd:  res.value = v1 + v2; break;
+      case Op::kSub:  res.value = v1 - v2; break;
+      case Op::kAnd:  res.value = v1 & v2; break;
+      case Op::kOr:   res.value = v1 | v2; break;
+      case Op::kXor:  res.value = v1 ^ v2; break;
+      case Op::kSll:  res.value = v1 << (v2 & 63); break;
+      case Op::kSrl:  res.value = v1 >> (v2 & 63); break;
+      case Op::kSra:  res.value = std::uint64_t(s1 >> (v2 & 63)); break;
+      case Op::kSlt:  res.value = (s1 < s2) ? 1 : 0; break;
+      case Op::kSltu: res.value = (v1 < v2) ? 1 : 0; break;
+      case Op::kMul:  res.value = v1 * v2; break;
+      case Op::kDiv:
+        // Division by zero yields all-ones; INT64_MIN/-1 yields the
+        // dividend (avoids UB, mirrors a trap-free embedded core).
+        if (v2 == 0)
+            res.value = ~std::uint64_t(0);
+        else if (s1 == INT64_MIN && s2 == -1)
+            res.value = v1;
+        else
+            res.value = std::uint64_t(s1 / s2);
+        break;
+      case Op::kRem:
+        if (v2 == 0)
+            res.value = v1;
+        else if (s1 == INT64_MIN && s2 == -1)
+            res.value = 0;
+        else
+            res.value = std::uint64_t(s1 % s2);
+        break;
+      case Op::kAddi: res.value = v1 + std::uint64_t(imm); break;
+      case Op::kAndi: res.value = v1 & uimm; break;
+      case Op::kOri:  res.value = v1 | uimm; break;
+      case Op::kXori: res.value = v1 ^ uimm; break;
+      case Op::kSlli: res.value = v1 << (imm & 63); break;
+      case Op::kSrli: res.value = v1 >> (imm & 63); break;
+      case Op::kSrai: res.value = std::uint64_t(s1 >> (imm & 63)); break;
+      case Op::kSlti: res.value = (s1 < imm) ? 1 : 0; break;
+      case Op::kLui:  res.value = uimm << 16; break;
+      case Op::kLd:
+      case Op::kLw:
+      case Op::kLb:
+        res.memAddr = v1 + std::uint64_t(imm);
+        break;
+      case Op::kSd:
+      case Op::kSw:
+      case Op::kSb:
+        res.memAddr = v1 + std::uint64_t(imm);
+        res.storeValue = v2;
+        break;
+      case Op::kBeq:  res.taken = (v1 == v2); break;
+      case Op::kBne:  res.taken = (v1 != v2); break;
+      case Op::kBlt:  res.taken = (s1 < s2); break;
+      case Op::kBge:  res.taken = (s1 >= s2); break;
+      case Op::kBltu: res.taken = (v1 < v2); break;
+      case Op::kBgeu: res.taken = (v1 >= v2); break;
+      case Op::kJal:
+        res.taken = true;
+        res.value = pc + kInstrBytes;
+        res.target = inst.relTarget(pc);
+        break;
+      case Op::kJalr:
+        res.taken = true;
+        res.value = pc + kInstrBytes;
+        res.target = (v1 + std::uint64_t(imm)) & ~Addr(3);
+        break;
+      case Op::kFadd: res.value = asBits(asDouble(v1) + asDouble(v2)); break;
+      case Op::kFsub: res.value = asBits(asDouble(v1) - asDouble(v2)); break;
+      case Op::kFmul: res.value = asBits(asDouble(v1) * asDouble(v2)); break;
+      case Op::kFdiv: res.value = asBits(asDouble(v1) / asDouble(v2)); break;
+      case Op::kFsqrt:
+        res.value = asBits(std::sqrt(asDouble(v1)));
+        break;
+      case Op::kFcvtLD: // long -> double
+        res.value = asBits(double(s1));
+        break;
+      case Op::kFcvtDL: { // double -> long (saturating, NaN -> 0)
+        double d = asDouble(v1);
+        if (std::isnan(d))
+            res.value = 0;
+        else if (d >= 9.2233720368547758e18)
+            res.value = std::uint64_t(INT64_MAX);
+        else if (d <= -9.2233720368547758e18)
+            res.value = std::uint64_t(INT64_MIN);
+        else
+            res.value = std::uint64_t(std::int64_t(d));
+        break;
+      }
+      case Op::kFlt:
+        res.value = (asDouble(v1) < asDouble(v2)) ? 1 : 0;
+        break;
+      case Op::kOut:
+        res.isOut = true;
+        res.outPort = std::uint64_t(imm) & 0xffff;
+        res.value = 0;
+        res.storeValue = v1;
+        break;
+      case Op::kHalt:
+        res.halted = true;
+        break;
+      default:
+        acp_panic("execute: unhandled opcode %u", unsigned(inst.op));
+    }
+
+    if (inst.isBranch() && res.taken)
+        res.target = inst.relTarget(pc);
+
+    return res;
+}
+
+} // namespace acp::isa

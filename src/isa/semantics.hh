@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Architectural execution semantics of the mini-ISA, shared by the
+ * functional executor and the out-of-order core (so the two can be
+ * co-simulated against each other as a correctness check).
+ *
+ * Immediate conventions: arithmetic immediates (addi/slti) and memory
+ * offsets are sign-extended; logical immediates (andi/ori/xori) are
+ * zero-extended; lui places the zero-extended imm16 into bits [31:16].
+ */
+
+#ifndef ACP_ISA_SEMANTICS_HH
+#define ACP_ISA_SEMANTICS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace acp::isa
+{
+
+/** Outcome of executing one instruction (memory access not performed). */
+struct ExecResult
+{
+    /** Value to write to destReg() (link address for jumps). */
+    std::uint64_t value = 0;
+    /** For control transfers: whether the branch is taken. */
+    bool taken = false;
+    /** Target address when taken (also set for jumps). */
+    Addr target = 0;
+    /** Effective address for loads/stores. */
+    Addr memAddr = 0;
+    /** Data to be stored for store ops. */
+    std::uint64_t storeValue = 0;
+    /** kHalt executed. */
+    bool halted = false;
+    /** kOut executed: value sent to the I/O port given by imm. */
+    bool isOut = false;
+    std::uint64_t outPort = 0;
+};
+
+/**
+ * Execute @p inst architecturally.
+ * @param v1 value of inst.srcReg1()
+ * @param v2 value of inst.srcReg2()
+ * @param pc address of the instruction
+ *
+ * Loads produce memAddr; the caller performs the access and writes the
+ * (sign-extended per access size) result to destReg(). Stores produce
+ * memAddr/storeValue for the caller to apply.
+ */
+ExecResult execute(const DecodedInst &inst, std::uint64_t v1,
+                   std::uint64_t v2, Addr pc);
+
+/** Sign/zero-adjust a raw little-endian loaded value per opcode. */
+std::uint64_t adjustLoadValue(Op op, std::uint64_t raw);
+
+} // namespace acp::isa
+
+#endif // ACP_ISA_SEMANTICS_HH

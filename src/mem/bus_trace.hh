@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Front-side-bus address trace: the *side channel*. Every address that
+ * is granted a bus cycle is visible in plaintext to a physical
+ * adversary (paper Section 3). The security monitor inspects this
+ * trace to decide whether an exploit leaked a secret before the
+ * authentication exception fired.
+ */
+
+#ifndef ACP_MEM_BUS_TRACE_HH
+#define ACP_MEM_BUS_TRACE_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acp::mem
+{
+
+/** Kind of bus transaction observed by the adversary. */
+enum class BusTxnKind
+{
+    kInstrFetch,
+    kDataFetch,
+    kWriteback,
+    kCounterFetch,
+    kTreeNodeFetch,
+    kRemapFetch,
+    kIoOut, // value written to an output port (addr field holds value)
+};
+
+/** One observed transaction. */
+struct BusTxn
+{
+    Cycle cycle = 0;
+    Addr addr = 0;
+    BusTxnKind kind = BusTxnKind::kDataFetch;
+};
+
+/**
+ * Trace recorder. Disabled (zero-cost) by default for performance
+ * runs; attack examples enable capture.
+ */
+class BusTrace
+{
+  public:
+    void enable(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    void
+    record(Cycle cycle, Addr addr, BusTxnKind kind)
+    {
+        if (enabled_)
+            txns_.push_back({cycle, addr, kind});
+    }
+
+    void clear() { txns_.clear(); }
+    const std::vector<BusTxn> &txns() const { return txns_; }
+
+    /** True if any recorded transaction satisfies @p pred. */
+    bool
+    any(const std::function<bool(const BusTxn &)> &pred) const
+    {
+        for (const BusTxn &txn : txns_)
+            if (pred(txn))
+                return true;
+        return false;
+    }
+
+  private:
+    bool enabled_ = false;
+    std::vector<BusTxn> txns_;
+};
+
+} // namespace acp::mem
+
+#endif // ACP_MEM_BUS_TRACE_HH

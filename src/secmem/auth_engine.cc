@@ -1,0 +1,100 @@
+#include "secmem/auth_engine.hh"
+#include <algorithm>
+
+namespace acp::secmem
+{
+
+namespace
+{
+/** Completion history kept before pruning (old entries read as 0). */
+constexpr std::size_t kHistoryWindow = 1 << 16;
+} // namespace
+
+AuthEngine::AuthEngine(unsigned latency, unsigned occupancy)
+    : latency_(latency), occupancy_(occupancy), stats_("auth")
+{
+    stats_.addCounter("requests", &requests_);
+    stats_.addCounter("failures", &failures_);
+    stats_.addAverage("queue_delay", &queueDelay_);
+    stats_.addAverage("verify_latency", &verifyLatency_);
+}
+
+AuthSeq
+AuthEngine::post(Cycle ready_at, Cycle extra_latency, bool mac_ok)
+{
+    ++requests_;
+    Cycle start = ready_at > engineFreeAt_ ? ready_at : engineFreeAt_;
+    Cycle done = start + latency_ + extra_latency;
+    engineFreeAt_ = start + occupancy_ + extra_latency;
+
+    queueDelay_.sample(double(start - ready_at));
+    verifyLatency_.sample(double(done - ready_at));
+
+    ++lastRequest_;
+    doneCycles_.push_back(done);
+    Cycle arrival = ready_at;
+    if (!arrivals_.empty() && arrivals_.back() > arrival)
+        arrival = arrivals_.back(); // monotonicize for binary search
+    arrivals_.push_back(arrival);
+    failed_.push_back(!mac_ok);
+    prune();
+
+    if (!mac_ok) {
+        ++failures_;
+        if (firstFailedSeq_ == kNoAuthSeq) {
+            firstFailedSeq_ = lastRequest_;
+            firstFailureCycle_ = done;
+        }
+    }
+    return lastRequest_;
+}
+
+Cycle
+AuthEngine::doneCycle(AuthSeq seq) const
+{
+    if (seq == kNoAuthSeq || seq < baseSeq_)
+        return 0;
+    if (seq > lastRequest_)
+        acp_panic("doneCycle query for future request %llu (last %llu)",
+                  (unsigned long long)seq,
+                  (unsigned long long)lastRequest_);
+    return doneCycles_[seq - baseSeq_];
+}
+
+AuthSeq
+AuthEngine::lastArrivedBy(Cycle cycle) const
+{
+    // arrivals_ is nondecreasing: binary search for the last entry
+    // with arrival <= cycle.
+    auto it = std::upper_bound(arrivals_.begin(), arrivals_.end(), cycle);
+    if (it == arrivals_.begin())
+        return baseSeq_ > 1 ? baseSeq_ - 1 : kNoAuthSeq;
+    return baseSeq_ + AuthSeq(it - arrivals_.begin()) - 1;
+}
+
+bool
+AuthEngine::requestFailed(AuthSeq seq) const
+{
+    if (seq == kNoAuthSeq || seq < baseSeq_ || seq > lastRequest_)
+        return false;
+    return failed_[seq - baseSeq_];
+}
+
+void
+AuthEngine::prune()
+{
+    while (doneCycles_.size() > kHistoryWindow) {
+        doneCycles_.pop_front();
+        arrivals_.pop_front();
+        failed_.pop_front();
+        ++baseSeq_;
+    }
+}
+
+void
+AuthEngine::resetTiming()
+{
+    engineFreeAt_ = 0;
+}
+
+} // namespace acp::secmem

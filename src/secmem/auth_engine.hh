@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Authentication queue and verification engine (paper Section 4.1).
+ *
+ * Every fetched line posts a request to the queue; the engine verifies
+ * requests strictly in order and broadcasts completion. The index of
+ * the most recent request is the *LastRequest register*; pipeline
+ * gates compare an instruction's recorded tag against the verified
+ * watermark. Because completion is in order, "request @c seq verified"
+ * implies all earlier requests are verified too — the property the
+ * paper's tag mechanism relies on.
+ */
+
+#ifndef ACP_SECMEM_AUTH_ENGINE_HH
+#define ACP_SECMEM_AUTH_ENGINE_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acp::secmem
+{
+
+/** Serial (optionally pipelined) MAC verification engine. */
+class AuthEngine
+{
+  public:
+    /**
+     * @param latency cycles from data-ready to verdict for one request
+     * @param occupancy cycles the engine is busy per request (equal to
+     *        latency for a serial engine; smaller when pipelined)
+     */
+    AuthEngine(unsigned latency, unsigned occupancy);
+
+    /**
+     * Post a verification request.
+     * @param ready_at cycle the decrypted line and its MAC are on-chip
+     * @param extra_latency additional per-request cycles (hash-tree
+     *        path verification beyond the base MAC check)
+     * @param mac_ok functional verdict (false == tampered line)
+     * @return the request's sequence number (new LastRequest value)
+     */
+    AuthSeq post(Cycle ready_at, Cycle extra_latency, bool mac_ok);
+
+    /** Value of the LastRequest register (0 before any request). */
+    AuthSeq lastRequest() const { return lastRequest_; }
+
+    /**
+     * The LastRequest value as *architecturally visible* at @p cycle:
+     * the most recent request whose data had arrived on-chip (and was
+     * therefore enqueued) by then. The timing oracle posts requests at
+     * fetch initiation, but outstanding fetches are not yet in the
+     * queue — the paper is explicit that they have no latency impact
+     * on a new gated fetch (Section 4.2.4).
+     */
+    AuthSeq lastArrivedBy(Cycle cycle) const;
+
+    /**
+     * Cycle at which request @p seq completes verification.
+     * seq == kNoAuthSeq (or an anciently pruned seq) returns 0,
+     * meaning "verified in the distant past".
+     */
+    Cycle doneCycle(AuthSeq seq) const;
+
+    /** True once @p seq has completed by cycle @p now. */
+    bool
+    verifiedBy(AuthSeq seq, Cycle now) const
+    {
+        return doneCycle(seq) <= now;
+    }
+
+    /** Whether any posted request had a failing MAC. */
+    bool anyFailure() const { return firstFailedSeq_ != kNoAuthSeq; }
+    /** Whether request @p seq itself failed verification (precise
+     *  per-line taint source for the empirical Table-2 counters). */
+    bool requestFailed(AuthSeq seq) const;
+    /** First failing request (kNoAuthSeq when none). */
+    AuthSeq firstFailedSeq() const { return firstFailedSeq_; }
+    /** Completion cycle of the first failing request. */
+    Cycle firstFailureCycle() const { return firstFailureCycle_; }
+
+    /** Cycle the engine frees up (for occupancy/backlog analysis). */
+    Cycle engineFreeAt() const { return engineFreeAt_; }
+
+    /** Drop timing state; sequence numbers keep increasing. */
+    void resetTiming();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void prune();
+
+    unsigned latency_;
+    unsigned occupancy_;
+    AuthSeq lastRequest_ = 0;
+    Cycle engineFreeAt_ = 0;
+
+    /** doneCycles_[i] is completion of request baseSeq_ + i. */
+    AuthSeq baseSeq_ = 1;
+    std::deque<Cycle> doneCycles_;
+    /** Monotonic running max of data-arrival cycles (same indexing). */
+    std::deque<Cycle> arrivals_;
+    /** Per-request functional verdict (same indexing). */
+    std::deque<bool> failed_;
+
+    AuthSeq firstFailedSeq_ = kNoAuthSeq;
+    Cycle firstFailureCycle_ = 0;
+
+    StatGroup stats_;
+    StatCounter requests_;
+    StatCounter failures_;
+    StatAverage queueDelay_;
+    StatAverage verifyLatency_;
+};
+
+} // namespace acp::secmem
+
+#endif // ACP_SECMEM_AUTH_ENGINE_HH

@@ -1,0 +1,132 @@
+#include "secmem/external_memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace acp::secmem
+{
+
+namespace
+{
+
+/** Derive a 16-byte key from a seed and a domain label. */
+std::array<std::uint8_t, 16>
+deriveKey(std::uint64_t seed, std::uint8_t domain)
+{
+    std::array<std::uint8_t, 16> key{};
+    // splitmix-style whitening; functional keys need no real KDF here.
+    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (domain + 1));
+    for (int i = 0; i < 2; ++i) {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        std::memcpy(key.data() + 8 * i, &x, 8);
+        x += 0x9e3779b97f4a7c15ULL;
+    }
+    return key;
+}
+
+} // namespace
+
+ExternalMemory::ExternalMemory(std::uint64_t master_seed)
+    : ctr_(deriveKey(master_seed, 0).data(), 16),
+      mac_(deriveKey(master_seed, 1).data(), 16), stats_("extmem")
+{
+    stats_.addCounter("fetches", &fetches_);
+    stats_.addCounter("stores", &stores_);
+    stats_.addCounter("mac_failures", &macFailures_);
+    stats_.addCounter("tamper_events", &tamperEvents_);
+}
+
+ExternalMemory::LineRec &
+ExternalMemory::materialize(Addr line_addr)
+{
+    auto it = lines_.find(line_addr);
+    if (it != lines_.end())
+        return it->second;
+
+    // Lazily create the line: all-zero plaintext, counter 0.
+    LineRec rec;
+    std::uint8_t zeros[kExtLineBytes] = {0};
+    ctr_.transcode(line_addr, 0, zeros, rec.cipher.data(), kExtLineBytes);
+    rec.counter = 0;
+    rec.mac = mac_.compute(line_addr, 0, zeros, kExtLineBytes);
+    return lines_.emplace(line_addr, rec).first->second;
+}
+
+FetchedLine
+ExternalMemory::fetchLine(Addr line_addr)
+{
+    line_addr = align(line_addr);
+    ++fetches_;
+    LineRec &rec = materialize(line_addr);
+
+    FetchedLine out;
+    out.counter = rec.counter;
+    ctr_.transcode(line_addr, rec.counter, rec.cipher.data(),
+                   out.plain.data(), kExtLineBytes);
+    std::uint64_t mac = mac_.compute(line_addr, rec.counter,
+                                     out.plain.data(), kExtLineBytes);
+    out.macOk = (mac == rec.mac);
+    if (!out.macOk)
+        ++macFailures_;
+    return out;
+}
+
+void
+ExternalMemory::storeLine(Addr line_addr, const std::uint8_t *plain)
+{
+    line_addr = align(line_addr);
+    ++stores_;
+    LineRec &rec = materialize(line_addr);
+    ++rec.counter; // new version: fresh pad, replay protection
+    ctr_.transcode(line_addr, rec.counter, plain, rec.cipher.data(),
+                   kExtLineBytes);
+    rec.mac = mac_.compute(line_addr, rec.counter, plain, kExtLineBytes);
+}
+
+void
+ExternalMemory::provisionLine(Addr line_addr, const std::uint8_t *plain)
+{
+    line_addr = align(line_addr);
+    LineRec &rec = materialize(line_addr);
+    ctr_.transcode(line_addr, rec.counter, plain, rec.cipher.data(),
+                   kExtLineBytes);
+    rec.mac = mac_.compute(line_addr, rec.counter, plain, kExtLineBytes);
+}
+
+std::uint64_t
+ExternalMemory::counterOf(Addr line_addr) const
+{
+    auto it = lines_.find(align(line_addr));
+    return it == lines_.end() ? 0 : it->second.counter;
+}
+
+void
+ExternalMemory::tamper(Addr addr, const std::uint8_t *mask,
+                       std::size_t mask_len)
+{
+    ++tamperEvents_;
+    for (std::size_t i = 0; i < mask_len; ++i) {
+        Addr byte_addr = addr + i;
+        LineRec &rec = materialize(align(byte_addr));
+        rec.cipher[byte_addr - align(byte_addr)] ^= mask[i];
+    }
+}
+
+std::vector<std::uint8_t>
+ExternalMemory::readCiphertext(Addr addr, std::size_t len)
+{
+    std::vector<std::uint8_t> out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        Addr byte_addr = addr + i;
+        LineRec &rec = materialize(align(byte_addr));
+        out[i] = rec.cipher[byte_addr - align(byte_addr)];
+    }
+    return out;
+}
+
+} // namespace acp::secmem

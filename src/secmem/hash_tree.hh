@@ -1,0 +1,119 @@
+/**
+ * @file
+ * CHTree-style m-ary integrity tree (paper Section 5.2.3, Fig. 12/13)
+ * protecting the per-line write counters against replay. Leaves are
+ * the 8-byte line counters, grouped 8 per 64-byte node; each internal
+ * node stores the hash of its child group. Verified nodes are cached
+ * in a dedicated on-chip node cache: a cached node is trusted, so a
+ * verification walk stops at the first cache hit (or the on-chip
+ * root). Internal-node checks proceed concurrently where possible, as
+ * in the paper's implementation.
+ *
+ * Functional substitution (documented in DESIGN.md): the paper's
+ * CHTree hashes data lines with SHA-1; we protect counters with a
+ * keyed 64-bit mixing hash. Tamper/replay detection behaviour and the
+ * timing structure (node fetches + per-level hash latency) are
+ * preserved; the per-line data MAC remains a real truncated
+ * HMAC-SHA256.
+ */
+
+#ifndef ACP_SECMEM_HASH_TREE_HH
+#define ACP_SECMEM_HASH_TREE_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace acp::secmem
+{
+
+class ExternalMemory;
+
+/** Timing outcome of a tree operation. */
+struct TreeTiming
+{
+    /** Cycle the walk's verdict is available. */
+    Cycle readyAt = 0;
+    /** Levels hashed during the walk. */
+    unsigned levelsHashed = 0;
+    /** Node fetches issued to external memory. */
+    unsigned nodeFetches = 0;
+    /** Functional verdict (false == replayed/tampered counter). */
+    bool ok = true;
+};
+
+/**
+ * Memory-access callback supplied by the secure memory controller:
+ * (node address, request cycle, is_write) -> completion cycle.
+ * Node fetches issued by the trusted engine are exempt from the
+ * authen-then-fetch gate (see DESIGN.md).
+ */
+using TreeMemAccess = std::function<Cycle(Addr, Cycle, bool)>;
+
+/** The integrity tree with its dedicated node cache. */
+class HashTree
+{
+  public:
+    HashTree(const sim::SimConfig &cfg, const ExternalMemory &ext);
+
+    /** Arity (children per node): line bytes / 8-byte entries. */
+    static constexpr unsigned kArity = 8;
+
+    /**
+     * Verify the counter of @p line_addr against the tree: walk up
+     * from the leaf group to the first trusted (cached) node.
+     */
+    TreeTiming verify(Addr line_addr, Cycle start,
+                      const TreeMemAccess &mem);
+
+    /**
+     * Update the tree after a counter bump (line writeback): refresh
+     * functional hashes up to the root and dirty the leaf-group node
+     * in the cache (fetching it first on a miss).
+     */
+    TreeTiming update(Addr line_addr, Cycle start, const TreeMemAccess &mem);
+
+    /** Number of levels above the leaves (root excluded from memory). */
+    unsigned levels() const { return levels_; }
+
+    cache::Cache &nodeCache() { return nodeCache_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    std::uint64_t key(unsigned level, std::uint64_t index) const;
+    std::uint64_t nodeHash(unsigned level, std::uint64_t index) const;
+    std::uint64_t computeNodeHash(unsigned level, std::uint64_t index) const;
+    Addr nodeAddr(unsigned level, std::uint64_t index) const;
+
+    const sim::SimConfig &cfg_;
+    const ExternalMemory &ext_;
+    cache::Cache nodeCache_;
+    unsigned levels_;
+    std::uint64_t leafGroups_;
+    /** Region base for tree nodes in the external address space. */
+    Addr treeBase_;
+    /** Per-level index offsets into the tree region. */
+    std::vector<std::uint64_t> levelBase_;
+    /** Default (all-zero-counter) hash per level. */
+    std::vector<std::uint64_t> defaultHash_;
+    /** Materialized node hashes (keyed (level, index)). */
+    std::unordered_map<std::uint64_t, std::uint64_t> hashes_;
+    std::uint64_t hashKey_;
+
+    StatGroup stats_;
+    StatCounter verifies_;
+    StatCounter updates_;
+    StatCounter nodeFetches_;
+    StatCounter nodeWritebacks_;
+    StatCounter mismatches_;
+    StatAverage walkLevels_;
+};
+
+} // namespace acp::secmem
+
+#endif // ACP_SECMEM_HASH_TREE_HH

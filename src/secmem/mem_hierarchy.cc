@@ -1,0 +1,426 @@
+#include "secmem/mem_hierarchy.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "core/auth_policy.hh"
+
+namespace acp::secmem
+{
+
+MemHierarchy::MemHierarchy(const sim::SimConfig &cfg)
+    : cfg_(cfg), ctrl_(cfg, cfg.rngSeed), l1i_("l1i", cfg.l1i),
+      l1d_("l1d", cfg.l1d), l2_("l2", cfg.l2),
+      itlb_("itlb", cfg.tlbEntries, cfg.tlbAssoc, cfg.pageBytes,
+            cfg.tlbMissPenalty),
+      dtlb_("dtlb", cfg.tlbEntries, cfg.tlbAssoc, cfg.pageBytes,
+            cfg.tlbMissPenalty),
+      stats_("hier")
+{
+    if (!isPowerOfTwo(cfg.memoryBytes))
+        acp_fatal("memory size must be a power of two");
+    if (cfg.l2.lineBytes != kExtLineBytes)
+        acp_fatal("L2 line size must match external line size (%u)",
+                  kExtLineBytes);
+    if (cfg.l1d.lineBytes > cfg.l2.lineBytes ||
+        cfg.l1i.lineBytes > cfg.l2.lineBytes)
+        acp_fatal("L1 lines must not exceed the L2 line size");
+
+    stats_.addCounter("translation_faults", &faults_);
+    stats_.addCounter("cross_line_accesses", &crossLineAccesses_);
+}
+
+Addr
+MemHierarchy::translate(Addr addr)
+{
+    if (addr >= cfg_.memoryBytes) {
+        ++faults_;
+        addr &= (cfg_.memoryBytes - 1);
+    }
+    return addr;
+}
+
+void
+MemHierarchy::handleL2Eviction(cache::Eviction &evicted, Cycle cycle,
+                               bool warm)
+{
+    if (!evicted.valid)
+        return;
+
+    // Back-invalidate L1 copies (inclusive hierarchy), merging dirty
+    // sublines into the outgoing data.
+    for (cache::Cache *l1 : {&l1i_, &l1d_}) {
+        for (Addr sub = evicted.addr;
+             sub < evicted.addr + l2_.lineBytes(); sub += l1->lineBytes()) {
+            cache::Eviction sub_ev;
+            if (l1->invalidate(sub, &sub_ev) && sub_ev.dirty) {
+                std::memcpy(evicted.data.data() + (sub - evicted.addr),
+                            sub_ev.data.data(), l1->lineBytes());
+                evicted.dirty = true;
+            }
+        }
+    }
+
+    if (evicted.dirty)
+        ctrl_.writebackLine(evicted.addr, evicted.data.data(), cycle, warm);
+}
+
+MemHierarchy::LineRef
+MemHierarchy::ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
+                       mem::BusTxnKind kind)
+{
+    LineRef ref;
+    cache::CacheLine *line = l2_.lookup(line_addr);
+    Cycle lookup_done = cycle + l2_.hitLatency();
+    if (line != nullptr) {
+        ref.line = line;
+        ref.ready = lookup_done > line->usableAt ? lookup_done
+                                                 : line->usableAt;
+        ref.authSeq = line->authSeq;
+        return ref;
+    }
+
+    LineFill fill = ctrl_.fetchLine(line_addr, lookup_done, gate_tag, kind);
+
+    cache::Eviction evicted;
+    line = l2_.allocate(line_addr, &evicted);
+    handleL2Eviction(evicted, lookup_done, false);
+
+    std::memcpy(line->data.data(), fill.data.data(), kExtLineBytes);
+    line->usableAt = core::gatesIssue(cfg_.policy) ? fill.verifyDone
+                                                   : fill.dataReady;
+    // Under authen-then-issue a line that fails verification never
+    // becomes usable: the exception fires before any consumer runs.
+    if (core::gatesIssue(cfg_.policy) && !fill.macOk)
+        line->usableAt = kCycleNever;
+    line->authSeq = fill.authSeq;
+
+    ref.line = line;
+    ref.ready = line->usableAt;
+    ref.authSeq = line->authSeq;
+    return ref;
+}
+
+MemHierarchy::LineRef
+MemHierarchy::ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
+                       AuthSeq gate_tag, bool is_instr)
+{
+    LineRef ref;
+    cache::CacheLine *line = l1.lookup(line_addr);
+    Cycle lookup_done = cycle + l1.hitLatency();
+    if (line != nullptr) {
+        ref.line = line;
+        ref.ready = lookup_done > line->usableAt ? lookup_done
+                                                 : line->usableAt;
+        ref.authSeq = line->authSeq;
+        return ref;
+    }
+
+    Addr l2_line = l2_.lineAlign(line_addr);
+    LineRef l2ref = ensureL2(l2_line, lookup_done, gate_tag,
+                             is_instr ? mem::BusTxnKind::kInstrFetch
+                                      : mem::BusTxnKind::kDataFetch);
+
+    cache::Eviction evicted;
+    line = l1.allocate(line_addr, &evicted);
+    if (evicted.valid && evicted.dirty) {
+        // Inclusive hierarchy: the parent line must still be in L2.
+        cache::CacheLine *parent = l2_.lookup(l2_.lineAlign(evicted.addr),
+                                              /*touch=*/false);
+        if (parent == nullptr)
+            acp_panic("inclusion violated: dirty L1 victim 0x%llx not in L2",
+                      (unsigned long long)evicted.addr);
+        std::memcpy(parent->data.data() +
+                        (evicted.addr & (l2_.lineBytes() - 1)),
+                    evicted.data.data(), l1.lineBytes());
+        parent->dirty = true;
+    }
+
+    std::memcpy(line->data.data(),
+                l2ref.line->data.data() + (line_addr & (l2_.lineBytes() - 1)),
+                l1.lineBytes());
+    line->usableAt = l2ref.ready;
+    line->authSeq = l2ref.authSeq;
+
+    ref.line = line;
+    ref.ready = l2ref.ready;
+    ref.authSeq = l2ref.authSeq;
+    return ref;
+}
+
+MemAccess
+MemHierarchy::readTimed(Addr addr, unsigned bytes, Cycle cycle,
+                        AuthSeq gate_tag, std::uint64_t &value)
+{
+    addr = translate(addr);
+    cycle += dtlb_.access(addr);
+
+    MemAccess out;
+    value = 0;
+    unsigned done = 0;
+    while (done < bytes) {
+        Addr byte_addr = translate(addr + done);
+        Addr line_addr = l1d_.lineAlign(byte_addr);
+        unsigned in_line = unsigned(
+            std::min<std::uint64_t>(bytes - done,
+                                    line_addr + l1d_.lineBytes() -
+                                        byte_addr));
+        if (done == 0 && in_line < bytes)
+            ++crossLineAccesses_;
+
+        LineRef ref = ensureL1(l1d_, line_addr, cycle, gate_tag, false);
+        for (unsigned i = 0; i < in_line; ++i) {
+            value |= std::uint64_t(
+                         ref.line->data[byte_addr - line_addr + i])
+                     << (8 * (done + i));
+        }
+        if (ref.ready > out.ready)
+            out.ready = ref.ready;
+        if (ref.authSeq > out.authSeq)
+            out.authSeq = ref.authSeq;
+        done += in_line;
+    }
+    return out;
+}
+
+MemAccess
+MemHierarchy::writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
+                         Cycle cycle, AuthSeq gate_tag)
+{
+    addr = translate(addr);
+    cycle += dtlb_.access(addr);
+
+    MemAccess out;
+    unsigned done = 0;
+    while (done < bytes) {
+        Addr byte_addr = translate(addr + done);
+        Addr line_addr = l1d_.lineAlign(byte_addr);
+        unsigned in_line = unsigned(
+            std::min<std::uint64_t>(bytes - done,
+                                    line_addr + l1d_.lineBytes() -
+                                        byte_addr));
+
+        LineRef ref = ensureL1(l1d_, line_addr, cycle, gate_tag, false);
+        for (unsigned i = 0; i < in_line; ++i) {
+            ref.line->data[byte_addr - line_addr + i] =
+                std::uint8_t(value >> (8 * (done + i)));
+        }
+        ref.line->dirty = true;
+        if (ref.ready > out.ready)
+            out.ready = ref.ready;
+        if (ref.authSeq > out.authSeq)
+            out.authSeq = ref.authSeq;
+        done += in_line;
+    }
+    return out;
+}
+
+MemAccess
+MemHierarchy::fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
+                         std::uint32_t &word)
+{
+    pc = translate(pc);
+    cycle += itlb_.access(pc);
+
+    Addr line_addr = l1i_.lineAlign(pc);
+    LineRef ref = ensureL1(l1i_, line_addr, cycle, gate_tag, true);
+
+    word = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        word |= std::uint32_t(ref.line->data[pc - line_addr + i]) << (8 * i);
+
+    MemAccess out;
+    out.ready = ref.ready;
+    out.authSeq = ref.authSeq;
+    return out;
+}
+
+cache::CacheLine *
+MemHierarchy::funcEnsureL2(Addr line_addr, bool warm_tags)
+{
+    cache::CacheLine *line = l2_.lookup(line_addr, /*touch=*/warm_tags);
+    if (line != nullptr)
+        return line;
+    if (!warm_tags)
+        return nullptr;
+
+    LineFill fill = ctrl_.fetchLine(line_addr, 0, kNoAuthSeq,
+                                    mem::BusTxnKind::kDataFetch,
+                                    /*warm=*/true);
+    cache::Eviction evicted;
+    line = l2_.allocate(line_addr, &evicted);
+    handleL2Eviction(evicted, 0, /*warm=*/true);
+    std::memcpy(line->data.data(), fill.data.data(), kExtLineBytes);
+    return line;
+}
+
+cache::CacheLine *
+MemHierarchy::funcEnsureL1(cache::Cache &l1, Addr line_addr, bool warm_tags,
+                           bool is_instr)
+{
+    (void)is_instr;
+    cache::CacheLine *line = l1.lookup(line_addr, /*touch=*/warm_tags);
+    if (line != nullptr)
+        return line;
+    if (!warm_tags)
+        return nullptr;
+
+    cache::CacheLine *l2line = funcEnsureL2(l2_.lineAlign(line_addr),
+                                            warm_tags);
+    cache::Eviction evicted;
+    line = l1.allocate(line_addr, &evicted);
+    if (evicted.valid && evicted.dirty) {
+        cache::CacheLine *parent = l2_.lookup(l2_.lineAlign(evicted.addr),
+                                              /*touch=*/false);
+        if (parent == nullptr)
+            acp_panic("inclusion violated during warm access");
+        std::memcpy(parent->data.data() +
+                        (evicted.addr & (l2_.lineBytes() - 1)),
+                    evicted.data.data(), l1.lineBytes());
+        parent->dirty = true;
+    }
+    std::memcpy(line->data.data(),
+                l2line->data.data() + (line_addr & (l2_.lineBytes() - 1)),
+                l1.lineBytes());
+    return line;
+}
+
+std::uint64_t
+MemHierarchy::funcRead(Addr addr, unsigned bytes, bool warm_tags)
+{
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        Addr byte_addr = translate(addr + i);
+        std::uint8_t byte_val;
+        Addr l1_line = l1d_.lineAlign(byte_addr);
+        cache::CacheLine *line = funcEnsureL1(l1d_, l1_line, warm_tags,
+                                              false);
+        if (line != nullptr) {
+            byte_val = line->data[byte_addr - l1_line];
+        } else {
+            Addr l2_line = l2_.lineAlign(byte_addr);
+            cache::CacheLine *l2line = l2_.lookup(l2_line, false);
+            if (l2line != nullptr) {
+                byte_val = l2line->data[byte_addr - l2_line];
+            } else {
+                FetchedLine f = ctrl_.externalMemory().fetchLine(l2_line);
+                byte_val = f.plain[byte_addr - l2_line];
+            }
+        }
+        value |= std::uint64_t(byte_val) << (8 * i);
+    }
+    if (warm_tags)
+        dtlb_.access(translate(addr));
+    return value;
+}
+
+void
+MemHierarchy::funcWrite(Addr addr, unsigned bytes, std::uint64_t value,
+                        bool warm_tags)
+{
+    for (unsigned i = 0; i < bytes; ++i) {
+        Addr byte_addr = translate(addr + i);
+        std::uint8_t byte_val = std::uint8_t(value >> (8 * i));
+        Addr l1_line = l1d_.lineAlign(byte_addr);
+        // Writes always allocate so the dirty byte has a home.
+        cache::CacheLine *line = funcEnsureL1(l1d_, l1_line, true, false);
+        line->data[byte_addr - l1_line] = byte_val;
+        line->dirty = true;
+    }
+    if (warm_tags)
+        dtlb_.access(translate(addr));
+}
+
+std::uint32_t
+MemHierarchy::funcFetch(Addr pc, bool warm_tags)
+{
+    pc = translate(pc);
+    Addr line_addr = l1i_.lineAlign(pc);
+    std::uint32_t word = 0;
+    cache::CacheLine *line = funcEnsureL1(l1i_, line_addr, warm_tags, true);
+    if (line != nullptr) {
+        for (unsigned i = 0; i < 4; ++i)
+            word |= std::uint32_t(line->data[pc - line_addr + i]) << (8 * i);
+    } else {
+        Addr l2_line = l2_.lineAlign(pc);
+        cache::CacheLine *l2line = l2_.lookup(l2_line, false);
+        if (l2line != nullptr) {
+            for (unsigned i = 0; i < 4; ++i)
+                word |= std::uint32_t(l2line->data[pc - l2_line + i])
+                        << (8 * i);
+        } else {
+            FetchedLine f = ctrl_.externalMemory().fetchLine(l2_line);
+            for (unsigned i = 0; i < 4; ++i)
+                word |= std::uint32_t(f.plain[pc - l2_line + i]) << (8 * i);
+        }
+    }
+    if (warm_tags)
+        itlb_.access(pc);
+    return word;
+}
+
+void
+MemHierarchy::loadProgram(const isa::Program &prog)
+{
+    auto provision = [this](Addr base, const std::uint8_t *bytes,
+                            std::size_t len) {
+        std::size_t done = 0;
+        while (done < len) {
+            Addr byte_addr = base + done;
+            Addr line_addr = byte_addr & ~Addr(kExtLineBytes - 1);
+            std::size_t in_line =
+                std::min<std::size_t>(len - done,
+                                      line_addr + kExtLineBytes - byte_addr);
+            FetchedLine cur = ctrl_.externalMemory().fetchLine(line_addr);
+            std::memcpy(cur.plain.data() + (byte_addr - line_addr),
+                        bytes + done, in_line);
+            ctrl_.externalMemory().provisionLine(line_addr,
+                                                 cur.plain.data());
+            done += in_line;
+        }
+    };
+
+    std::vector<std::uint8_t> code_bytes(prog.code.size() * 4);
+    for (std::size_t i = 0; i < prog.code.size(); ++i)
+        for (unsigned b = 0; b < 4; ++b)
+            code_bytes[4 * i + b] = std::uint8_t(prog.code[i] >> (8 * b));
+    provision(prog.codeBase, code_bytes.data(), code_bytes.size());
+
+    for (const isa::DataSegment &seg : prog.data)
+        provision(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+void
+MemHierarchy::flushCaches()
+{
+    // Merge dirty L1 lines into L2, then push dirty L2 lines out.
+    for (cache::Cache *l1 : {&l1d_, &l1i_}) {
+        std::vector<std::pair<Addr, std::vector<std::uint8_t>>> dirty;
+        l1->forEachLineAddr([&](Addr addr, cache::CacheLine &line) {
+            if (line.dirty)
+                dirty.emplace_back(addr, line.data);
+        });
+        for (auto &[addr, data] : dirty) {
+            cache::CacheLine *parent = l2_.lookup(l2_.lineAlign(addr),
+                                                  false);
+            if (parent == nullptr)
+                acp_panic("inclusion violated in flush");
+            std::memcpy(parent->data.data() + (addr & (l2_.lineBytes() - 1)),
+                        data.data(), l1->lineBytes());
+            parent->dirty = true;
+        }
+        l1->flushAll();
+    }
+
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> l2_dirty;
+    l2_.forEachLineAddr([&](Addr addr, cache::CacheLine &line) {
+        if (line.dirty)
+            l2_dirty.emplace_back(addr, line.data);
+    });
+    for (auto &[addr, data] : l2_dirty)
+        ctrl_.writebackLine(addr, data.data(), 0, /*warm=*/true);
+    l2_.flushAll();
+}
+
+} // namespace acp::secmem

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Full memory hierarchy of the secure processor: split L1 I/D caches,
+ * unified write-back L2, TLBs, and the secure memory controller at the
+ * L2/external boundary. On-chip lines hold plaintext; external memory
+ * holds ciphertext (paper Section 2).
+ *
+ * The hierarchy is a latency oracle in the SimpleScalar tradition:
+ * timed accesses return the cycle at which data becomes *usable by the
+ * pipeline* (which, under authen-then-issue, is the verification
+ * completion, not the decrypt completion) plus the authentication
+ * sequence tag that commit/write gates consult.
+ */
+
+#ifndef ACP_SECMEM_MEM_HIERARCHY_HH
+#define ACP_SECMEM_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "secmem/secure_memctrl.hh"
+#include "sim/config.hh"
+
+namespace acp::secmem
+{
+
+/** Timed access outcome. */
+struct MemAccess
+{
+    /** Cycle data is usable by the pipeline. */
+    Cycle ready = 0;
+    /** Latest pending authentication tag covering the data. */
+    AuthSeq authSeq = kNoAuthSeq;
+};
+
+/** The hierarchy. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const sim::SimConfig &cfg);
+
+    // ----- timed paths (move data AND compute latency) -----------------
+    /** Data read of @p bytes (1/4/8), may cross line boundaries. */
+    MemAccess readTimed(Addr addr, unsigned bytes, Cycle cycle,
+                        AuthSeq gate_tag, std::uint64_t &value);
+    /** Data write (store release). */
+    MemAccess writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
+                         Cycle cycle, AuthSeq gate_tag);
+    /** Instruction fetch of one word. */
+    MemAccess fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
+                         std::uint32_t &word);
+
+    // ----- functional paths (no timing; optional tag warmup) -----------
+    std::uint64_t funcRead(Addr addr, unsigned bytes, bool warm_tags);
+    void funcWrite(Addr addr, unsigned bytes, std::uint64_t value,
+                   bool warm_tags);
+    std::uint32_t funcFetch(Addr pc, bool warm_tags);
+
+    /** Load a program image into external memory (trusted provision). */
+    void loadProgram(const isa::Program &prog);
+
+    /** Flush all cache levels back to external memory (functional). */
+    void flushCaches();
+
+    SecureMemCtrl &ctrl() { return ctrl_; }
+    cache::Cache &l1i() { return l1i_; }
+    cache::Cache &l1d() { return l1d_; }
+    cache::Cache &l2() { return l2_; }
+    cache::Tlb &itlb() { return itlb_; }
+    cache::Tlb &dtlb() { return dtlb_; }
+    std::uint64_t translationFaults() const { return faults_.value(); }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct LineRef
+    {
+        cache::CacheLine *line = nullptr;
+        Cycle ready = 0;
+        AuthSeq authSeq = kNoAuthSeq;
+    };
+
+    /** Clamp to the simulated address space, counting faults. */
+    Addr translate(Addr addr);
+    /** Ensure the line is in L2 (filling on miss). Timed. */
+    LineRef ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
+                     mem::BusTxnKind kind);
+    /** Ensure the line is in an L1 (filling from L2 on miss). Timed. */
+    LineRef ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
+                     AuthSeq gate_tag, bool is_instr);
+    /** Functional equivalents. */
+    cache::CacheLine *funcEnsureL2(Addr line_addr, bool warm_tags);
+    cache::CacheLine *funcEnsureL1(cache::Cache &l1, Addr line_addr,
+                                   bool warm_tags, bool is_instr);
+    /** Evict an L2 victim: back-invalidate L1s, write back if dirty. */
+    void handleL2Eviction(cache::Eviction &evicted, Cycle cycle, bool warm);
+
+    const sim::SimConfig &cfg_;
+    SecureMemCtrl ctrl_;
+    cache::Cache l1i_;
+    cache::Cache l1d_;
+    cache::Cache l2_;
+    cache::Tlb itlb_;
+    cache::Tlb dtlb_;
+
+    StatGroup stats_;
+    StatCounter faults_;
+    StatCounter crossLineAccesses_;
+};
+
+} // namespace acp::secmem
+
+#endif // ACP_SECMEM_MEM_HIERARCHY_HH

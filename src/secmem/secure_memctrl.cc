@@ -1,0 +1,273 @@
+#include "secmem/secure_memctrl.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/auth_policy.hh"
+
+namespace acp::secmem
+{
+
+SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), ext_(seed), dram_(cfg),
+      engine_(cfg.authLatency, cfg.authEngineInterval),
+      counterCache_("counter_cache", cfg.counterCache), stats_("memctrl")
+{
+    if (core::verifies(cfg.policy) && cfg.hashTreeEnabled)
+        tree_ = std::make_unique<HashTree>(cfg, ext_);
+    if (core::obfuscates(cfg.policy))
+        remap_ = std::make_unique<RemapLayer>(cfg);
+    if (cfg.counterPrediction &&
+        cfg.encryptionMode == sim::EncryptionMode::kCounterMode)
+        predictor_ = std::make_unique<CounterPredictor>(
+            cfg.counterPredictRegionBytes, cfg.counterPredictWindow);
+
+    lineTransferBytes_ =
+        kExtLineBytes + cfg.macTransferBeats * cfg.busWidthBytes;
+
+    stats_.addCounter("fetches", &fetches_);
+    stats_.addCounter("writebacks", &writebacks_);
+    stats_.addCounter("counter_misses", &counterMisses_);
+    stats_.addCounter("fetch_gate_stalls", &fetchGateStalls_);
+    stats_.addAverage("fetch_gate_delay", &fetchGateDelay_);
+    stats_.addAverage("decrypt_verify_gap", &decryptGap_);
+    stats_.addAverage("fill_latency", &fillLatency_);
+}
+
+Addr
+SecureMemCtrl::counterLineAddr(Addr line_addr) const
+{
+    // Counters live in a dedicated region above the protected space.
+    std::uint64_t line_index = line_addr / kExtLineBytes;
+    Addr addr = cfg_.memoryBytes + line_index * cfg_.counterBytes;
+    return addr & ~Addr(kExtLineBytes - 1);
+}
+
+Cycle
+SecureMemCtrl::dramAccess(Addr addr, Cycle cycle, unsigned bytes,
+                          bool is_write, mem::BusTxnKind kind)
+{
+    trace_.record(cycle, addr, kind);
+    return dram_.access(addr, cycle, bytes, is_write).complete;
+}
+
+Cycle
+SecureMemCtrl::admit(Cycle req_cycle)
+{
+    // Drop completed entries.
+    std::erase_if(inflight_, [&](Cycle c) { return c <= req_cycle; });
+    if (inflight_.size() < cfg_.maxOutstandingFetches)
+        return req_cycle;
+    // Full: wait for the earliest outstanding fill to complete.
+    auto min_it = std::min_element(inflight_.begin(), inflight_.end());
+    Cycle start = *min_it;
+    inflight_.erase(min_it);
+    return start;
+}
+
+Cycle
+SecureMemCtrl::touchCounter(Addr line_addr, Cycle cycle, bool make_dirty,
+                            bool warm)
+{
+    Addr ctr_line = counterLineAddr(line_addr);
+    cache::CacheLine *line = counterCache_.lookup(ctr_line);
+    Cycle ready = cycle;
+    if (line == nullptr) {
+        ++counterMisses_;
+        if (!warm)
+            ready = dramAccess(ctr_line, cycle, kExtLineBytes, false,
+                               mem::BusTxnKind::kCounterFetch);
+        cache::Eviction evicted;
+        line = counterCache_.allocate(ctr_line, &evicted);
+        if (evicted.valid && evicted.dirty && !warm)
+            dramAccess(evicted.addr, ready, kExtLineBytes, true,
+                       mem::BusTxnKind::kWriteback);
+    }
+    if (make_dirty)
+        line->dirty = true;
+    return ready;
+}
+
+LineFill
+SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
+                         mem::BusTxnKind kind, bool warm)
+{
+    ++fetches_;
+    LineFill fill;
+
+    // Functional transfer first (always happens).
+    FetchedLine fetched = ext_.fetchLine(line_addr);
+    fill.data = fetched.plain;
+    fill.macOk = fetched.macOk;
+
+    const core::AuthPolicy policy = cfg_.policy;
+    bool verify = core::verifies(policy);
+
+    if (warm) {
+        // Warm the metadata caches too, but no timing.
+        touchCounter(line_addr, 0, false, true);
+        if (remap_) {
+            auto noop = [](Addr, Cycle, bool) { return Cycle(0); };
+            remap_->translate(line_addr, 0, noop);
+        }
+        return fill;
+    }
+
+    // 1. MSHR admission.
+    Cycle start = admit(req_cycle);
+
+    // 2. authen-then-fetch gate.
+    if (core::gatesFetch(policy)) {
+        AuthSeq tag = fetchGateDrain_ ? engine_.lastRequest() : gate_tag;
+        // A fetch whose gate tag covers a *failed* verification is
+        // never granted: the security exception squashes it. Return a
+        // never-ready fill without touching the bus (no address leak).
+        if (engine_.anyFailure() && tag != kNoAuthSeq &&
+            tag >= engine_.firstFailedSeq()) {
+            fill.dataReady = kCycleNever;
+            fill.verifyDone = kCycleNever;
+            fill.authSeq = kNoAuthSeq;
+            fill.data.fill(0);
+            return fill;
+        }
+        Cycle gate_done = engine_.doneCycle(tag);
+        if (gate_done > start) {
+            ++fetchGateStalls_;
+            fetchGateDelay_.sample(double(gate_done - start));
+            start = gate_done;
+        }
+    }
+
+    auto mem_cb = [this](Addr a, Cycle c, bool w) {
+        return dramAccess(a, c, kExtLineBytes, w,
+                          w ? mem::BusTxnKind::kWriteback
+                            : mem::BusTxnKind::kTreeNodeFetch);
+    };
+
+    // 3. Address obfuscation.
+    Addr phys = line_addr;
+    if (remap_) {
+        auto remap_cb = [this](Addr a, Cycle c, bool w) {
+            return dramAccess(a, c, kExtLineBytes, w,
+                              w ? mem::BusTxnKind::kWriteback
+                                : mem::BusTxnKind::kRemapFetch);
+        };
+        RemapResult tr = remap_->translate(line_addr, start, remap_cb);
+        phys = tr.physAddr;
+        start = tr.readyAt;
+    }
+
+    // 4-6. Counter lookup, pad generation and decrypt timing.
+    Cycle data_arrive;
+    Cycle mac_ready; // when the integrity check's inputs are complete
+    if (cfg_.encryptionMode == sim::EncryptionMode::kCounterMode) {
+        // Counter lookup; pad generation overlaps the data fetch.
+        bool ctr_hit = counterCache_.peek(counterLineAddr(line_addr)) !=
+                       nullptr;
+        Cycle ctr_ready = touchCounter(line_addr, start, false, false);
+        Cycle pad_ready = ctr_ready + cfg_.decryptLatency;
+
+        // [19]: on a counter-cache miss, predicted pads are computed
+        // in parallel with the fetch; a window hit removes the counter
+        // fetch from the decryption critical path entirely.
+        if (!ctr_hit && predictor_ &&
+            predictor_->predictAndResolve(line_addr, fetched.counter))
+            pad_ready = start + cfg_.decryptLatency;
+
+        data_arrive = dramAccess(phys, start, lineTransferBytes_, false,
+                                 kind);
+        // Decrypt: max(fetch, pad) — Table 1, counter mode.
+        fill.dataReady = std::max(data_arrive, pad_ready);
+        mac_ready = fill.dataReady;
+    } else {
+        // CBC: decryption is serial per 16-byte chunk and can only
+        // start once the ciphertext arrives (Table 1, second row).
+        // Critical-word delivery: the consumer's chunk is ready after
+        // (chunks+1)/2 serial passes on average; CBC-MAC needs the
+        // full line plus a final chaining pass.
+        data_arrive = dramAccess(phys, start, lineTransferBytes_, false,
+                                 kind);
+        unsigned chunks = kExtLineBytes / 16;
+        fill.dataReady = data_arrive +
+                         Cycle((chunks + 1) / 2) * cfg_.decryptLatency;
+        mac_ready = data_arrive + Cycle(chunks + 1) * cfg_.decryptLatency;
+    }
+    fillLatency_.sample(double(fill.dataReady - req_cycle));
+
+    // 7. Authentication.
+    if (verify) {
+        Cycle extra = mac_ready > fill.dataReady
+                          ? mac_ready - fill.dataReady
+                          : 0;
+        if (tree_) {
+            TreeTiming tt = tree_->verify(line_addr, data_arrive, mem_cb);
+            if (!tt.ok)
+                fill.macOk = false;
+            if (tt.readyAt > fill.dataReady &&
+                tt.readyAt - fill.dataReady > extra)
+                extra = tt.readyAt - fill.dataReady;
+        }
+        fill.authSeq = engine_.post(fill.dataReady, extra, fill.macOk);
+        fill.verifyDone = engine_.doneCycle(fill.authSeq);
+        decryptGap_.sample(double(fill.verifyDone - fill.dataReady));
+    } else {
+        fill.authSeq = kNoAuthSeq;
+        fill.verifyDone = fill.dataReady;
+    }
+
+    inflight_.push_back(fill.dataReady);
+    return fill;
+}
+
+Cycle
+SecureMemCtrl::writebackLine(Addr line_addr, const std::uint8_t *data,
+                             Cycle cycle, bool warm)
+{
+    ++writebacks_;
+
+    // Functional: counter bump, re-encrypt, MAC refresh.
+    ext_.storeLine(line_addr, data);
+    if (predictor_)
+        predictor_->onWriteback(line_addr, ext_.counterOf(line_addr));
+
+    if (warm) {
+        touchCounter(line_addr, 0, true, true);
+        if (tree_) {
+            auto noop = [](Addr, Cycle, bool) { return Cycle(0); };
+            tree_->update(line_addr, 0, noop);
+        }
+        return 0;
+    }
+
+    // Counter line is written (dirty in the counter cache).
+    Cycle ready = touchCounter(line_addr, cycle, true, false);
+
+    // Tree path update (timing + functional).
+    if (tree_) {
+        auto mem_cb = [this](Addr a, Cycle c, bool w) {
+            return dramAccess(a, c, kExtLineBytes, w,
+                              w ? mem::BusTxnKind::kWriteback
+                                : mem::BusTxnKind::kTreeNodeFetch);
+        };
+        TreeTiming tt = tree_->update(line_addr, ready, mem_cb);
+        ready = tt.readyAt;
+    }
+
+    // Re-shuffle under obfuscation.
+    Addr phys = line_addr;
+    if (remap_) {
+        auto remap_cb = [this](Addr a, Cycle c, bool w) {
+            return dramAccess(a, c, kExtLineBytes, w,
+                              w ? mem::BusTxnKind::kWriteback
+                                : mem::BusTxnKind::kRemapFetch);
+        };
+        RemapResult sh = remap_->shuffle(line_addr, ready, remap_cb);
+        phys = sh.physAddr;
+        ready = sh.readyAt;
+    }
+
+    return dramAccess(phys, ready, lineTransferBytes_, true,
+                      mem::BusTxnKind::kWriteback);
+}
+
+} // namespace acp::secmem

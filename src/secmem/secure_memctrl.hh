@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Secure memory controller: orchestrates every off-chip line transfer.
+ *
+ * Fetch path (L2 miss):
+ *   1. MSHR admission (bounded outstanding fetches)
+ *   2. authen-then-fetch gate: bus grant waits for the triggering
+ *      instruction's LastRequest tag to verify (Section 4.2.4)
+ *   3. address obfuscation: re-map translation (Section 4.3)
+ *   4. counter lookup (counter cache; miss fetches the counter line)
+ *      and counter-mode pad pre-computation overlapped with the fetch
+ *   5. DRAM burst (line + MAC beats) on the front-side bus — the
+ *      address becomes visible to the adversary here
+ *   6. decrypt completes at max(data arrival, pad ready)  [Table 1]
+ *   7. authentication request posted to the in-order engine; with the
+ *      hash tree enabled the counter's tree path is verified too
+ *
+ * Writeback path (dirty L2 eviction): re-shuffle (obfuscation),
+ * counter bump + re-encrypt + MAC (functional), tree update, DRAM
+ * write. Writes are fire-and-forget for the core but occupy banks and
+ * bus, and dirty counter/remap/tree cache evictions generate further
+ * traffic.
+ */
+
+#ifndef ACP_SECMEM_SECURE_MEMCTRL_HH
+#define ACP_SECMEM_SECURE_MEMCTRL_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/bus_trace.hh"
+#include "mem/dram.hh"
+#include "secmem/auth_engine.hh"
+#include "secmem/counter_predictor.hh"
+#include "secmem/external_memory.hh"
+#include "secmem/hash_tree.hh"
+#include "secmem/remap.hh"
+#include "sim/config.hh"
+
+namespace acp::secmem
+{
+
+/** Result of one external line fetch. */
+struct LineFill
+{
+    std::array<std::uint8_t, kExtLineBytes> data;
+    /** Decrypted data available to the cache hierarchy. */
+    Cycle dataReady = 0;
+    /** Authentication verdict available. */
+    Cycle verifyDone = 0;
+    /** Auth request id (kNoAuthSeq when the policy never verifies). */
+    AuthSeq authSeq = kNoAuthSeq;
+    /** Functional integrity verdict (false == tampered). */
+    bool macOk = true;
+};
+
+/** The controller. */
+class SecureMemCtrl
+{
+  public:
+    SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Fetch one line from external memory.
+     * @param line_addr logical line address (L2-line aligned)
+     * @param req_cycle cycle the request leaves the L2
+     * @param gate_tag triggering instruction's LastRequest tag (for
+     *        the authen-then-fetch gate; kNoAuthSeq = ungated)
+     * @param kind bus-trace transaction kind
+     * @param warm functional-only (cache warmup): no timing updates
+     */
+    LineFill fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
+                       mem::BusTxnKind kind, bool warm = false);
+
+    /** Write back one dirty line; returns DRAM completion cycle. */
+    Cycle writebackLine(Addr line_addr, const std::uint8_t *data,
+                        Cycle cycle, bool warm = false);
+
+    ExternalMemory &externalMemory() { return ext_; }
+    AuthEngine &authEngine() { return engine_; }
+    mem::Dram &dram() { return dram_; }
+    mem::BusTrace &busTrace() { return trace_; }
+    cache::Cache &counterCache() { return counterCache_; }
+    HashTree *hashTree() { return tree_.get(); }
+    RemapLayer *remapLayer() { return remap_.get(); }
+    CounterPredictor *counterPredictor() { return predictor_.get(); }
+
+    /** Use drain-authen-then-fetch semantics (ablation). */
+    void setFetchGateDrain(bool on) { fetchGateDrain_ = on; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Admission control for outstanding fetches (MSHR limit). */
+    Cycle admit(Cycle req_cycle);
+    /** Charge a counter-line access; returns counter availability. */
+    Cycle touchCounter(Addr line_addr, Cycle cycle, bool make_dirty,
+                       bool warm);
+    Addr counterLineAddr(Addr line_addr) const;
+    /** Raw DRAM access helper with bus-trace recording. */
+    Cycle dramAccess(Addr addr, Cycle cycle, unsigned bytes, bool is_write,
+                     mem::BusTxnKind kind);
+
+    const sim::SimConfig &cfg_;
+    ExternalMemory ext_;
+    mem::Dram dram_;
+    mem::BusTrace trace_;
+    AuthEngine engine_;
+    cache::Cache counterCache_;
+    std::unique_ptr<HashTree> tree_;
+    std::unique_ptr<RemapLayer> remap_;
+    std::unique_ptr<CounterPredictor> predictor_;
+    std::vector<Cycle> inflight_;
+    bool fetchGateDrain_ = false;
+    unsigned lineTransferBytes_;
+
+    StatGroup stats_;
+    StatCounter fetches_;
+    StatCounter writebacks_;
+    StatCounter counterMisses_;
+    StatCounter fetchGateStalls_;
+    StatAverage fetchGateDelay_;
+    StatAverage decryptGap_; // verifyDone - dataReady (the latency gap)
+    StatAverage fillLatency_;
+};
+
+} // namespace acp::secmem
+
+#endif // ACP_SECMEM_SECURE_MEMCTRL_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * acpsim — command-line driver for the secure-processor simulator.
+ *
+ *   acpsim --list
+ *   acpsim mcf --policy commit --insts 200000
+ *   acpsim swim --policy issue --l2 1M --tree --stats
+ *   acpsim twolf --policy obf --remap 128K --ws 8M
+ *
+ * Prints IPC and (with --stats) the full statistics of every
+ * component.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/auth_policy.hh"
+#include "sim/system.hh"
+#include "workloads/workloads.hh"
+
+using namespace acp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "acpsim — authentication-control-point secure processor "
+        "simulator\n\n"
+        "usage: acpsim <workload> [options]\n"
+        "       acpsim --list\n\n"
+        "options:\n"
+        "  --policy P    baseline | issue | write | commit | fetch |\n"
+        "                commit+fetch | obf        (default: baseline)\n"
+        "  --l2 SIZE     L2 size, e.g. 256K or 1M  (default: 256K)\n"
+        "  --ruu N       RUU entries               (default: 128)\n"
+        "  --tree        enable the CHTree integrity tree\n"
+        "  --drain       drain-authen-then-fetch variant\n"
+        "  --remap SIZE  re-map cache size         (default: 32K)\n"
+        "  --ws SIZE     workload working set      (default: 2M)\n"
+        "  --insts N     measured instructions     (default: 100000)\n"
+        "  --warmup N    fast-forward instructions (default: 50000)\n"
+        "  --auth N      MAC verification latency  (default: 148)\n"
+        "  --seed N      workload data seed        (default: 42)\n"
+        "  --stats       dump all component statistics\n"
+        "  --trace N     print a commit trace of the first N insts\n"
+        "  --cosim       co-simulate against the functional reference\n");
+}
+
+std::uint64_t
+parseSize(const char *text)
+{
+    char *end = nullptr;
+    double value = std::strtod(text, &end);
+    if (end == text)
+        acp_fatal("bad size '%s'", text);
+    switch (*end) {
+      case 'k': case 'K': return std::uint64_t(value * 1024);
+      case 'm': case 'M': return std::uint64_t(value * 1024 * 1024);
+      case 'g': case 'G': return std::uint64_t(value * 1024 * 1024 * 1024);
+      case '\0': return std::uint64_t(value);
+      default: acp_fatal("bad size suffix '%s'", end);
+    }
+}
+
+core::AuthPolicy
+parsePolicy(const std::string &name)
+{
+    if (name == "baseline") return core::AuthPolicy::kBaseline;
+    if (name == "issue") return core::AuthPolicy::kAuthThenIssue;
+    if (name == "write") return core::AuthPolicy::kAuthThenWrite;
+    if (name == "commit") return core::AuthPolicy::kAuthThenCommit;
+    if (name == "fetch") return core::AuthPolicy::kAuthThenFetch;
+    if (name == "commit+fetch" || name == "cf")
+        return core::AuthPolicy::kCommitPlusFetch;
+    if (name == "obf" || name == "obfuscation")
+        return core::AuthPolicy::kCommitPlusObfuscation;
+    acp_fatal("unknown policy '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    if (std::strcmp(argv[1], "--list") == 0) {
+        std::printf("%-10s %-4s %s\n", "name", "type", "behaviour class");
+        for (const auto &info : workloads::catalog())
+            std::printf("%-10s %-4s %s\n", info.name,
+                        info.isFp ? "FP" : "INT", info.behaviour);
+        return 0;
+    }
+    if (std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+        usage();
+        return 0;
+    }
+
+    std::string workload = argv[1];
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 256ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+    workloads::WorkloadParams params;
+    std::uint64_t insts = 100000;
+    std::uint64_t warmup = 50000;
+    bool dump_stats = false;
+    bool cosim = false;
+    bool drain = false;
+    std::uint64_t trace = 0;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                acp_fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--policy") {
+            cfg.policy = parsePolicy(next());
+        } else if (arg == "--l2") {
+            cfg.l2.sizeBytes = parseSize(next());
+            cfg.l2.hitLatency = cfg.l2.sizeBytes >= (1 << 20) ? 8 : 4;
+        } else if (arg == "--ruu") {
+            cfg.ruuSize = unsigned(std::strtoul(next(), nullptr, 0));
+            cfg.lsqSize = cfg.ruuSize / 2;
+        } else if (arg == "--tree") {
+            cfg.hashTreeEnabled = true;
+        } else if (arg == "--drain") {
+            drain = true;
+        } else if (arg == "--remap") {
+            cfg.remapCache.sizeBytes = parseSize(next());
+        } else if (arg == "--ws") {
+            params.workingSetBytes = parseSize(next());
+        } else if (arg == "--insts") {
+            insts = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--auth") {
+            cfg.authLatency = unsigned(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--seed") {
+            params.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--cosim") {
+            cosim = true;
+        } else if (arg == "--trace") {
+            trace = std::strtoull(next(), nullptr, 0);
+        } else {
+            usage();
+            acp_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    sim::System system(cfg, workloads::build(workload, params));
+    if (drain)
+        system.hier().ctrl().setFetchGateDrain(true);
+    if (cosim)
+        system.enableCosim();
+
+    std::fprintf(stderr, "fast-forwarding %llu instructions...\n",
+                 (unsigned long long)warmup);
+    system.fastForward(warmup);
+    if (trace > 0)
+        system.core().traceCommits(stdout, trace);
+    std::fprintf(stderr, "measuring %llu instructions...\n",
+                 (unsigned long long)insts);
+    sim::RunResult res = system.measureTimed(insts, insts * 1000);
+
+    std::printf("workload   %s\n", workload.c_str());
+    std::printf("policy     %s\n", core::policyName(cfg.policy));
+    std::printf("insts      %llu\n", (unsigned long long)res.insts);
+    std::printf("cycles     %llu\n", (unsigned long long)res.cycles);
+    std::printf("IPC        %.4f\n", res.ipc);
+    if (dump_stats) {
+        std::printf("\n%s", system.dumpStats().c_str());
+    }
+    return 0;
+}

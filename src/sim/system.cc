@@ -1,0 +1,112 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+
+namespace acp::sim
+{
+
+System::System(const SimConfig &cfg, isa::Program prog)
+    : cfg_(cfg), prog_(std::move(prog)), hier_(cfg_),
+      refMem_(cfg_.memoryBytes)
+{
+    hier_.loadProgram(prog_);
+    refMem_.loadProgram(prog_);
+
+    cpu::MemPort port;
+    cpu::FlatMem *mem = &refMem_;
+    port.read = [mem](Addr a, unsigned b) { return mem->read(a, b); };
+    port.write = [mem](Addr a, unsigned b, std::uint64_t v) {
+        mem->write(a, b, v);
+    };
+    port.fetch = [mem](Addr a) { return mem->fetch(a); };
+    refExec_ = std::make_unique<cpu::FuncExecutor>(port, prog_.entry);
+}
+
+std::uint64_t
+System::fastForward(std::uint64_t insts)
+{
+    if (core_)
+        acp_fatal("fastForward must precede timed execution");
+
+    std::uint64_t done = 0;
+    while (done < insts && !refExec_->halted()) {
+        cpu::StepInfo info = refExec_->step();
+        ++done;
+        // Mirror the access stream into the hierarchy to warm caches
+        // and keep the on-chip plaintext state consistent.
+        hier_.funcFetch(info.pc, /*warm_tags=*/true);
+        if (info.inst.isLoad())
+            hier_.funcRead(info.memAddr, info.memBytes, true);
+        else if (info.isStore)
+            hier_.funcWrite(info.memAddr, info.memBytes, info.storeValue,
+                            true);
+    }
+    return done;
+}
+
+cpu::OooCore &
+System::core()
+{
+    if (!core_) {
+        core_ = std::make_unique<cpu::OooCore>(cfg_, hier_,
+                                               refExec_->pc());
+        for (unsigned r = 0; r < 32; ++r)
+            core_->setReg(r, refExec_->reg(r));
+        if (cosim_)
+            core_->setCosimShadow(refExec_.get());
+    }
+    return *core_;
+}
+
+void
+System::enableCosim()
+{
+    cosim_ = true;
+    if (core_)
+        core_->setCosimShadow(refExec_.get());
+}
+
+RunResult
+System::measureTimed(std::uint64_t max_insts, std::uint64_t max_cycles)
+{
+    cpu::OooCore &timed_core = core();
+    std::uint64_t insts0 = timed_core.instsCommitted();
+    Cycle cycles0 = timed_core.cycles();
+
+    RunResult res;
+    res.reason = timed_core.run(max_insts, max_cycles);
+    res.insts = timed_core.instsCommitted() - insts0;
+    res.cycles = timed_core.cycles() - cycles0;
+    res.ipc = res.cycles ? double(res.insts) / double(res.cycles) : 0.0;
+    return res;
+}
+
+std::string
+System::dumpStats()
+{
+    std::string out;
+    if (core_) {
+        core_->stats().dump(out);
+    }
+    hier_.stats().dump(out);
+    hier_.l1i().stats().dump(out);
+    hier_.l1d().stats().dump(out);
+    hier_.l2().stats().dump(out);
+    hier_.itlb().stats().dump(out);
+    hier_.dtlb().stats().dump(out);
+    hier_.ctrl().stats().dump(out);
+    hier_.ctrl().authEngine().stats().dump(out);
+    hier_.ctrl().dram().stats().dump(out);
+    hier_.ctrl().counterCache().stats().dump(out);
+    hier_.ctrl().externalMemory().stats().dump(out);
+    if (hier_.ctrl().hashTree())
+        hier_.ctrl().hashTree()->stats().dump(out);
+    if (hier_.ctrl().remapLayer())
+        hier_.ctrl().remapLayer()->stats().dump(out);
+    if (hier_.ctrl().counterPredictor())
+        hier_.ctrl().counterPredictor()->stats().dump(out);
+    return out;
+}
+
+} // namespace acp::sim

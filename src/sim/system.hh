@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Top-level simulated system: one secure out-of-order core over the
+ * secure memory hierarchy, plus a functional *reference machine*
+ * (FuncExecutor + FlatMem) used for SimPoint-style fast-forwarding
+ * with cache warmup and for commit-time co-simulation.
+ *
+ * Typical use (mirrors the paper's methodology, Section 5.1):
+ *
+ *   sim::System system(cfg, workload);
+ *   system.fastForward(200'000);          // warm caches functionally
+ *   auto res = system.measureTimed(1'000'000, 50'000'000);
+ *   printf("IPC %.3f\n", res.ipc);
+ */
+
+#ifndef ACP_SIM_SYSTEM_HH
+#define ACP_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/flat_mem.hh"
+#include "cpu/func_executor.hh"
+#include "cpu/ooo_core.hh"
+#include "isa/program.hh"
+#include "secmem/mem_hierarchy.hh"
+#include "sim/config.hh"
+
+namespace acp::sim
+{
+
+/** Outcome of a timed measurement window. */
+struct RunResult
+{
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+    cpu::StopReason reason = cpu::StopReason::kRunning;
+};
+
+/** The system. */
+class System
+{
+  public:
+    System(const SimConfig &cfg, isa::Program prog);
+
+    /**
+     * Execute @p insts instructions on the reference machine while
+     * warming the cache hierarchy (tags + data). Must precede core().
+     */
+    std::uint64_t fastForward(std::uint64_t insts);
+
+    /** The timed core, created at the current architectural point. */
+    cpu::OooCore &core();
+
+    /** Check every committed instruction against the reference. */
+    void enableCosim();
+
+    /** Run the timed core for a measurement window. */
+    RunResult measureTimed(std::uint64_t max_insts,
+                           std::uint64_t max_cycles);
+
+    secmem::MemHierarchy &hier() { return hier_; }
+    cpu::FuncExecutor &ref() { return *refExec_; }
+    const SimConfig &config() const { return cfg_; }
+    const isa::Program &program() const { return prog_; }
+
+    /** Dump all component statistics as text. */
+    std::string dumpStats();
+
+  private:
+    SimConfig cfg_;
+    isa::Program prog_;
+    secmem::MemHierarchy hier_;
+    cpu::FlatMem refMem_;
+    std::unique_ptr<cpu::FuncExecutor> refExec_;
+    std::unique_ptr<cpu::OooCore> core_;
+    bool cosim_ = false;
+};
+
+} // namespace acp::sim
+
+#endif // ACP_SIM_SYSTEM_HH

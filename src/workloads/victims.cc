@@ -1,0 +1,203 @@
+#include "workloads/victims.hh"
+
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+
+namespace acp::workloads
+{
+
+using isa::Label;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+constexpr Addr kCodeBase = 0x00001000;
+constexpr Addr kSecretAddr = 0x00300000;
+constexpr Addr kScratchAddr = 0x00320000;
+
+/** Encode one instruction (helper for kernel-word construction). */
+std::uint32_t
+word(isa::Op op, unsigned rd, unsigned rs1, unsigned rs2_or_imm,
+     bool is_imm)
+{
+    isa::DecodedInst inst;
+    inst.op = op;
+    inst.rd = std::uint8_t(rd);
+    inst.rs1 = std::uint8_t(rs1);
+    if (is_imm)
+        inst.imm = std::int64_t(std::int16_t(rs2_or_imm));
+    else
+        inst.rs2 = std::uint8_t(rs2_or_imm);
+    return isa::encode(inst);
+}
+
+} // namespace
+
+PointerConversionVictim
+buildPointerConversionVictim(std::uint64_t seed)
+{
+    PointerConversionVictim victim;
+    victim.secretAddr = kSecretAddr;
+    // A plausible in-range address (the paper's scenario: the secret
+    // is itself sensitive data the adversary wants to read).
+    victim.secretValue = 0x00654000 + ((seed * 64) & 0xff80);
+
+    constexpr Addr kListBase = 0x00200000;
+    constexpr unsigned kNodes = 4;
+    ProgramBuilder pb(kCodeBase, "ptr_conversion_victim");
+
+    // Nodes are line-spaced so each next-pointer sits in its own
+    // external line (clean single-line tampering).
+    for (unsigned i = 0; i < kNodes; ++i) {
+        Addr node = kListBase + i * 64;
+        Addr next = (i + 1 < kNodes) ? kListBase + (i + 1) * 64 : 0;
+        pb.addData64(node, next);      // next pointer (last is NULL)
+        pb.addData64(node + 8, i + 1); // payload
+    }
+    victim.nullPtrAddr = kListBase + (kNodes - 1) * 64;
+    pb.addData64(victim.secretAddr, victim.secretValue);
+
+    // Startup: the victim uses its secret (so it is cached on-chip).
+    pb.li(2, victim.secretAddr);
+    pb.ld(3, 0, 2);
+    pb.li(6, kScratchAddr);
+
+    Label outer = pb.newLabel(), loop = pb.newLabel();
+    pb.bind(outer);
+    pb.li(1, kListBase); // p = head
+    pb.bind(loop);
+    pb.beq(1, 0, outer); // NULL -> restart traversal
+    pb.ld(4, 8, 1);      // p->val
+    pb.add(5, 5, 4);
+    pb.sd(5, 0, 6);      // running checksum to memory
+    pb.ld(1, 0, 1);      // p = p->next   (tainted at the tail)
+    pb.j(loop);
+
+    victim.prog = pb.finish();
+    return victim;
+}
+
+BinarySearchVictim
+buildBinarySearchVictim(std::uint64_t secret)
+{
+    BinarySearchVictim victim;
+    victim.secretValue = secret;
+    victim.constAddr = 0x00310000;
+    victim.markerNotGreater = 0x00400000;
+    victim.markerGreater = victim.markerNotGreater + 4096;
+
+    ProgramBuilder pb(kCodeBase, "binary_search_victim");
+    pb.addData64(kSecretAddr, secret);
+    pb.addData64(victim.constAddr, 0); // known plaintext: zero
+
+    // Startup: cache the secret.
+    pb.li(2, kSecretAddr);
+    pb.ld(3, 0, 2);
+    pb.li(4, std::int64_t(victim.constAddr));
+    pb.li(8, std::int64_t(victim.markerNotGreater));
+
+    // Branch-free variant of Figure 2: the comparison outcome selects
+    // which of two page-distant lines is loaded. Equivalent leakage to
+    // the control-flow form, but free of branch-predictor wrong-path
+    // fetches, so one probe is deterministic (an adversary against the
+    // branchy form filters predictor noise by repetition instead).
+    Label loop = pb.newLabel();
+    pb.bind(loop);
+    pb.ld(5, 0, 4);   // constant (adversary-tampered)
+    pb.slt(6, 5, 3);  // 1 iff secret > c
+    pb.slli(6, 6, 12);
+    pb.add(6, 6, 8);  // marker base + outcome * 4KB
+    pb.ld(7, 0, 6);   // observable fetch
+    pb.j(loop);
+
+    victim.prog = pb.finish();
+    return victim;
+}
+
+std::vector<std::uint32_t>
+disclosingKernelWords(Addr secret_addr, Addr page_base)
+{
+    if (secret_addr > 0xffffffffULL || page_base > 0xffffffffULL)
+        acp_panic("kernel builder assumes 32-bit addresses");
+    if ((page_base & 0xffff) != 0)
+        acp_panic("page base must be 64KB aligned for the 2-word li");
+
+    std::vector<std::uint32_t> words;
+    // lui x21, hi(secret); ori x21, x21, lo(secret)
+    words.push_back(word(isa::Op::kLui, 21, 0,
+                         unsigned(secret_addr >> 16) & 0xffff, true));
+    words.push_back(word(isa::Op::kOri, 21, 21,
+                         unsigned(secret_addr) & 0xffff, true));
+    // ld x20, 0(x21)                      -- the (cached) secret
+    words.push_back(word(isa::Op::kLd, 20, 21, 0, true));
+    // andi x22, x20, 0xff; slli x22, x22, 6  -- 8-bit window, x64
+    words.push_back(word(isa::Op::kAndi, 22, 20, 0xff, true));
+    words.push_back(word(isa::Op::kSlli, 22, 22, 6, true));
+    // lui x23, hi(page); or x22, x22, x23 -- mask into a valid page
+    words.push_back(word(isa::Op::kLui, 23, 0,
+                         unsigned(page_base >> 16) & 0xffff, true));
+    words.push_back(word(isa::Op::kOr, 22, 22, 23, false));
+    // ld x24, 0(x22)                      -- DISCLOSE via fetch addr
+    words.push_back(word(isa::Op::kLd, 24, 22, 0, true));
+    return words;
+}
+
+std::vector<std::uint32_t>
+ioKernelWords(Addr secret_addr, std::uint16_t port)
+{
+    if (secret_addr > 0xffffffffULL)
+        acp_panic("kernel builder assumes 32-bit addresses");
+    std::vector<std::uint32_t> words;
+    words.push_back(word(isa::Op::kLui, 21, 0,
+                         unsigned(secret_addr >> 16) & 0xffff, true));
+    words.push_back(word(isa::Op::kOri, 21, 21,
+                         unsigned(secret_addr) & 0xffff, true));
+    words.push_back(word(isa::Op::kLd, 20, 21, 0, true));
+    // out x20, port                       -- DISCLOSE via I/O channel
+    words.push_back(word(isa::Op::kOut, 0, 20, port, true));
+    return words;
+}
+
+DisclosingKernelVictim
+buildDisclosingKernelVictim(std::uint64_t seed)
+{
+    DisclosingKernelVictim victim;
+    victim.secretAddr = kSecretAddr;
+    victim.secretValue = 0xdeadbeefcafe0000ULL | (seed & 0xffff);
+    victim.pageBase = 0x00500000;
+
+    ProgramBuilder pb(kCodeBase, "disclosing_kernel_victim");
+    pb.addData64(victim.secretAddr, victim.secretValue);
+
+    Label func = pb.newLabel(), main_loop = pb.newLabel();
+
+    // Startup: cache the secret, then call f forever.
+    pb.li(2, victim.secretAddr);
+    pb.ld(3, 0, 2);
+    pb.bind(main_loop);
+    pb.call(func);
+    pb.j(main_loop);
+
+    // The function body.
+    pb.bind(func);
+    pb.addi(9, 9, 1);
+    pb.addi(10, 9, 3);
+
+    // Pad to a 64-byte boundary: the "compiler-invariant" epilogue
+    // occupies its own external line, the unit of MAC verification.
+    while (pb.here() % 64 != 0)
+        pb.nop();
+    victim.epilogueAddr = pb.here();
+    // Predictable epilogue: 8 nops (e.g. scheduled empty slots) + ret.
+    for (int i = 0; i < 8; ++i) {
+        victim.epiloguePlain.push_back(isa::encode(isa::DecodedInst{}));
+        pb.nop();
+    }
+    pb.ret();
+
+    victim.prog = pb.finish();
+    return victim;
+}
+
+} // namespace acp::workloads

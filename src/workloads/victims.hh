@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Victim programs for the paper's memory-fetch side-channel exploits
+ * (Section 3.2): each builder returns the program plus the metadata an
+ * adversary needs to stage the attack (addresses of tamperable
+ * ciphertext, the planted secret, observable markers).
+ *
+ * Every victim "uses" its secret at startup — loading it into the
+ * on-chip caches — which is both realistic (active secrets are cached)
+ * and what gives the exploits their speed: dependent uses of
+ * unverified data can hit on-chip and emit new bus transactions well
+ * inside the decrypt-to-verify window.
+ */
+
+#ifndef ACP_WORKLOADS_VICTIMS_HH
+#define ACP_WORKLOADS_VICTIMS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace acp::workloads
+{
+
+/**
+ * Linked-list traversal victim (pointer conversion, Figure 1).
+ * Tampering the NULL terminator converts the secret into a node
+ * pointer that gets dereferenced — the secret appears as a fetch
+ * address.
+ */
+struct PointerConversionVictim
+{
+    isa::Program prog;
+    /** Address of the last node's next field (the NULL to convert). */
+    Addr nullPtrAddr = 0;
+    /** Where the 64-bit secret lives. */
+    Addr secretAddr = 0;
+    /** Its value (a plausible in-range address, as in the paper). */
+    std::uint64_t secretValue = 0;
+};
+
+PointerConversionVictim buildPointerConversionVictim(std::uint64_t seed);
+
+/**
+ * Comparison victim (binary search, Figure 2): the program compares a
+ * secret against a known in-memory constant and takes observable,
+ * address-distinguishable paths.
+ */
+struct BinarySearchVictim
+{
+    isa::Program prog;
+    /** Address of the comparison constant (known plaintext 0). */
+    Addr constAddr = 0;
+    /** Marker lines loaded on the greater / not-greater paths. */
+    Addr markerGreater = 0;
+    Addr markerNotGreater = 0;
+    std::uint64_t secretValue = 0;
+};
+
+BinarySearchVictim buildBinarySearchVictim(std::uint64_t secret);
+
+/**
+ * Function-call victim with a predictable padded epilogue (disclosing
+ * kernel, Figure 4). The epilogue's plaintext is returned so the
+ * adversary can compute the code-substitution XOR masks.
+ */
+struct DisclosingKernelVictim
+{
+    isa::Program prog;
+    /** First byte of the tamperable epilogue (line-aligned). */
+    Addr epilogueAddr = 0;
+    /** The epilogue's known plaintext words. */
+    std::vector<std::uint32_t> epiloguePlain;
+    Addr secretAddr = 0;
+    std::uint64_t secretValue = 0;
+    /** Valid page the kernel masks addresses into (Section 3.3.1). */
+    Addr pageBase = 0;
+};
+
+DisclosingKernelVictim buildDisclosingKernelVictim(std::uint64_t seed);
+
+/**
+ * Build the 32-bit words of a Figure-4-style disclosing kernel that
+ * loads the secret, masks the low byte into a valid page and
+ * dereferences it (one 8-bit shift window).
+ */
+std::vector<std::uint32_t> disclosingKernelWords(Addr secret_addr,
+                                                 Addr page_base);
+
+/**
+ * Disclosing kernel variant that OUTs the secret to an I/O port
+ * (Section 3.2.3's output-channel case).
+ */
+std::vector<std::uint32_t> ioKernelWords(Addr secret_addr,
+                                         std::uint16_t port);
+
+} // namespace acp::workloads
+
+#endif // ACP_WORKLOADS_VICTIMS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Policy predicate tests: the gate matrix of each authentication
+ * control point (paper Section 4.2) and naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/auth_policy.hh"
+
+using namespace acp::core;
+
+TEST(AuthPolicy, BaselineVerifiesNothing)
+{
+    EXPECT_FALSE(verifies(AuthPolicy::kBaseline));
+    EXPECT_FALSE(gatesIssue(AuthPolicy::kBaseline));
+    EXPECT_FALSE(gatesCommit(AuthPolicy::kBaseline));
+    EXPECT_FALSE(gatesWrite(AuthPolicy::kBaseline));
+    EXPECT_FALSE(gatesFetch(AuthPolicy::kBaseline));
+    EXPECT_FALSE(obfuscates(AuthPolicy::kBaseline));
+}
+
+TEST(AuthPolicy, AllOthersVerify)
+{
+    for (AuthPolicy policy :
+         {AuthPolicy::kAuthThenIssue, AuthPolicy::kAuthThenWrite,
+          AuthPolicy::kAuthThenCommit, AuthPolicy::kAuthThenFetch,
+          AuthPolicy::kCommitPlusFetch,
+          AuthPolicy::kCommitPlusObfuscation})
+        EXPECT_TRUE(verifies(policy)) << policyName(policy);
+}
+
+TEST(AuthPolicy, IssueGateExclusive)
+{
+    EXPECT_TRUE(gatesIssue(AuthPolicy::kAuthThenIssue));
+    EXPECT_FALSE(gatesCommit(AuthPolicy::kAuthThenIssue));
+    EXPECT_FALSE(gatesFetch(AuthPolicy::kAuthThenIssue));
+    EXPECT_FALSE(gatesWrite(AuthPolicy::kAuthThenIssue));
+}
+
+TEST(AuthPolicy, CommitGateMembers)
+{
+    EXPECT_TRUE(gatesCommit(AuthPolicy::kAuthThenCommit));
+    EXPECT_TRUE(gatesCommit(AuthPolicy::kCommitPlusFetch));
+    EXPECT_TRUE(gatesCommit(AuthPolicy::kCommitPlusObfuscation));
+    EXPECT_FALSE(gatesCommit(AuthPolicy::kAuthThenWrite));
+    EXPECT_FALSE(gatesCommit(AuthPolicy::kAuthThenFetch));
+}
+
+TEST(AuthPolicy, WriteGateOnlyForWrite)
+{
+    // Commit-gating subsumes the write gate (operands verified before
+    // the store commits), so only kAuthThenWrite uses the buffer gate.
+    for (AuthPolicy policy :
+         {AuthPolicy::kAuthThenIssue, AuthPolicy::kAuthThenCommit,
+          AuthPolicy::kAuthThenFetch, AuthPolicy::kCommitPlusFetch,
+          AuthPolicy::kCommitPlusObfuscation})
+        EXPECT_FALSE(gatesWrite(policy)) << policyName(policy);
+    EXPECT_TRUE(gatesWrite(AuthPolicy::kAuthThenWrite));
+}
+
+TEST(AuthPolicy, FetchGateMembers)
+{
+    EXPECT_TRUE(gatesFetch(AuthPolicy::kAuthThenFetch));
+    EXPECT_TRUE(gatesFetch(AuthPolicy::kCommitPlusFetch));
+    EXPECT_FALSE(gatesFetch(AuthPolicy::kCommitPlusObfuscation));
+    EXPECT_FALSE(gatesFetch(AuthPolicy::kAuthThenCommit));
+}
+
+TEST(AuthPolicy, ObfuscationMember)
+{
+    EXPECT_TRUE(obfuscates(AuthPolicy::kCommitPlusObfuscation));
+    EXPECT_FALSE(obfuscates(AuthPolicy::kCommitPlusFetch));
+}
+
+TEST(AuthPolicy, NamesAreDistinct)
+{
+    const AuthPolicy all[] = {
+        AuthPolicy::kBaseline,       AuthPolicy::kAuthThenIssue,
+        AuthPolicy::kAuthThenWrite,  AuthPolicy::kAuthThenCommit,
+        AuthPolicy::kAuthThenFetch,  AuthPolicy::kCommitPlusFetch,
+        AuthPolicy::kCommitPlusObfuscation,
+    };
+    for (AuthPolicy a : all) {
+        for (AuthPolicy b : all) {
+            if (a != b) {
+                EXPECT_STRNE(policyName(a), policyName(b));
+            }
+        }
+    }
+}

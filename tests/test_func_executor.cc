@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Functional executor tests: whole-program execution of loops, memory,
+ * calls and FP over a flat memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/flat_mem.hh"
+#include "cpu/func_executor.hh"
+#include "isa/program.hh"
+
+using namespace acp;
+using namespace acp::cpu;
+using namespace acp::isa;
+
+namespace
+{
+
+struct Machine
+{
+    explicit Machine(const Program &prog) : mem(1 << 24)
+    {
+        mem.loadProgram(prog);
+        MemPort port;
+        port.read = [this](Addr a, unsigned b) { return mem.read(a, b); };
+        port.write = [this](Addr a, unsigned b, std::uint64_t v) {
+            mem.write(a, b, v);
+        };
+        port.fetch = [this](Addr a) { return mem.fetch(a); };
+        exec = std::make_unique<FuncExecutor>(port, prog.entry);
+    }
+
+    FlatMem mem;
+    std::unique_ptr<FuncExecutor> exec;
+};
+
+} // namespace
+
+TEST(FuncExecutor, CountdownLoop)
+{
+    ProgramBuilder pb(0x1000, "loop");
+    Label loop = pb.newLabel(), done = pb.newLabel();
+    pb.li(5, 10);     // x5 = 10
+    pb.li(6, 0);      // x6 = 0 (accumulator)
+    pb.bind(loop);
+    pb.beq(5, 0, done);
+    pb.add(6, 6, 5);  // x6 += x5
+    pb.addi(5, 5, -1);
+    pb.j(loop);
+    pb.bind(done);
+    pb.halt();
+
+    Machine m(pb.finish());
+    m.exec->run(1000);
+    EXPECT_TRUE(m.exec->halted());
+    EXPECT_EQ(m.exec->reg(6), 55u); // 10+9+...+1
+}
+
+TEST(FuncExecutor, MemoryStoreLoad)
+{
+    ProgramBuilder pb(0x1000, "mem");
+    pb.li(1, 0x8000);
+    pb.li(2, 0x12345678);
+    pb.sw(2, 0, 1);
+    pb.lw(3, 0, 1);
+    pb.li(4, 0xffffffffffffffffULL);
+    pb.sd(4, 8, 1);
+    pb.ld(5, 8, 1);
+    pb.lb(6, 8, 1);
+    pb.halt();
+
+    Machine m(pb.finish());
+    m.exec->run(100);
+    EXPECT_EQ(m.exec->reg(3), 0x12345678u);
+    EXPECT_EQ(m.exec->reg(5), ~0ULL);
+    EXPECT_EQ(m.exec->reg(6), ~0ULL); // sign-extended byte
+    EXPECT_EQ(m.mem.read(0x8000, 4), 0x12345678u);
+}
+
+TEST(FuncExecutor, CallAndReturn)
+{
+    ProgramBuilder pb(0x1000, "call");
+    Label func = pb.newLabel(), after = pb.newLabel();
+    pb.li(10, 5);
+    pb.call(func);
+    pb.j(after);
+    pb.bind(func);      // x10 = x10 * 3
+    pb.li(11, 3);
+    pb.mul(10, 10, 11);
+    pb.ret();
+    pb.bind(after);
+    pb.halt();
+
+    Machine m(pb.finish());
+    m.exec->run(100);
+    EXPECT_TRUE(m.exec->halted());
+    EXPECT_EQ(m.exec->reg(10), 15u);
+}
+
+TEST(FuncExecutor, FloatingPointKernel)
+{
+    // Sum of i*0.5 for i in [1,8] = 18.0
+    ProgramBuilder pb(0x1000, "fp");
+    Label loop = pb.newLabel(), done = pb.newLabel();
+    pb.li(1, 8);
+    pb.lid(2, 0.0);   // acc
+    pb.lid(3, 0.5);
+    pb.bind(loop);
+    pb.beq(1, 0, done);
+    pb.fcvtld(4, 1);      // double(i)
+    pb.fmul(4, 4, 3);     // i*0.5
+    pb.fadd(2, 2, 4);
+    pb.addi(1, 1, -1);
+    pb.j(loop);
+    pb.bind(done);
+    pb.fcvtdl(5, 2);      // int(acc)
+    pb.halt();
+
+    Machine m(pb.finish());
+    m.exec->run(1000);
+    EXPECT_EQ(m.exec->reg(5), 18u);
+}
+
+TEST(FuncExecutor, HaltStopsExecution)
+{
+    ProgramBuilder pb(0x1000, "halt");
+    pb.li(1, 1);
+    pb.halt();
+    pb.li(1, 99); // never executed
+
+    Machine m(pb.finish());
+    std::uint64_t steps = m.exec->run(100);
+    EXPECT_TRUE(m.exec->halted());
+    EXPECT_LE(steps, 3u);
+    EXPECT_EQ(m.exec->reg(1), 1u);
+
+    // Further steps are no-ops.
+    StepInfo info = m.exec->step();
+    EXPECT_TRUE(info.halted);
+    EXPECT_EQ(m.exec->reg(1), 1u);
+}
+
+TEST(FuncExecutor, OutInstruction)
+{
+    ProgramBuilder pb(0x1000, "out");
+    pb.li(1, 0xbeef);
+    pb.out(1, 3);
+    pb.halt();
+
+    Machine m(pb.finish());
+    StepInfo info;
+    // li may be 1-2 instructions; step until the OUT appears.
+    for (int i = 0; i < 5; ++i) {
+        info = m.exec->step();
+        if (info.isOut)
+            break;
+    }
+    EXPECT_TRUE(info.isOut);
+    EXPECT_EQ(info.outValue, 0xbeefu);
+    EXPECT_EQ(info.outPort, 3u);
+}
+
+TEST(FuncExecutor, X0AlwaysZero)
+{
+    ProgramBuilder pb(0x1000, "x0");
+    pb.li(1, 7);
+    pb.add(0, 1, 1); // attempt to write x0
+    pb.add(2, 0, 0); // read it back
+    pb.halt();
+
+    Machine m(pb.finish());
+    m.exec->run(100);
+    EXPECT_EQ(m.exec->reg(0), 0u);
+    EXPECT_EQ(m.exec->reg(2), 0u);
+}

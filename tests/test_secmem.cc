@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Secure-memory tests: external (ciphertext) memory round trips and
+ * tamper detection, the in-order authentication engine, the hash tree
+ * and the remap layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "secmem/auth_engine.hh"
+#include "secmem/counter_predictor.hh"
+#include "secmem/external_memory.hh"
+#include "secmem/hash_tree.hh"
+#include "secmem/remap.hh"
+#include "sim/config.hh"
+
+using namespace acp;
+using namespace acp::secmem;
+
+// ---------------------------------------------------------------- extmem
+
+TEST(ExternalMemory, LazyLinesReadZero)
+{
+    ExternalMemory ext(1);
+    FetchedLine line = ext.fetchLine(0x12340);
+    EXPECT_TRUE(line.macOk);
+    for (auto byte : line.plain)
+        EXPECT_EQ(byte, 0);
+}
+
+TEST(ExternalMemory, StoreFetchRoundTrip)
+{
+    ExternalMemory ext(2);
+    std::uint8_t data[kExtLineBytes];
+    for (unsigned i = 0; i < kExtLineBytes; ++i)
+        data[i] = std::uint8_t(i * 3);
+    ext.storeLine(0x4000, data);
+
+    FetchedLine line = ext.fetchLine(0x4000);
+    EXPECT_TRUE(line.macOk);
+    EXPECT_EQ(0, std::memcmp(line.plain.data(), data, kExtLineBytes));
+    EXPECT_EQ(line.counter, 1u);
+}
+
+TEST(ExternalMemory, CounterIncrementsPerStore)
+{
+    ExternalMemory ext(3);
+    std::uint8_t data[kExtLineBytes] = {0};
+    for (int i = 0; i < 5; ++i)
+        ext.storeLine(0x8000, data);
+    EXPECT_EQ(ext.counterOf(0x8000), 5u);
+    EXPECT_EQ(ext.counterOf(0x8040), 0u);
+}
+
+TEST(ExternalMemory, ProvisionDoesNotBumpCounter)
+{
+    ExternalMemory ext(4);
+    std::uint8_t data[kExtLineBytes] = {1, 2, 3};
+    ext.provisionLine(0x1000, data);
+    EXPECT_EQ(ext.counterOf(0x1000), 0u);
+    FetchedLine line = ext.fetchLine(0x1000);
+    EXPECT_TRUE(line.macOk);
+    EXPECT_EQ(line.plain[0], 1);
+}
+
+TEST(ExternalMemory, TamperDetectedByMac)
+{
+    ExternalMemory ext(5);
+    std::uint8_t data[kExtLineBytes] = {0xaa, 0xbb};
+    ext.storeLine(0x2000, data);
+
+    std::uint8_t mask = 0x01;
+    ext.tamper(0x2007, &mask, 1);
+
+    FetchedLine line = ext.fetchLine(0x2000);
+    EXPECT_FALSE(line.macOk);
+    // CTR malleability: exactly the tampered bit flipped in plaintext.
+    EXPECT_EQ(line.plain[7], data[7] ^ 0x01);
+    EXPECT_EQ(line.plain[0], data[0]);
+}
+
+TEST(ExternalMemory, TamperAcrossLines)
+{
+    ExternalMemory ext(6);
+    std::uint8_t mask[4] = {0xff, 0xff, 0xff, 0xff};
+    ext.tamper(kExtLineBytes - 2, mask, 4); // spans line 0 and line 1
+    EXPECT_FALSE(ext.fetchLine(0).macOk);
+    EXPECT_FALSE(ext.fetchLine(kExtLineBytes).macOk);
+}
+
+TEST(ExternalMemory, CiphertextDiffersFromPlaintext)
+{
+    ExternalMemory ext(7);
+    std::uint8_t data[kExtLineBytes];
+    for (unsigned i = 0; i < kExtLineBytes; ++i)
+        data[i] = std::uint8_t(i);
+    ext.storeLine(0x3000, data);
+    auto cipher = ext.readCiphertext(0x3000, kExtLineBytes);
+    EXPECT_NE(0, std::memcmp(cipher.data(), data, kExtLineBytes));
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(AuthEngine, InOrderCompletion)
+{
+    AuthEngine eng(100, 100); // serial
+
+    AuthSeq a = eng.post(1000, 0, true);
+    AuthSeq b = eng.post(1000, 0, true);
+    AuthSeq c = eng.post(1000, 0, true);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(c, 3u);
+    EXPECT_EQ(eng.lastRequest(), 3u);
+
+    // Serial engine: each completion 100 cycles after the previous
+    // start.
+    EXPECT_EQ(eng.doneCycle(a), 1100u);
+    EXPECT_EQ(eng.doneCycle(b), 1200u);
+    EXPECT_EQ(eng.doneCycle(c), 1300u);
+    EXPECT_LE(eng.doneCycle(a), eng.doneCycle(b));
+    EXPECT_LE(eng.doneCycle(b), eng.doneCycle(c));
+}
+
+TEST(AuthEngine, PipelinedEngineOverlaps)
+{
+    AuthEngine eng(148, 74); // pipelined: one pass occupancy
+    eng.post(0, 0, true);
+    AuthSeq b = eng.post(0, 0, true);
+    EXPECT_EQ(eng.doneCycle(b), 74u + 148u);
+}
+
+TEST(AuthEngine, IdleEngineNoQueueDelay)
+{
+    AuthEngine eng(148, 148);
+    AuthSeq a = eng.post(5000, 0, true);
+    EXPECT_EQ(eng.doneCycle(a), 5148u);
+    // Long idle gap: next request starts immediately at its ready time.
+    AuthSeq b = eng.post(100000, 0, true);
+    EXPECT_EQ(eng.doneCycle(b), 100148u);
+}
+
+TEST(AuthEngine, NoSeqQueriesReturnZero)
+{
+    AuthEngine eng(148, 148);
+    EXPECT_EQ(eng.doneCycle(kNoAuthSeq), 0u);
+    EXPECT_TRUE(eng.verifiedBy(kNoAuthSeq, 0));
+}
+
+TEST(AuthEngine, FailureTracking)
+{
+    AuthEngine eng(10, 10);
+    eng.post(0, 0, true);
+    EXPECT_FALSE(eng.anyFailure());
+    AuthSeq bad = eng.post(0, 0, false);
+    eng.post(0, 0, true);
+    EXPECT_TRUE(eng.anyFailure());
+    EXPECT_EQ(eng.firstFailedSeq(), bad);
+    EXPECT_EQ(eng.firstFailureCycle(), eng.doneCycle(bad));
+}
+
+TEST(AuthEngine, ExtraLatencyExtendsCompletion)
+{
+    AuthEngine eng(100, 100);
+    AuthSeq a = eng.post(0, 50, true);
+    EXPECT_EQ(eng.doneCycle(a), 150u);
+}
+
+// ------------------------------------------------------------- hash tree
+
+namespace
+{
+
+/** Memory callback charging a fixed 100-cycle access. */
+Cycle
+fixedMem(Addr, Cycle c, bool)
+{
+    return c + 100;
+}
+
+} // namespace
+
+TEST(HashTree, VerifyFreshTreeOk)
+{
+    sim::SimConfig cfg;
+    cfg.hashTreeEnabled = true;
+    cfg.protectedBytes = 1 << 20; // small region for fast tests
+    ExternalMemory ext(11);
+    HashTree tree(cfg, ext);
+
+    TreeTiming t = tree.verify(0x4000, 1000, fixedMem);
+    EXPECT_TRUE(t.ok);
+    EXPECT_GT(t.readyAt, 1000u);
+    EXPECT_GE(t.levelsHashed, 1u);
+}
+
+TEST(HashTree, UpdateThenVerifyOk)
+{
+    sim::SimConfig cfg;
+    cfg.hashTreeEnabled = true;
+    cfg.protectedBytes = 1 << 20;
+    ExternalMemory ext(12);
+    HashTree tree(cfg, ext);
+
+    std::uint8_t data[kExtLineBytes] = {9};
+    ext.storeLine(0x4000, data); // counter 0 -> 1
+    TreeTiming up = tree.update(0x4000, 0, fixedMem);
+    EXPECT_GT(up.readyAt, 0u);
+
+    TreeTiming v = tree.verify(0x4000, 0, fixedMem);
+    EXPECT_TRUE(v.ok);
+}
+
+TEST(HashTree, StaleCounterDetected)
+{
+    // A counter bump without a tree update == replayed counter value.
+    sim::SimConfig cfg;
+    cfg.hashTreeEnabled = true;
+    cfg.protectedBytes = 1 << 20;
+    ExternalMemory ext(13);
+    HashTree tree(cfg, ext);
+
+    std::uint8_t data[kExtLineBytes] = {1};
+    ext.storeLine(0x8000, data);
+    // No tree.update: the tree still holds the all-zero default.
+    TreeTiming v = tree.verify(0x8000, 0, fixedMem);
+    EXPECT_FALSE(v.ok);
+}
+
+TEST(HashTree, CachedNodeShortensWalk)
+{
+    sim::SimConfig cfg;
+    cfg.hashTreeEnabled = true;
+    cfg.protectedBytes = 1 << 20;
+    ExternalMemory ext(14);
+    HashTree tree(cfg, ext);
+
+    TreeTiming cold = tree.verify(0x4000, 0, fixedMem);
+    TreeTiming warm = tree.verify(0x4000, 0, fixedMem);
+    EXPECT_GT(cold.nodeFetches, warm.nodeFetches);
+    EXPECT_LE(warm.levelsHashed, cold.levelsHashed);
+    EXPECT_LT(warm.readyAt - 0, cold.readyAt - 0);
+}
+
+TEST(HashTree, LevelsMatchRegionSize)
+{
+    sim::SimConfig cfg;
+    cfg.hashTreeEnabled = true;
+    cfg.protectedBytes = 1 << 20; // 16K lines -> 2048 groups
+    ExternalMemory ext(15);
+    HashTree tree(cfg, ext);
+    // 2048 leaf groups, arity 8: levels = 1 + ceil(log8(2048)) walk
+    // levels; 8^4 = 4096 >= 2048 so 4 levels of nodes.
+    EXPECT_EQ(tree.levels(), 4u);
+}
+
+// ----------------------------------------------------------------- remap
+
+TEST(Remap, TranslateIsStableUntilShuffle)
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 1 << 20;
+    RemapLayer remap(cfg);
+
+    RemapResult a = remap.translate(0x4000, 0, fixedMem);
+    RemapResult b = remap.translate(0x4000, 1000, fixedMem);
+    EXPECT_EQ(a.physAddr, b.physAddr);
+
+    RemapResult shuffled = remap.shuffle(0x4000, 2000, fixedMem);
+    RemapResult after = remap.translate(0x4000, 3000, fixedMem);
+    EXPECT_EQ(after.physAddr, shuffled.physAddr);
+}
+
+TEST(Remap, ShuffleChangesLocation)
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 1 << 26;
+    RemapLayer remap(cfg);
+
+    // With a 2^20-line space, repeated shuffles virtually never repeat.
+    Addr prev = remap.translate(0x4000, 0, fixedMem).physAddr;
+    int changed = 0;
+    for (int i = 0; i < 16; ++i) {
+        Addr next = remap.shuffle(0x4000, 0, fixedMem).physAddr;
+        if (next != prev)
+            ++changed;
+        prev = next;
+    }
+    EXPECT_GE(changed, 15);
+}
+
+TEST(Remap, PhysAddrLineAlignedAndInRange)
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 1 << 22;
+    RemapLayer remap(cfg);
+    for (int i = 0; i < 100; ++i) {
+        Addr phys = remap.shuffle(Addr(i) * 64, 0, fixedMem).physAddr;
+        EXPECT_EQ(phys % kExtLineBytes, 0u);
+        EXPECT_LT(phys, cfg.memoryBytes);
+    }
+}
+
+TEST(Remap, CacheMissFetchesEntry)
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 1 << 26;
+    cfg.remapCache.sizeBytes = 1024; // tiny: force misses
+    RemapLayer remap(cfg);
+
+    int fetches = 0;
+    auto counting = [&](Addr, Cycle c, bool w) {
+        if (!w)
+            ++fetches;
+        return c + 100;
+    };
+    // Touch many distinct entry lines (16 entries per 64B line).
+    for (int i = 0; i < 64; ++i)
+        remap.translate(Addr(i) * 64 * 16, 0, counting);
+    EXPECT_GT(fetches, 40);
+
+    // Re-touching the most recent entries should hit.
+    fetches = 0;
+    remap.translate(Addr(63) * 64 * 16, 0, counting);
+    EXPECT_EQ(fetches, 0);
+}
+
+TEST(AuthEngine, LastArrivedByExcludesOutstanding)
+{
+    AuthEngine eng(148, 40);
+    // Request posted at fetch initiation with arrival at cycle 1000.
+    AuthSeq a = eng.post(1000, 0, true);
+    EXPECT_EQ(eng.lastRequest(), a);
+    // Before the data arrives, the queue is architecturally empty.
+    EXPECT_EQ(eng.lastArrivedBy(500), kNoAuthSeq);
+    EXPECT_EQ(eng.lastArrivedBy(999), kNoAuthSeq);
+    // From the arrival cycle on, the request is visible.
+    EXPECT_EQ(eng.lastArrivedBy(1000), a);
+    EXPECT_EQ(eng.lastArrivedBy(5000), a);
+}
+
+TEST(AuthEngine, LastArrivedByOrdersMultiple)
+{
+    AuthEngine eng(148, 40);
+    AuthSeq a = eng.post(100, 0, true);
+    AuthSeq b = eng.post(200, 0, true);
+    AuthSeq c = eng.post(300, 0, true);
+    EXPECT_EQ(eng.lastArrivedBy(99), kNoAuthSeq);
+    EXPECT_EQ(eng.lastArrivedBy(150), a);
+    EXPECT_EQ(eng.lastArrivedBy(250), b);
+    EXPECT_EQ(eng.lastArrivedBy(300), c);
+}
+
+TEST(AuthEngine, LastArrivedByMonotonicizesArrivals)
+{
+    AuthEngine eng(148, 40);
+    // Out-of-order arrivals (bank-dependent DRAM latencies): the
+    // in-order queue is still consistent — a later request's arrival
+    // is clamped to at least its predecessor's.
+    eng.post(500, 0, true);
+    AuthSeq b = eng.post(300, 0, true); // "arrives" earlier than a
+    EXPECT_EQ(eng.lastArrivedBy(400), kNoAuthSeq);
+    EXPECT_EQ(eng.lastArrivedBy(500), b);
+}
+
+TEST(AuthEngine, ThroughputBoundedByInterval)
+{
+    AuthEngine eng(148, 40);
+    // Ten back-to-back arrivals: completions spaced by the interval,
+    // not by the full latency (pipelined engine).
+    AuthSeq first = eng.post(0, 0, true);
+    AuthSeq last = first;
+    for (int i = 1; i < 10; ++i)
+        last = eng.post(0, 0, true);
+    EXPECT_EQ(eng.doneCycle(first), 148u);
+    EXPECT_EQ(eng.doneCycle(last), 9 * 40u + 148u);
+}
+
+// ------------------------------------------------------ counter predictor
+
+TEST(CounterPredictor, ColdRegionPredictsProvisioningCounter)
+{
+    CounterPredictor pred(4096, 4);
+    // Fresh image: counters are 0 -> within the window.
+    EXPECT_TRUE(pred.predictAndResolve(0x10000, 0));
+    EXPECT_TRUE(pred.predictAndResolve(0x20000, 3));
+    // Heavily-written line in a cold region: outside the window.
+    EXPECT_FALSE(pred.predictAndResolve(0x30000, 100));
+}
+
+TEST(CounterPredictor, RegionHistoryTrains)
+{
+    CounterPredictor pred(4096, 4);
+    // Writebacks in a region train its base counter.
+    pred.onWriteback(0x40000, 50);
+    EXPECT_TRUE(pred.predictAndResolve(0x40040, 52)); // same region
+    EXPECT_FALSE(pred.predictAndResolve(0x41000, 52)); // next region
+}
+
+TEST(CounterPredictor, MispredictionRetrains)
+{
+    CounterPredictor pred(4096, 4);
+    EXPECT_FALSE(pred.predictAndResolve(0x50000, 40));
+    // The true counter retrained the region: neighbours now hit.
+    EXPECT_TRUE(pred.predictAndResolve(0x50040, 41));
+}
+
+TEST(CounterPredictor, HitRateTracksOutcomes)
+{
+    CounterPredictor pred(4096, 4);
+    pred.predictAndResolve(0x0, 0);    // hit
+    pred.predictAndResolve(0x1000, 9); // miss
+    EXPECT_DOUBLE_EQ(pred.hitRate(), 0.5);
+}
+
+TEST(CounterPredictor, StaleBaseWithinWindowStillHits)
+{
+    CounterPredictor pred(4096, 4);
+    pred.onWriteback(0x60000, 10);
+    // Line written 3 more times since training: still inside window.
+    EXPECT_TRUE(pred.predictAndResolve(0x60000, 13));
+    // 4 or more: miss.
+    pred.onWriteback(0x60000, 10);
+    EXPECT_FALSE(pred.predictAndResolve(0x60000, 14));
+}

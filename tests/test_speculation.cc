@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Speculation-visibility tests: the architectural root cause the paper
+ * identifies — memory fetches are NOT architectural state changes, so
+ * a standard OoO core grants bus cycles to speculative (even
+ * wrong-path) loads before commit. These tests pin that behaviour
+ * down, plus the squash/recovery interactions around it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+using namespace acp;
+using namespace acp::isa;
+
+namespace
+{
+
+sim::SimConfig
+cfg(core::AuthPolicy policy = core::AuthPolicy::kBaseline)
+{
+    sim::SimConfig out;
+    out.policy = policy;
+    out.memoryBytes = 64ULL << 20;
+    out.protectedBytes = out.memoryBytes;
+    return out;
+}
+
+} // namespace
+
+/** Wrong-path loads reach the bus: fetch-address trace shows a line
+ *  that is NEVER architecturally accessed. */
+TEST(Speculation, WrongPathLoadReachesBus)
+{
+    // Branch always taken at runtime, but the predictor starts weakly
+    // taken... force the opposite: a never-taken branch whose fall-
+    // through is architectural and whose taken path is never executed.
+    // Train the predictor to mispredict at least once by making the
+    // branch resolve slowly (depends on a cache-missing load).
+    ProgramBuilder pb(0x1000, "wrongpath");
+    Label loop = pb.newLabel(), taken_path = pb.newLabel(),
+          join = pb.newLabel();
+    constexpr Addr kSlowAddr = 0x00200000;
+    constexpr Addr kPhantom = 0x00700000; // only touched on wrong path
+    pb.li(1, kSlowAddr);
+    pb.li(9, std::int64_t(kPhantom));
+    pb.bind(loop);
+    pb.ld(2, 0, 1);          // slow load (L2 miss)
+    pb.addi(1, 1, 64);       // stride to keep missing
+    pb.andi(3, 2, 0);        // x3 = 0 always (data-dependent-looking)
+    pb.bne(3, 0, taken_path); // never actually taken
+    pb.j(join);
+    pb.bind(taken_path);
+    pb.ld(4, 0, 9);          // phantom load (wrong path only)
+    pb.bind(join);
+    pb.j(loop);
+
+    sim::System system(cfg(), pb.finish());
+    system.hier().ctrl().busTrace().enable(true);
+    system.enableCosim();
+    system.measureTimed(4000, 10'000'000);
+
+    // The bimodal predictor inits to weakly-taken, so early iterations
+    // fetch and speculatively execute the taken path while the slow
+    // load resolves — the phantom address must appear on the bus.
+    bool phantom_fetched = system.hier().ctrl().busTrace().any(
+        [](const mem::BusTxn &txn) {
+            return txn.kind == mem::BusTxnKind::kDataFetch &&
+                   (txn.addr & ~Addr(63)) == (kPhantom & ~Addr(63));
+        });
+    EXPECT_TRUE(phantom_fetched);
+}
+
+/** Squashed wrong-path loads leave cache pollution (they really ran). */
+TEST(Speculation, WrongPathPollutesCache)
+{
+    ProgramBuilder pb(0x1000, "pollute");
+    Label loop = pb.newLabel(), taken_path = pb.newLabel(),
+          join = pb.newLabel();
+    constexpr Addr kPhantom = 0x00710000;
+    pb.li(1, 0x00200000);
+    pb.li(9, std::int64_t(kPhantom));
+    pb.bind(loop);
+    pb.ld(2, 0, 1);
+    pb.addi(1, 1, 64);
+    pb.andi(3, 2, 0);
+    pb.bne(3, 0, taken_path);
+    pb.j(join);
+    pb.bind(taken_path);
+    pb.ld(4, 0, 9);
+    pb.bind(join);
+    pb.j(loop);
+
+    sim::System system(cfg(), pb.finish());
+    system.enableCosim();
+    system.measureTimed(4000, 10'000'000);
+    EXPECT_NE(system.hier().l2().peek(kPhantom), nullptr);
+}
+
+/** Under authen-then-issue, benign speculative execution still works:
+ *  verification delays usability, it does not forbid speculation. */
+TEST(Speculation, IssueGateStillSpeculates)
+{
+    ProgramBuilder pb(0x1000, "spec_ok");
+    Label loop = pb.newLabel();
+    pb.li(1, 0x00200000);
+    pb.li(5, 0);
+    pb.bind(loop);
+    pb.ld(2, 0, 1);
+    pb.add(5, 5, 2);
+    pb.addi(1, 1, 64);
+    pb.j(loop);
+
+    sim::System system(cfg(core::AuthPolicy::kAuthThenIssue),
+                       pb.finish());
+    system.enableCosim();
+    sim::RunResult res = system.measureTimed(5000, 20'000'000);
+    EXPECT_EQ(res.reason, cpu::StopReason::kInstLimit);
+    // Multiple loads must overlap despite the issue gate (stride
+    // addresses are computable without the loaded values).
+    EXPECT_GT(res.ipc, 0.01);
+}
+
+/** Mispredict recovery restores the rename map correctly even when
+ *  the wrong path wrote the same registers (fuzzed by cosim). */
+TEST(Speculation, RecoveryWithRegisterAliasing)
+{
+    ProgramBuilder pb(0x1000, "aliasing");
+    Label loop = pb.newLabel(), odd = pb.newLabel(), join = pb.newLabel();
+    pb.li(1, 0x00200000);
+    pb.li(7, 0x123457);
+    pb.bind(loop);
+    pb.ld(2, 0, 1);      // slow resolve
+    pb.andi(3, 7, 1);
+    pb.bne(3, 0, odd);   // irregular direction
+    pb.addi(2, 2, 5);    // same dest regs on both paths
+    pb.addi(4, 2, 1);
+    pb.j(join);
+    pb.bind(odd);
+    pb.addi(2, 2, 9);
+    pb.addi(4, 2, 2);
+    pb.bind(join);
+    pb.add(5, 5, 4);
+    pb.srli(8, 7, 3);
+    pb.xor_(7, 7, 8);
+    pb.slli(8, 7, 5);
+    pb.xor_(7, 7, 8);
+    pb.addi(1, 1, 64);
+    pb.j(loop);
+
+    sim::System system(cfg(), pb.finish());
+    system.enableCosim(); // any recovery bug -> cosim panic
+    sim::RunResult res = system.measureTimed(20000, 40'000'000);
+    EXPECT_EQ(res.reason, cpu::StopReason::kInstLimit);
+    std::string stats;
+    system.core().stats().dump(stats);
+    EXPECT_NE(stats.find("mispredicts"), std::string::npos);
+}

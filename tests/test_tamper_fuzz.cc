@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tamper-injection fuzzing: random ciphertext bit flips against
+ * running workloads under verifying policies. Invariants:
+ *   - the simulator never crashes or wedges;
+ *   - if the tampered line is consumed, a security exception fires;
+ *   - under commit/issue gating no tainted instruction ever commits;
+ *   - under write gating no tainted store ever drains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+#include "workloads/workloads.hh"
+
+using namespace acp;
+using core::AuthPolicy;
+
+namespace
+{
+
+struct FuzzOutcome
+{
+    bool exception = false;
+    std::uint64_t taintedCommits = 0;
+    std::uint64_t taintedDrains = 0;
+};
+
+FuzzOutcome
+fuzzOne(AuthPolicy policy, std::uint64_t seed)
+{
+    Rng rng(seed);
+    sim::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.memoryBytes = 64ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 256 << 10; // small: tamper likely consumed
+    const char *names[] = {"mcf", "twolf", "gap", "equake"};
+    sim::System system(cfg,
+                       workloads::build(names[rng.below(4)], params));
+
+    // Flip 1-4 random bytes somewhere in the workload's data arrays.
+    unsigned flips = 1 + unsigned(rng.below(4));
+    for (unsigned i = 0; i < flips; ++i) {
+        Addr addr = 0x00100000 + rng.below(256 << 10);
+        std::uint8_t mask = std::uint8_t(1 + rng.below(255));
+        system.hier().ctrl().externalMemory().tamper(addr, &mask, 1);
+    }
+
+    // No cosim (the shadow models the untampered program).
+    system.core().run(30000, 10'000'000);
+
+    FuzzOutcome out;
+    out.exception = system.core().securityException();
+    out.taintedCommits = system.core().taintedCommits();
+    out.taintedDrains = system.core().taintedStoreDrains();
+    return out;
+}
+
+} // namespace
+
+TEST(TamperFuzz, CommitGateNeverCommitsTainted)
+{
+    int exceptions = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        FuzzOutcome out = fuzzOne(AuthPolicy::kAuthThenCommit, seed);
+        EXPECT_EQ(out.taintedCommits, 0u) << "seed " << seed;
+        if (out.exception)
+            ++exceptions;
+    }
+    // Small working sets: most tampered lines get consumed.
+    EXPECT_GE(exceptions, 8);
+}
+
+TEST(TamperFuzz, IssueGateNeverCommitsTainted)
+{
+    for (std::uint64_t seed = 100; seed <= 108; ++seed) {
+        FuzzOutcome out = fuzzOne(AuthPolicy::kAuthThenIssue, seed);
+        EXPECT_EQ(out.taintedCommits, 0u) << "seed " << seed;
+        EXPECT_EQ(out.taintedDrains, 0u) << "seed " << seed;
+    }
+}
+
+TEST(TamperFuzz, WriteGateNeverDrainsTainted)
+{
+    for (std::uint64_t seed = 200; seed <= 208; ++seed) {
+        FuzzOutcome out = fuzzOne(AuthPolicy::kAuthThenWrite, seed);
+        EXPECT_EQ(out.taintedDrains, 0u) << "seed " << seed;
+    }
+}
+
+TEST(TamperFuzz, BaselineNeverRaises)
+{
+    for (std::uint64_t seed = 300; seed <= 304; ++seed) {
+        FuzzOutcome out = fuzzOne(AuthPolicy::kBaseline, seed);
+        EXPECT_FALSE(out.exception) << "seed " << seed;
+    }
+}
+
+TEST(TamperFuzz, CommitPlusFetchSurvivesMultiTamper)
+{
+    for (std::uint64_t seed = 400; seed <= 406; ++seed) {
+        FuzzOutcome out = fuzzOne(AuthPolicy::kCommitPlusFetch, seed);
+        EXPECT_EQ(out.taintedCommits, 0u) << "seed " << seed;
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every result artifact of the reproduction:
+#   test_output.txt   - full ctest run
+#   bench_output.txt  - every table/figure/ablation, concatenated
+#
+# Honors the usual scale knobs (REPRO_MEASURE_INSTS, REPRO_WARMUP_INSTS,
+# REPRO_WS_BYTES). Per-run IPCs are cached in ./acp_bench_cache.txt, so
+# re-running after a code change only recomputes what changed (delete
+# the cache to force everything).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    echo "===== $b =====" | tee -a bench_output.txt
+    "$b" 2>/dev/null | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done
+
+echo "wrote test_output.txt and bench_output.txt"

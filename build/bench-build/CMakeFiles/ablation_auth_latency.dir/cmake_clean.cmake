@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_auth_latency"
+  "../bench/ablation_auth_latency.pdb"
+  "CMakeFiles/ablation_auth_latency.dir/ablation_auth_latency.cc.o"
+  "CMakeFiles/ablation_auth_latency.dir/ablation_auth_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_auth_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_counter_cache"
+  "../bench/ablation_counter_cache.pdb"
+  "CMakeFiles/ablation_counter_cache.dir/ablation_counter_cache.cc.o"
+  "CMakeFiles/ablation_counter_cache.dir/ablation_counter_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

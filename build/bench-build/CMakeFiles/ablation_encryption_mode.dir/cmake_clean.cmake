@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_encryption_mode"
+  "../bench/ablation_encryption_mode.pdb"
+  "CMakeFiles/ablation_encryption_mode.dir/ablation_encryption_mode.cc.o"
+  "CMakeFiles/ablation_encryption_mode.dir/ablation_encryption_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encryption_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

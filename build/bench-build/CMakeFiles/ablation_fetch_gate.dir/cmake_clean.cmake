@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fetch_gate"
+  "../bench/ablation_fetch_gate.pdb"
+  "CMakeFiles/ablation_fetch_gate.dir/ablation_fetch_gate.cc.o"
+  "CMakeFiles/ablation_fetch_gate.dir/ablation_fetch_gate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fetch_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

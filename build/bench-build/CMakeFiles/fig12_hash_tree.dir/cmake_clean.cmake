@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_hash_tree"
+  "../bench/fig12_hash_tree.pdb"
+  "CMakeFiles/fig12_hash_tree.dir/fig12_hash_tree.cc.o"
+  "CMakeFiles/fig12_hash_tree.dir/fig12_hash_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hash_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

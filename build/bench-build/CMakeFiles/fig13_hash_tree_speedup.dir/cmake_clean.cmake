@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_hash_tree_speedup"
+  "../bench/fig13_hash_tree_speedup.pdb"
+  "CMakeFiles/fig13_hash_tree_speedup.dir/fig13_hash_tree_speedup.cc.o"
+  "CMakeFiles/fig13_hash_tree_speedup.dir/fig13_hash_tree_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hash_tree_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_normalized_ipc"
+  "../bench/fig7_normalized_ipc.pdb"
+  "CMakeFiles/fig7_normalized_ipc.dir/fig7_normalized_ipc.cc.o"
+  "CMakeFiles/fig7_normalized_ipc.dir/fig7_normalized_ipc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_normalized_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_speedup_over_issue"
+  "../bench/fig8_speedup_over_issue.pdb"
+  "CMakeFiles/fig8_speedup_over_issue.dir/fig8_speedup_over_issue.cc.o"
+  "CMakeFiles/fig8_speedup_over_issue.dir/fig8_speedup_over_issue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_speedup_over_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_remap_cache_size"
+  "../bench/fig9_remap_cache_size.pdb"
+  "CMakeFiles/fig9_remap_cache_size.dir/fig9_remap_cache_size.cc.o"
+  "CMakeFiles/fig9_remap_cache_size.dir/fig9_remap_cache_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_remap_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

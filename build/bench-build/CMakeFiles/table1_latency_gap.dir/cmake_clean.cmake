@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_latency_gap"
+  "../bench/table1_latency_gap.pdb"
+  "CMakeFiles/table1_latency_gap.dir/table1_latency_gap.cc.o"
+  "CMakeFiles/table1_latency_gap.dir/table1_latency_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_latency_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_security_matrix.cc" "bench-build/CMakeFiles/table2_security_matrix.dir/table2_security_matrix.cc.o" "gcc" "bench-build/CMakeFiles/table2_security_matrix.dir/table2_security_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/acp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/acp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/acp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/acp_secmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

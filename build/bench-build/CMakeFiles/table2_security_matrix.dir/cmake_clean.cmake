@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_security_matrix"
+  "../bench/table2_security_matrix.pdb"
+  "CMakeFiles/table2_security_matrix.dir/table2_security_matrix.cc.o"
+  "CMakeFiles/table2_security_matrix.dir/table2_security_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_security_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_model_params"
+  "../bench/table3_model_params.pdb"
+  "CMakeFiles/table3_model_params.dir/table3_model_params.cc.o"
+  "CMakeFiles/table3_model_params.dir/table3_model_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_search_attack.dir/binary_search_attack.cpp.o"
+  "CMakeFiles/binary_search_attack.dir/binary_search_attack.cpp.o.d"
+  "binary_search_attack"
+  "binary_search_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_search_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

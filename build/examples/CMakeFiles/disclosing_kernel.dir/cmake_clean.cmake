@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disclosing_kernel.dir/disclosing_kernel.cpp.o"
+  "CMakeFiles/disclosing_kernel.dir/disclosing_kernel.cpp.o.d"
+  "disclosing_kernel"
+  "disclosing_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disclosing_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

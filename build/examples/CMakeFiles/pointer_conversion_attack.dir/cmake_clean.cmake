@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_conversion_attack.dir/pointer_conversion_attack.cpp.o"
+  "CMakeFiles/pointer_conversion_attack.dir/pointer_conversion_attack.cpp.o.d"
+  "pointer_conversion_attack"
+  "pointer_conversion_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_conversion_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pointer_conversion_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_cache.dir/cache.cc.o"
+  "CMakeFiles/acp_cache.dir/cache.cc.o.d"
+  "CMakeFiles/acp_cache.dir/tlb.cc.o"
+  "CMakeFiles/acp_cache.dir/tlb.cc.o.d"
+  "libacp_cache.a"
+  "libacp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

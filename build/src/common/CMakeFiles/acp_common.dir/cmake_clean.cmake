@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_common.dir/logging.cc.o"
+  "CMakeFiles/acp_common.dir/logging.cc.o.d"
+  "CMakeFiles/acp_common.dir/stats.cc.o"
+  "CMakeFiles/acp_common.dir/stats.cc.o.d"
+  "libacp_common.a"
+  "libacp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_core.dir/security_monitor.cc.o"
+  "CMakeFiles/acp_core.dir/security_monitor.cc.o.d"
+  "libacp_core.a"
+  "libacp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_pred.cc" "src/cpu/CMakeFiles/acp_cpu.dir/branch_pred.cc.o" "gcc" "src/cpu/CMakeFiles/acp_cpu.dir/branch_pred.cc.o.d"
+  "/root/repo/src/cpu/func_executor.cc" "src/cpu/CMakeFiles/acp_cpu.dir/func_executor.cc.o" "gcc" "src/cpu/CMakeFiles/acp_cpu.dir/func_executor.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/cpu/CMakeFiles/acp_cpu.dir/ooo_core.cc.o" "gcc" "src/cpu/CMakeFiles/acp_cpu.dir/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/acp_secmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

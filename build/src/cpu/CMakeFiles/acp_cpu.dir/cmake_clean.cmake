@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_cpu.dir/branch_pred.cc.o"
+  "CMakeFiles/acp_cpu.dir/branch_pred.cc.o.d"
+  "CMakeFiles/acp_cpu.dir/func_executor.cc.o"
+  "CMakeFiles/acp_cpu.dir/func_executor.cc.o.d"
+  "CMakeFiles/acp_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/acp_cpu.dir/ooo_core.cc.o.d"
+  "libacp_cpu.a"
+  "libacp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

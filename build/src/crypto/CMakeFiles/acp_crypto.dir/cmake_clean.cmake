@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_crypto.dir/aes.cc.o"
+  "CMakeFiles/acp_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/acp_crypto.dir/ctr_mode.cc.o"
+  "CMakeFiles/acp_crypto.dir/ctr_mode.cc.o.d"
+  "CMakeFiles/acp_crypto.dir/hmac.cc.o"
+  "CMakeFiles/acp_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/acp_crypto.dir/sha256.cc.o"
+  "CMakeFiles/acp_crypto.dir/sha256.cc.o.d"
+  "libacp_crypto.a"
+  "libacp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_isa.dir/instr.cc.o"
+  "CMakeFiles/acp_isa.dir/instr.cc.o.d"
+  "CMakeFiles/acp_isa.dir/opcodes.cc.o"
+  "CMakeFiles/acp_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/acp_isa.dir/program.cc.o"
+  "CMakeFiles/acp_isa.dir/program.cc.o.d"
+  "CMakeFiles/acp_isa.dir/semantics.cc.o"
+  "CMakeFiles/acp_isa.dir/semantics.cc.o.d"
+  "libacp_isa.a"
+  "libacp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

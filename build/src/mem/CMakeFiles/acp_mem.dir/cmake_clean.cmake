@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_mem.dir/dram.cc.o"
+  "CMakeFiles/acp_mem.dir/dram.cc.o.d"
+  "libacp_mem.a"
+  "libacp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secmem/auth_engine.cc" "src/secmem/CMakeFiles/acp_secmem.dir/auth_engine.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/auth_engine.cc.o.d"
+  "/root/repo/src/secmem/counter_predictor.cc" "src/secmem/CMakeFiles/acp_secmem.dir/counter_predictor.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/counter_predictor.cc.o.d"
+  "/root/repo/src/secmem/external_memory.cc" "src/secmem/CMakeFiles/acp_secmem.dir/external_memory.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/external_memory.cc.o.d"
+  "/root/repo/src/secmem/hash_tree.cc" "src/secmem/CMakeFiles/acp_secmem.dir/hash_tree.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/hash_tree.cc.o.d"
+  "/root/repo/src/secmem/mem_hierarchy.cc" "src/secmem/CMakeFiles/acp_secmem.dir/mem_hierarchy.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/mem_hierarchy.cc.o.d"
+  "/root/repo/src/secmem/remap.cc" "src/secmem/CMakeFiles/acp_secmem.dir/remap.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/remap.cc.o.d"
+  "/root/repo/src/secmem/secure_memctrl.cc" "src/secmem/CMakeFiles/acp_secmem.dir/secure_memctrl.cc.o" "gcc" "src/secmem/CMakeFiles/acp_secmem.dir/secure_memctrl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

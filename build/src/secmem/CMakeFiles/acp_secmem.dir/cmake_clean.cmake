@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_secmem.dir/auth_engine.cc.o"
+  "CMakeFiles/acp_secmem.dir/auth_engine.cc.o.d"
+  "CMakeFiles/acp_secmem.dir/counter_predictor.cc.o"
+  "CMakeFiles/acp_secmem.dir/counter_predictor.cc.o.d"
+  "CMakeFiles/acp_secmem.dir/external_memory.cc.o"
+  "CMakeFiles/acp_secmem.dir/external_memory.cc.o.d"
+  "CMakeFiles/acp_secmem.dir/hash_tree.cc.o"
+  "CMakeFiles/acp_secmem.dir/hash_tree.cc.o.d"
+  "CMakeFiles/acp_secmem.dir/mem_hierarchy.cc.o"
+  "CMakeFiles/acp_secmem.dir/mem_hierarchy.cc.o.d"
+  "CMakeFiles/acp_secmem.dir/remap.cc.o"
+  "CMakeFiles/acp_secmem.dir/remap.cc.o.d"
+  "CMakeFiles/acp_secmem.dir/secure_memctrl.cc.o"
+  "CMakeFiles/acp_secmem.dir/secure_memctrl.cc.o.d"
+  "libacp_secmem.a"
+  "libacp_secmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_secmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

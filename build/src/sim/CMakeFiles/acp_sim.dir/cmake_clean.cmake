@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_sim.dir/attack_scenarios.cc.o"
+  "CMakeFiles/acp_sim.dir/attack_scenarios.cc.o.d"
+  "CMakeFiles/acp_sim.dir/system.cc.o"
+  "CMakeFiles/acp_sim.dir/system.cc.o.d"
+  "libacp_sim.a"
+  "libacp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acpsim.dir/main.cc.o"
+  "CMakeFiles/acpsim.dir/main.cc.o.d"
+  "acpsim"
+  "acpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_workloads.dir/victims.cc.o"
+  "CMakeFiles/acp_workloads.dir/victims.cc.o.d"
+  "CMakeFiles/acp_workloads.dir/workloads.cc.o"
+  "CMakeFiles/acp_workloads.dir/workloads.cc.o.d"
+  "libacp_workloads.a"
+  "libacp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctr_mode.dir/test_ctr_mode.cc.o"
+  "CMakeFiles/test_ctr_mode.dir/test_ctr_mode.cc.o.d"
+  "test_ctr_mode"
+  "test_ctr_mode.pdb"
+  "test_ctr_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctr_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

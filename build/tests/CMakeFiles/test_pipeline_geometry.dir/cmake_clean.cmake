@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_geometry.dir/test_pipeline_geometry.cc.o"
+  "CMakeFiles/test_pipeline_geometry.dir/test_pipeline_geometry.cc.o.d"
+  "test_pipeline_geometry"
+  "test_pipeline_geometry.pdb"
+  "test_pipeline_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

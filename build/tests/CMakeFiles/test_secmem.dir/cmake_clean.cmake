@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secmem.dir/test_secmem.cc.o"
+  "CMakeFiles/test_secmem.dir/test_secmem.cc.o.d"
+  "test_secmem"
+  "test_secmem.pdb"
+  "test_secmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_monitor.dir/test_security_monitor.cc.o"
+  "CMakeFiles/test_security_monitor.dir/test_security_monitor.cc.o.d"
+  "test_security_monitor"
+  "test_security_monitor.pdb"
+  "test_security_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

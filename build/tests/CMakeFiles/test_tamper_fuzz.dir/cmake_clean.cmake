@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tamper_fuzz.dir/test_tamper_fuzz.cc.o"
+  "CMakeFiles/test_tamper_fuzz.dir/test_tamper_fuzz.cc.o.d"
+  "test_tamper_fuzz"
+  "test_tamper_fuzz.pdb"
+  "test_tamper_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tamper_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_victims.dir/test_victims.cc.o"
+  "CMakeFiles/test_victims.dir/test_victims.cc.o.d"
+  "test_victims"
+  "test_victims.pdb"
+  "test_victims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

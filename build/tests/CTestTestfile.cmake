@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_aes[1]_include.cmake")
+include("/root/repo/build/tests/test_sha256[1]_include.cmake")
+include("/root/repo/build/tests/test_hmac[1]_include.cmake")
+include("/root/repo/build/tests/test_ctr_mode[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_secmem[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_func_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_ooo_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_auth_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_security_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_victims[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_speculation[1]_include.cmake")
+include("/root/repo/build/tests/test_tamper_fuzz[1]_include.cmake")

@@ -7,52 +7,63 @@
  * counter prediction recovers most of the counter-cache-miss penalty;
  * under issue-gating CBC's narrower decrypt-to-verify gap does not
  * save it because everything is slower in absolute terms.
+ *
+ * encryptionMode/counterPrediction are part of the full-config cache
+ * key, so (unlike under the old snprintf key, which silently dropped
+ * them) these runs are safely cached.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hh"
 
 using namespace acp;
 
-namespace
-{
-
-double
-run(const std::string &name, core::AuthPolicy policy,
-    sim::EncryptionMode mode, bool prediction)
-{
-    sim::SimConfig cfg = bench::paperConfig();
-    cfg.policy = policy;
-    cfg.encryptionMode = mode;
-    cfg.counterPrediction = prediction;
-    return bench::runIpc(name, cfg);
-}
-
-} // namespace
-
 int
 main()
 {
-    const char *names[] = {"mcf", "art", "equake", "swim"};
+    const std::vector<std::string> names = {"mcf", "art", "equake",
+                                            "swim"};
+    const core::AuthPolicy policies[] = {core::AuthPolicy::kBaseline,
+                                         core::AuthPolicy::kAuthThenIssue};
 
     std::printf("Ablation: encryption mode (absolute IPC)\n\n");
-    for (core::AuthPolicy policy : {core::AuthPolicy::kBaseline,
-                                    core::AuthPolicy::kAuthThenIssue}) {
-        std::printf("%s:\n", core::policyName(policy));
+
+    // One batch: {baseline,issue} x {ctr+pred, ctr no-pred, cbc}.
+    exp::Sweep sweep = bench::paperSweep();
+    sweep.workloads(names);
+    for (core::AuthPolicy policy : policies) {
+        sweep.variant("ctr+predict", [policy](sim::SimConfig &cfg) {
+            cfg.policy = policy;
+            cfg.encryptionMode = sim::EncryptionMode::kCounterMode;
+            cfg.counterPrediction = true;
+        });
+        sweep.variant("ctr no-pred", [policy](sim::SimConfig &cfg) {
+            cfg.policy = policy;
+            cfg.encryptionMode = sim::EncryptionMode::kCounterMode;
+            cfg.counterPrediction = false;
+        });
+        sweep.variant("cbc", [policy](sim::SimConfig &cfg) {
+            cfg.policy = policy;
+            cfg.encryptionMode = sim::EncryptionMode::kCbc;
+            cfg.counterPrediction = false;
+        });
+    }
+    std::vector<exp::Result> results = bench::runner().run(sweep);
+    const std::size_t stride = 6;
+
+    for (int p = 0; p < 2; ++p) {
+        std::printf("%s:\n", core::policyName(policies[p]));
         std::printf("%-10s %14s %14s %14s\n", "bench", "ctr+predict",
                     "ctr no-pred", "cbc");
         bench::rule('-', 58);
-        for (const char *name : names) {
-            double ctr_pred = run(name, policy,
-                                  sim::EncryptionMode::kCounterMode, true);
-            double ctr_nopred = run(name, policy,
-                                    sim::EncryptionMode::kCounterMode,
-                                    false);
-            double cbc = run(name, policy, sim::EncryptionMode::kCbc,
-                             false);
-            std::printf("%-10s %14.4f %14.4f %14.4f\n", name, ctr_pred,
-                        ctr_nopred, cbc);
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            std::printf("%-10s", names[w].c_str());
+            for (int m = 0; m < 3; ++m)
+                std::printf(" %14.4f",
+                            results[w * stride + p * 3 + m].run.ipc);
+            std::printf("\n");
         }
         std::printf("\n");
     }

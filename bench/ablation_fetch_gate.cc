@@ -8,39 +8,34 @@
  * streams; this bench quantifies the difference. Also sweeps the
  * verification engine's initiation interval (a serial engine throttles
  * everything).
+ *
+ * The drain switch is SimConfig::fetchGateDrain, so every variant is
+ * fully keyed and safely cached.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hh"
 
 using namespace acp;
 
-namespace
-{
-
-double
-runFetchVariant(const std::string &name, bool drain, unsigned interval)
-{
-    sim::SimConfig cfg = bench::paperConfig();
-    cfg.policy = core::AuthPolicy::kAuthThenFetch;
-    cfg.authEngineInterval = interval;
-
-    workloads::WorkloadParams params;
-    params.workingSetBytes = bench::workingSetBytes();
-    sim::System system(cfg, workloads::build(name, params));
-    system.hier().ctrl().setFetchGateDrain(drain);
-    system.fastForward(bench::warmupInsts());
-    return system.measureTimed(bench::measureInsts(),
-                               bench::measureInsts() * 400).ipc;
-}
-
-} // namespace
-
 int
 main()
 {
-    const char *names[] = {"mcf", "art", "gap", "swim"};
+    const std::vector<std::string> names = {"mcf", "art", "gap", "swim"};
+    struct Variant
+    {
+        const char *label;
+        bool drain;
+        unsigned interval;
+    };
+    const Variant variants[] = {
+        {"tag@issue", false, 40},
+        {"drain", true, 40},
+        {"serial engine", false, 148},
+        {"drain+serial", true, 148},
+    };
 
     std::printf("Ablation: authen-then-fetch variants "
                 "(normalized IPC vs decrypt-only baseline)\n\n");
@@ -48,18 +43,28 @@ main()
                 "drain", "serial engine", "drain+serial");
     bench::rule('-', 70);
 
-    for (const char *name : names) {
-        sim::SimConfig base_cfg = bench::paperConfig();
-        base_cfg.policy = core::AuthPolicy::kBaseline;
-        double base = bench::runIpcCached(name, base_cfg);
+    exp::Sweep sweep = bench::paperSweep();
+    sweep.workloads(names);
+    sweep.variant("base", [](sim::SimConfig &cfg) {
+        cfg.policy = core::AuthPolicy::kBaseline;
+    });
+    for (const Variant &v : variants)
+        sweep.variant(v.label, [v](sim::SimConfig &cfg) {
+            cfg.policy = core::AuthPolicy::kAuthThenFetch;
+            cfg.fetchGateDrain = v.drain;
+            cfg.authEngineInterval = v.interval;
+        });
+    std::vector<exp::Result> results = bench::runner().run(sweep);
+    const std::size_t stride = 5;
 
-        double tag = runFetchVariant(name, false, 40);
-        double drain = runFetchVariant(name, true, 40);
-        double serial = runFetchVariant(name, false, 148);
-        double both = runFetchVariant(name, true, 148);
-        std::printf("%-10s %11.1f%% %11.1f%% %13.1f%% %15.1f%%\n", name,
-                    100.0 * tag / base, 100.0 * drain / base,
-                    100.0 * serial / base, 100.0 * both / base);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        double base = results[w * stride].run.ipc;
+        auto pct = [&](int v) {
+            double ipc = results[w * stride + 1 + v].run.ipc;
+            return base > 0 ? 100.0 * ipc / base : 0.0;
+        };
+        std::printf("%-10s %11.1f%% %11.1f%% %13.1f%% %15.1f%%\n",
+                    names[w].c_str(), pct(0), pct(1), pct(2), pct(3));
     }
     std::printf("\nExpected: tag@issue >= drain (outstanding fetches "
                 "excluded from the gate);\na serial engine (148ns "

@@ -1,12 +1,17 @@
 /**
  * @file
- * Shared harness for the paper-reproduction benchmarks: runs a
- * (workload, configuration) pair through fast-forward + timed window
- * and returns the IPC, with environment-variable knobs for scale:
+ * Shared harness for the paper-reproduction benchmarks, built on the
+ * acp::exp experiment API: each figure/table declares a Sweep
+ * (workloads × config variants) and runs it on the shared parallel
+ * Runner, which executes points on a thread pool and persists results
+ * in the versioned, fully-keyed ./acp_bench_cache.txt.
  *
- *   REPRO_MEASURE_INSTS  timed window per run        (default 200000)
- *   REPRO_WARMUP_INSTS   functional warmup per run   (default 100000)
- *   REPRO_WS_BYTES       workload working set        (default 4 MiB)
+ * Environment knobs:
+ *
+ *   ACP_JOBS             worker threads               (default: all cores)
+ *   REPRO_MEASURE_INSTS  timed window per run         (default 60000)
+ *   REPRO_WARMUP_INSTS   functional warmup per run    (default 30000)
+ *   REPRO_WS_BYTES       workload working set         (default 2 MiB)
  *
  * The paper simulates 400M instructions per SPEC benchmark on a farm;
  * the defaults here reproduce the *shape* of every figure in minutes
@@ -24,6 +29,8 @@
 #include <vector>
 
 #include "core/auth_policy.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
 #include "workloads/workloads.hh"
@@ -66,72 +73,36 @@ paperConfig()
     return cfg;
 }
 
-/** Run one (workload, config) pair and return measured IPC. */
-inline double
-runIpc(const std::string &workload, const sim::SimConfig &cfg)
+/** Workload parameters honoring the scale knobs. */
+inline workloads::WorkloadParams
+paperParams()
 {
     workloads::WorkloadParams params;
     params.workingSetBytes = workingSetBytes();
-    sim::System system(cfg, workloads::build(workload, params));
-    system.fastForward(warmupInsts());
-    sim::RunResult res = system.measureTimed(measureInsts(),
-                                             measureInsts() * 400);
-    return res.ipc;
-}
-
-/** Cache key describing everything that affects a run's IPC. */
-inline std::string
-cacheKey(const std::string &workload, const sim::SimConfig &cfg)
-{
-    char key[256];
-    std::snprintf(key, sizeof(key),
-                  "%s|pol%d|l2_%llu|ruu%u_%u|tree%d|remap%llu|auth%u|"
-                  "int%u|m%llu|w%llu|ws%llu",
-                  workload.c_str(), int(cfg.policy),
-                  (unsigned long long)cfg.l2.sizeBytes, cfg.ruuSize,
-                  cfg.lsqSize,
-                  cfg.hashTreeEnabled ? 1 : 0,
-                  (unsigned long long)cfg.remapCache.sizeBytes,
-                  cfg.authLatency, cfg.authEngineInterval,
-                  (unsigned long long)measureInsts(),
-                  (unsigned long long)warmupInsts(),
-                  (unsigned long long)workingSetBytes());
-    return key;
+    return params;
 }
 
 /**
- * Cached runner: results persist in ./acp_bench_cache.txt so derived
- * figures (8, 11, 13) reuse the runs of their siblings (7, 10, 12)
- * and re-running a bench binary is cheap. Delete the file to force
- * fresh measurements.
+ * Shared parallel runner (ACP_JOBS threads, versioned persistent
+ * cache in ./acp_bench_cache.txt so derived figures reuse the runs of
+ * their siblings and re-running a bench binary is cheap; delete the
+ * file to force fresh measurements).
  */
-inline double
-runIpcCached(const std::string &workload, const sim::SimConfig &cfg)
+inline exp::Runner &
+runner()
 {
-    static const char *kCacheFile = "acp_bench_cache.txt";
-    std::string key = cacheKey(workload, cfg);
+    static exp::Runner instance;
+    return instance;
+}
 
-    if (std::FILE *f = std::fopen(kCacheFile, "r")) {
-        char line[512];
-        while (std::fgets(line, sizeof(line), f)) {
-            std::string entry(line);
-            auto eq = entry.rfind('=');
-            if (eq != std::string::npos &&
-                entry.compare(0, eq, key) == 0) {
-                std::fclose(f);
-                return std::strtod(entry.c_str() + eq + 1, nullptr);
-            }
-        }
-        std::fclose(f);
-    }
-
-    std::fprintf(stderr, "  [run] %s\n", key.c_str());
-    double ipc = runIpc(workload, cfg);
-    if (std::FILE *f = std::fopen(kCacheFile, "a")) {
-        std::fprintf(f, "%s=%.6f\n", key.c_str(), ipc);
-        std::fclose(f);
-    }
-    return ipc;
+/** A Sweep pre-loaded with the paper config, scale knobs and window. */
+inline exp::Sweep
+paperSweep(const sim::SimConfig &cfg = paperConfig())
+{
+    exp::Sweep sweep;
+    sweep.base(cfg).params(paperParams()).window(warmupInsts(),
+                                                 measureInsts());
+    return sweep;
 }
 
 /** Pretty separator. */
@@ -165,6 +136,34 @@ fig7Schemes()
 }
 
 /**
+ * Build the (reference policy + schemes) × workloads sweep every
+ * ratio table is made of: variant 0 is @p reference, variants 1..S
+ * are the schemes. Runs as one parallel batch.
+ */
+inline std::vector<exp::Result>
+runSchemes(const std::vector<std::string> &names,
+           const std::vector<Scheme> &schemes, sim::SimConfig base_cfg,
+           core::AuthPolicy reference, std::vector<exp::Point> *out_points
+           = nullptr)
+{
+    exp::Sweep sweep = paperSweep(base_cfg);
+    sweep.workloads(names);
+    sweep.variant(core::policyName(reference),
+                  [reference](sim::SimConfig &cfg) {
+                      cfg.policy = reference;
+                  });
+    for (const Scheme &scheme : schemes)
+        sweep.variant(scheme.label, [policy = scheme.policy](
+                                        sim::SimConfig &cfg) {
+            cfg.policy = policy;
+        });
+    std::vector<exp::Point> points = sweep.build();
+    if (out_points)
+        *out_points = points;
+    return runner().run(points);
+}
+
+/**
  * Print a paper-style normalized-IPC table: one row per workload, one
  * column per scheme, each cell = IPC(scheme)/IPC(baseline) in percent,
  * with a final average row. Returns the per-scheme averages.
@@ -174,6 +173,10 @@ normalizedIpcTable(const char *title, const std::vector<std::string> &names,
                    const std::vector<Scheme> &schemes,
                    sim::SimConfig base_cfg)
 {
+    std::vector<exp::Result> results =
+        runSchemes(names, schemes, base_cfg, core::AuthPolicy::kBaseline);
+    std::size_t stride = schemes.size() + 1;
+
     std::printf("\n%s (baseline: decryption only, no authentication)\n",
                 title);
     bench::rule('-', 16 + 14 * int(schemes.size()));
@@ -184,14 +187,11 @@ normalizedIpcTable(const char *title, const std::vector<std::string> &names,
     bench::rule('-', 16 + 14 * int(schemes.size()));
 
     std::vector<std::vector<double>> ratios(schemes.size());
-    for (const std::string &name : names) {
-        sim::SimConfig cfg = base_cfg;
-        cfg.policy = core::AuthPolicy::kBaseline;
-        double base = runIpcCached(name, cfg);
-        std::printf("%-10s", name.c_str());
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        double base = results[w * stride].run.ipc;
+        std::printf("%-10s", names[w].c_str());
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            cfg.policy = schemes[s].policy;
-            double ipc = runIpcCached(name, cfg);
+            double ipc = results[w * stride + 1 + s].run.ipc;
             double ratio = base > 0 ? ipc / base : 0.0;
             ratios[s].push_back(ratio);
             std::printf(" %12.1f%%", 100.0 * ratio);
@@ -220,6 +220,10 @@ speedupOverIssueTable(const char *title,
                       const std::vector<Scheme> &schemes,
                       sim::SimConfig base_cfg)
 {
+    std::vector<exp::Result> results = runSchemes(
+        names, schemes, base_cfg, core::AuthPolicy::kAuthThenIssue);
+    std::size_t stride = schemes.size() + 1;
+
     std::printf("\n%s (IPC speedup over authen-then-issue)\n", title);
     bench::rule('-', 16 + 14 * int(schemes.size()));
     std::printf("%-10s", "bench");
@@ -229,14 +233,11 @@ speedupOverIssueTable(const char *title,
     bench::rule('-', 16 + 14 * int(schemes.size()));
 
     std::vector<std::vector<double>> speedups(schemes.size());
-    for (const std::string &name : names) {
-        sim::SimConfig cfg = base_cfg;
-        cfg.policy = core::AuthPolicy::kAuthThenIssue;
-        double issue_ipc = runIpcCached(name, cfg);
-        std::printf("%-10s", name.c_str());
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        double issue_ipc = results[w * stride].run.ipc;
+        std::printf("%-10s", names[w].c_str());
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            cfg.policy = schemes[s].policy;
-            double ipc = runIpcCached(name, cfg);
+            double ipc = results[w * stride + 1 + s].run.ipc;
             double speedup = issue_ipc > 0 ? ipc / issue_ipc : 0.0;
             speedups[s].push_back(speedup);
             std::printf(" %+11.1f%%", 100.0 * (speedup - 1.0));

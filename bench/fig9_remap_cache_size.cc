@@ -28,23 +28,31 @@ main()
 
     const std::uint64_t sizes[] = {8 * 1024, 32 * 1024, 128 * 1024};
 
+    // One batch: baseline + the three obfuscation variants per bench.
+    exp::Sweep sweep = bench::paperSweep();
+    sweep.workloads(all_names);
+    sweep.variant("base", [](sim::SimConfig &cfg) {
+        cfg.policy = core::AuthPolicy::kBaseline;
+    });
+    for (std::uint64_t size : sizes)
+        sweep.variant("obf", [size](sim::SimConfig &cfg) {
+            cfg.policy = core::AuthPolicy::kCommitPlusObfuscation;
+            cfg.remapCache.sizeBytes = size;
+        });
+    std::vector<exp::Result> results = bench::runner().run(sweep);
+    const std::size_t stride = 4;
+
     std::printf("\n%-10s %14s %14s %14s\n", "bench", "8KB remap$",
                 "32KB remap$", "128KB remap$");
     bench::rule('-', 58);
 
     std::vector<double> sums(3, 0.0);
-    for (const std::string &name : all_names) {
-        sim::SimConfig cfg = bench::paperConfig();
-        cfg.policy = core::AuthPolicy::kBaseline;
-        double base = bench::runIpcCached(name, cfg);
-
-        std::printf("%-10s", name.c_str());
+    for (std::size_t w = 0; w < all_names.size(); ++w) {
+        double base = results[w * stride].run.ipc;
+        std::printf("%-10s", all_names[w].c_str());
         for (int s = 0; s < 3; ++s) {
-            cfg.policy = core::AuthPolicy::kCommitPlusObfuscation;
-            cfg.remapCache.sizeBytes = sizes[s];
-            double ratio = base > 0
-                               ? bench::runIpcCached(name, cfg) / base
-                               : 0.0;
+            double ipc = results[w * stride + 1 + s].run.ipc;
+            double ratio = base > 0 ? ipc / base : 0.0;
             sums[s] += ratio;
             std::printf(" %13.1f%%", 100.0 * ratio);
         }

@@ -1,8 +1,9 @@
 /**
  * @file
  * Policy explorer: run any workload under every authentication control
- * point and dump the full statistics of the most interesting run —
- * a guided tour of the simulator's observability.
+ * point — in parallel, via the acp::exp experiment API — and dump the
+ * full statistics of the most interesting run: a guided tour of the
+ * simulator's observability.
  *
  *   $ ./build/examples/policy_explorer [workload] [insts]
  */
@@ -10,9 +11,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/auth_policy.hh"
-#include "sim/system.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace acp;
@@ -27,51 +30,54 @@ main(int argc, char **argv)
     workloads::WorkloadParams params;
     params.workingSetBytes = 2 << 20;
 
+    const std::vector<core::AuthPolicy> policies = {
+        core::AuthPolicy::kBaseline,
+        core::AuthPolicy::kAuthThenIssue,
+        core::AuthPolicy::kAuthThenWrite,
+        core::AuthPolicy::kAuthThenCommit,
+        core::AuthPolicy::kAuthThenFetch,
+        core::AuthPolicy::kCommitPlusFetch,
+        core::AuthPolicy::kCommitPlusObfuscation,
+    };
+
+    sim::SimConfig base;
+    base.memoryBytes = 64ULL << 20;
+    base.protectedBytes = base.memoryBytes;
+
+    exp::Sweep sweep;
+    sweep.base(base).params(params).window(20000, insts).workload(name);
+    for (core::AuthPolicy policy : policies)
+        sweep.variant(core::policyName(policy),
+                      [policy](sim::SimConfig &cfg) {
+                          cfg.policy = policy;
+                      });
+
+    exp::RunnerOptions opts;
+    opts.cacheFile.clear(); // ad-hoc exploration: always simulate
+    opts.captureStatsText = true;
+    opts.counters = {"l2.misses", "core.auth_commit_stalls",
+                     "memctrl.fetch_gate_stalls",
+                     "core.store_release_stalls"};
+    exp::Runner runner(opts);
+    std::vector<exp::Result> results = runner.run(sweep);
+
     std::printf("%-22s %8s %10s %12s %12s %12s\n", "policy", "IPC",
                 "L2 miss", "commitStall", "fetchStall", "relStall");
-
-    for (core::AuthPolicy policy :
-         {core::AuthPolicy::kBaseline, core::AuthPolicy::kAuthThenIssue,
-          core::AuthPolicy::kAuthThenWrite,
-          core::AuthPolicy::kAuthThenCommit,
-          core::AuthPolicy::kAuthThenFetch,
-          core::AuthPolicy::kCommitPlusFetch,
-          core::AuthPolicy::kCommitPlusObfuscation}) {
-        sim::SimConfig cfg;
-        cfg.policy = policy;
-        cfg.memoryBytes = 64ULL << 20;
-        cfg.protectedBytes = cfg.memoryBytes;
-
-        sim::System system(cfg, workloads::build(name, params));
-        system.fastForward(20000);
-        sim::RunResult res = system.measureTimed(insts, insts * 400);
-
-        std::string stats = system.dumpStats();
-        auto grab = [&stats](const char *key) -> unsigned long long {
-            auto pos = stats.find(key);
-            if (pos == std::string::npos)
-                return 0;
-            return std::strtoull(stats.c_str() + pos + std::string(key)
-                                     .size(), nullptr, 10);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const exp::Result &res = results[i];
+        auto counter = [&res](const char *key) -> unsigned long long {
+            auto it = res.counters.find(key);
+            return it == res.counters.end() ? 0 : it->second;
         };
-
         std::printf("%-22s %8.4f %10llu %12llu %12llu %12llu\n",
-                    core::policyName(policy), res.ipc,
-                    grab("l2.misses "), grab("core.auth_commit_stalls "),
-                    grab("memctrl.fetch_gate_stalls "),
-                    grab("core.store_release_stalls "));
+                    core::policyName(policies[i]), res.run.ipc,
+                    counter("l2.misses"),
+                    counter("core.auth_commit_stalls"),
+                    counter("memctrl.fetch_gate_stalls"),
+                    counter("core.store_release_stalls"));
     }
 
-    std::printf("\nFull statistics for the last configuration:\n");
-    {
-        sim::SimConfig cfg;
-        cfg.policy = core::AuthPolicy::kCommitPlusFetch;
-        cfg.memoryBytes = 64ULL << 20;
-        cfg.protectedBytes = cfg.memoryBytes;
-        sim::System system(cfg, workloads::build(name, params));
-        system.fastForward(20000);
-        system.measureTimed(insts, insts * 400);
-        std::printf("%s", system.dumpStats().c_str());
-    }
+    std::printf("\nFull statistics for commit+fetch:\n%s",
+                results[5].statsText.c_str());
     return 0;
 }

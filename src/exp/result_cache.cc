@@ -1,0 +1,137 @@
+#include "exp/result_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace acp::exp
+{
+
+namespace
+{
+
+/** Parse one "key=value" token into @p result; unknown keys are counters. */
+void
+applyToken(Result &result, const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return;
+    std::string key = token.substr(0, eq);
+    const char *value = token.c_str() + eq + 1;
+    if (key == "ipc")
+        result.run.ipc = std::strtod(value, nullptr);
+    else if (key == "insts")
+        result.run.insts = std::strtoull(value, nullptr, 10);
+    else if (key == "cycles")
+        result.run.cycles = std::strtoull(value, nullptr, 10);
+    else if (key == "reason")
+        result.run.reason =
+            cpu::StopReason(std::strtoul(value, nullptr, 10));
+    else
+        result.counters[key] = std::strtoull(value, nullptr, 10);
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+    std::FILE *f = std::fopen(path_.c_str(), "r");
+    if (!f)
+        return;
+
+    char line[4096];
+    if (!std::fgets(line, sizeof(line), f)) {
+        std::fclose(f);
+        return; // empty file: will be (re)written with a header
+    }
+    std::string header(line);
+    while (!header.empty() &&
+           (header.back() == '\n' || header.back() == '\r'))
+        header.pop_back();
+    if (header != kVersionHeader) {
+        // Pre-v2 (or foreign) file: never serve its entries.
+        ignoredStale_ = true;
+        std::fclose(f);
+        return;
+    }
+    fileIsVersioned_ = true;
+
+    while (std::fgets(line, sizeof(line), f)) {
+        std::string digest;
+        Result result;
+        result.fromCache = true;
+        const char *cursor = line;
+        while (*cursor) {
+            const char *start = cursor;
+            while (*cursor && *cursor != ' ' && *cursor != '\n' &&
+                   *cursor != '\r')
+                ++cursor;
+            if (cursor != start) {
+                std::string token(start, cursor);
+                if (digest.empty())
+                    digest = std::move(token);
+                else
+                    applyToken(result, token);
+            }
+            while (*cursor == ' ' || *cursor == '\n' || *cursor == '\r')
+                ++cursor;
+        }
+        if (!digest.empty())
+            entries_[digest] = std::move(result);
+    }
+    std::fclose(f);
+}
+
+bool
+ResultCache::lookup(const std::string &digest, Result &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(digest);
+    if (it == entries_.end())
+        return false;
+    out = it->second;
+    out.fromCache = true;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &digest, const Result &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[digest] = result;
+    appendLine(digest, result);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+ResultCache::appendLine(const std::string &digest, const Result &result)
+{
+    // First store into a missing/stale file (re)writes it versioned.
+    const char *mode = fileIsVersioned_ ? "a" : "w";
+    std::FILE *f = std::fopen(path_.c_str(), mode);
+    if (!f)
+        return;
+    if (!fileIsVersioned_) {
+        std::fprintf(f, "%s\n", kVersionHeader);
+        fileIsVersioned_ = true;
+    }
+    std::fprintf(f, "%s ipc=%.17g insts=%llu cycles=%llu reason=%u",
+                 digest.c_str(), result.run.ipc,
+                 (unsigned long long)result.run.insts,
+                 (unsigned long long)result.run.cycles,
+                 unsigned(result.run.reason));
+    for (const auto &[name, value] : result.counters)
+        std::fprintf(f, " %s=%llu", name.c_str(),
+                     (unsigned long long)value);
+    std::fprintf(f, "\n");
+    std::fclose(f);
+}
+
+} // namespace acp::exp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Thread-safe, versioned persistence for experiment results.
+ *
+ * File format (./acp_bench_cache.txt by default):
+ *
+ *   acp-cache-v2
+ *   <64-hex-digest> ipc=<g17> insts=<u> cycles=<u> reason=<u> \
+ *       [<group.stat>=<u> ...]
+ *
+ * The digest is pointDigest(): SHA-256 over the *complete* serialized
+ * SimConfig plus workload identity and window, so every configuration
+ * knob participates in the key. Files without the exact version
+ * header — including the v1 files the old snprintf-keyed harness
+ * wrote — are ignored on load and truncated on the first store,
+ * never served.
+ */
+
+#ifndef ACP_EXP_RESULT_CACHE_HH
+#define ACP_EXP_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/system.hh"
+
+namespace acp::exp
+{
+
+/** Everything one simulated point produced. */
+struct Result
+{
+    sim::RunResult run;
+    /** Captured integer counters ("l2.misses" -> value). */
+    std::map<std::string, std::uint64_t> counters;
+    /** Served from the persistent cache (not re-simulated). */
+    bool fromCache = false;
+    /** Wall-clock seconds of the simulation (0 when cached). */
+    double wallSeconds = 0.0;
+    /** Full dumpStats() text (only with Runner captureStatsText). */
+    std::string statsText;
+};
+
+/** The persistent store. All methods are thread-safe. */
+class ResultCache
+{
+  public:
+    static constexpr const char *kVersionHeader = "acp-cache-v2";
+
+    /**
+     * Bind to @p path and load existing entries. A missing file is an
+     * empty cache; a file whose first line is not the version header
+     * is stale — its entries are ignored and the file is rewritten
+     * (header first) on the first store().
+     */
+    explicit ResultCache(std::string path);
+
+    /** Look up a digest; fills @p out (fromCache=true) on a hit. */
+    bool lookup(const std::string &digest, Result &out) const;
+
+    /** Insert in memory and append to the file (creating/versioning it). */
+    void store(const std::string &digest, const Result &result);
+
+    std::size_t size() const;
+
+    /** True when a pre-v2 file was found and ignored at load. */
+    bool ignoredStaleFile() const { return ignoredStale_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void appendLine(const std::string &digest, const Result &result);
+
+    std::string path_;
+    bool fileIsVersioned_ = false;
+    bool ignoredStale_ = false;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Result> entries_;
+};
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_RESULT_CACHE_HH

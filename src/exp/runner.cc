@@ -1,0 +1,361 @@
+#include "exp/runner.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "crypto/sha256.hh"
+#include "sim/config_io.hh"
+#include "sim/system.hh"
+
+namespace acp::exp
+{
+
+namespace
+{
+
+const char *
+stopReasonName(cpu::StopReason reason)
+{
+    switch (reason) {
+      case cpu::StopReason::kRunning:           return "running";
+      case cpu::StopReason::kHalted:            return "halted";
+      case cpu::StopReason::kSecurityException: return "security-exception";
+      case cpu::StopReason::kInstLimit:         return "inst-limit";
+      case cpu::StopReason::kCycleLimit:        return "cycle-limit";
+    }
+    return "?";
+}
+
+/**
+ * Pull "group.stat <integer>" lines out of a dumpStats() text.
+ * @p wanted filters by exact stat name; empty captures everything
+ * integer-valued (averages render as "mean=..." and are skipped).
+ */
+void
+captureCounters(const std::string &stats,
+                const std::vector<std::string> &wanted,
+                std::map<std::string, std::uint64_t> &out)
+{
+    std::size_t pos = 0;
+    while (pos < stats.size()) {
+        std::size_t eol = stats.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = stats.size();
+        std::size_t space = stats.find(' ', pos);
+        if (space != std::string::npos && space < eol) {
+            std::string name = stats.substr(pos, space - pos);
+            std::string value = stats.substr(space + 1, eol - space - 1);
+            bool integral = !value.empty() &&
+                            value.find_first_not_of("0123456789") ==
+                                std::string::npos;
+            bool take = wanted.empty() ||
+                        std::find(wanted.begin(), wanted.end(), name) !=
+                            wanted.end();
+            if (integral && take)
+                out[name] = std::strtoull(value.c_str(), nullptr, 10);
+        }
+        pos = eol + 1;
+    }
+}
+
+void
+jsonEscape(std::FILE *f, const std::string &text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"': std::fputs("\\\"", f); break;
+          case '\\': std::fputs("\\\\", f); break;
+          case '\n': std::fputs("\\n", f); break;
+          case '\t': std::fputs("\\t", f); break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                std::fprintf(f, "\\u%04x", c);
+            else
+                std::fputc(c, f);
+        }
+    }
+}
+
+/** Serialized-config lines -> one JSON object (values stay strings
+ *  only when non-numeric, e.g. the policy name). */
+void
+writeConfigJson(std::FILE *f, const sim::SimConfig &cfg,
+                const char *indent)
+{
+    std::string text = sim::serializeConfig(cfg);
+    std::fputs("{", f);
+    bool first = true;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            continue; // version line
+        std::string key = line.substr(0, eq);
+        std::string value = line.substr(eq + 1);
+        std::fprintf(f, "%s\n%s  \"", first ? "" : ",", indent);
+        jsonEscape(f, key);
+        bool numeric = !value.empty() &&
+                       value.find_first_not_of("0123456789") ==
+                           std::string::npos;
+        if (numeric) {
+            std::fprintf(f, "\": %s", value.c_str());
+        } else {
+            std::fputs("\": \"", f);
+            jsonEscape(f, value);
+            std::fputc('"', f);
+        }
+        first = false;
+    }
+    std::fprintf(f, "\n%s}", indent);
+}
+
+} // namespace
+
+std::string
+pointKey(const Point &point)
+{
+    std::string key;
+    key.reserve(2048);
+    key += "acp-point-v2\n";
+    key += "workload=" + point.workload + "\n";
+    char line[96];
+    std::snprintf(line, sizeof(line), "workloadSeed=%llu\n",
+                  (unsigned long long)point.params.seed);
+    key += line;
+    std::snprintf(line, sizeof(line), "workingSetBytes=%llu\n",
+                  (unsigned long long)point.params.workingSetBytes);
+    key += line;
+    std::snprintf(line, sizeof(line), "warmupInsts=%llu\n",
+                  (unsigned long long)point.warmupInsts);
+    key += line;
+    std::snprintf(line, sizeof(line), "measureInsts=%llu\n",
+                  (unsigned long long)point.measureInsts);
+    key += line;
+    std::snprintf(line, sizeof(line), "cyclesPerInst=%llu\n",
+                  (unsigned long long)point.cyclesPerInst);
+    key += line;
+    key += sim::serializeConfig(point.cfg);
+    return key;
+}
+
+std::string
+pointDigest(const Point &point)
+{
+    std::string key = pointKey(point);
+    auto digest = crypto::Sha256::digest(
+        reinterpret_cast<const std::uint8_t *>(key.data()), key.size());
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * digest.size());
+    for (std::uint8_t byte : digest) {
+        out += hex[byte >> 4];
+        out += hex[byte & 0xf];
+    }
+    return out;
+}
+
+Runner::Runner(RunnerOptions opts) : opts_(std::move(opts))
+{
+    jobs_ = opts_.jobs ? opts_.jobs : defaultJobs();
+    if (!opts_.cacheFile.empty()) {
+        cache_ = std::make_unique<ResultCache>(opts_.cacheFile);
+        if (cache_->ignoredStaleFile() && opts_.progress)
+            std::fprintf(stderr,
+                         "[exp] ignoring stale pre-v2 cache file %s "
+                         "(will be rewritten)\n",
+                         opts_.cacheFile.c_str());
+    }
+}
+
+Runner::~Runner() = default;
+
+unsigned
+Runner::defaultJobs()
+{
+    if (const char *env = std::getenv("ACP_JOBS")) {
+        unsigned n = unsigned(std::strtoul(env, nullptr, 0));
+        if (n > 0)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+Result
+Runner::simulate(const Point &point) const
+{
+    auto start = std::chrono::steady_clock::now();
+
+    sim::System system(point.cfg,
+                       workloads::build(point.workload, point.params));
+    system.fastForward(point.warmupInsts);
+    if (point.prepare)
+        point.prepare(system);
+
+    Result result;
+    result.run = system.measureTimed(point.measureInsts,
+                                     point.maxCycles());
+    std::string stats = system.dumpStats();
+    captureCounters(stats, opts_.counters, result.counters);
+    if (opts_.captureStatsText)
+        result.statsText = std::move(stats);
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+void
+Runner::reportProgress(std::size_t done, std::size_t total,
+                       const Point &point, const Result &result)
+{
+    if (!opts_.progress)
+        return;
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    std::fprintf(stderr, "[%3zu/%zu] %-10s %-16s ipc=%.4f  %s",
+                 done, total, point.workload.c_str(),
+                 point.label.empty() ? core::policyName(point.cfg.policy)
+                                     : point.label.c_str(),
+                 result.run.ipc, result.fromCache ? "(cached)" : "");
+    if (!result.fromCache)
+        std::fprintf(stderr, "(%.1fs)", result.wallSeconds);
+    std::fputc('\n', stderr);
+}
+
+Result
+Runner::run(const Point &point)
+{
+    std::vector<Result> results = run(std::vector<Point>{point});
+    return results.front();
+}
+
+std::vector<Result>
+Runner::run(const std::vector<Point> &points)
+{
+    std::vector<Result> results(points.size());
+    std::vector<std::string> digests(points.size());
+    std::vector<std::size_t> todo;
+    std::size_t done = 0;
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (cache_ && points[i].cacheable()) {
+            digests[i] = pointDigest(points[i]);
+            if (cache_->lookup(digests[i], results[i])) {
+                reportProgress(++done, points.size(), points[i],
+                               results[i]);
+                continue;
+            }
+        }
+        todo.push_back(i);
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{done};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t t = next.fetch_add(1);
+            if (t >= todo.size())
+                return;
+            std::size_t i = todo[t];
+            Result result = simulate(points[i]);
+            simulated_.fetch_add(1);
+            if (cache_ && points[i].cacheable())
+                cache_->store(digests[i], result);
+            results[i] = std::move(result);
+            reportProgress(completed.fetch_add(1) + 1, points.size(),
+                           points[i], results[i]);
+        }
+    };
+
+    unsigned n = unsigned(std::min<std::size_t>(jobs_, todo.size()));
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+    return results;
+}
+
+void
+Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
+                  const std::vector<Result> &results)
+{
+    std::fprintf(out, "{\n  \"version\": \"acp-exp-v2\",\n"
+                      "  \"points\": [");
+    for (std::size_t i = 0; i < points.size() && i < results.size();
+         ++i) {
+        const Point &p = points[i];
+        const Result &r = results[i];
+        std::fprintf(out, "%s\n    {\n", i ? "," : "");
+        std::fputs("      \"workload\": \"", out);
+        jsonEscape(out, p.workload);
+        std::fputs("\",\n      \"label\": \"", out);
+        jsonEscape(out, p.label);
+        std::fprintf(out,
+                     "\",\n      \"digest\": \"%s\",\n"
+                     "      \"workloadSeed\": %llu,\n"
+                     "      \"workingSetBytes\": %llu,\n"
+                     "      \"warmupInsts\": %llu,\n"
+                     "      \"measureInsts\": %llu,\n"
+                     "      \"config\": ",
+                     pointDigest(p).c_str(),
+                     (unsigned long long)p.params.seed,
+                     (unsigned long long)p.params.workingSetBytes,
+                     (unsigned long long)p.warmupInsts,
+                     (unsigned long long)p.measureInsts);
+        writeConfigJson(out, p.cfg, "      ");
+        std::fprintf(out,
+                     ",\n      \"result\": {\n"
+                     "        \"ipc\": %.17g,\n"
+                     "        \"insts\": %llu,\n"
+                     "        \"cycles\": %llu,\n"
+                     "        \"reason\": \"%s\",\n"
+                     "        \"fromCache\": %s,\n"
+                     "        \"counters\": {",
+                     r.run.ipc, (unsigned long long)r.run.insts,
+                     (unsigned long long)r.run.cycles,
+                     stopReasonName(r.run.reason),
+                     r.fromCache ? "true" : "false");
+        bool first = true;
+        for (const auto &[name, value] : r.counters) {
+            std::fprintf(out, "%s\n          \"", first ? "" : ",");
+            jsonEscape(out, name);
+            std::fprintf(out, "\": %llu", (unsigned long long)value);
+            first = false;
+        }
+        std::fprintf(out, "%s        }\n      }\n    }",
+                     first ? "" : "\n");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+}
+
+bool
+Runner::writeJson(const std::string &path,
+                  const std::vector<Point> &points,
+                  const std::vector<Result> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeJson(f, points, results);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace acp::exp

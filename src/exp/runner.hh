@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parallel experiment runner: executes the Points of a Sweep on a
+ * std::thread pool (one independent, deterministic sim::System per
+ * point), reports progress to stderr, and persists results in a
+ * versioned ResultCache keyed on the full-config digest.
+ *
+ * Job count resolution: explicit RunnerOptions::jobs, else the
+ * ACP_JOBS environment variable, else std::thread::hardware_concurrency.
+ * Because every System is self-contained (per-instance xoshiro RNG,
+ * no global mutable state), a jobs=N run is bit-identical to jobs=1.
+ *
+ *   exp::Runner runner;                       // cache + ACP_JOBS
+ *   auto results = runner.run(sweep.build()); // parallel, cached
+ *   exp::Runner::writeJson("out.json", points, results);
+ */
+
+#ifndef ACP_EXP_RUNNER_HH
+#define ACP_EXP_RUNNER_HH
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/result_cache.hh"
+#include "exp/sweep.hh"
+
+namespace acp::exp
+{
+
+/** Runner policy knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = ACP_JOBS env, else hardware concurrency. */
+    unsigned jobs = 0;
+    /** Persistent cache path; empty disables caching entirely. */
+    std::string cacheFile = "acp_bench_cache.txt";
+    /** Per-point progress lines on stderr. */
+    bool progress = true;
+    /**
+     * Counter names to capture from the run's statistics (e.g.
+     * "l2.misses"). Empty = capture every integer counter.
+     */
+    std::vector<std::string> counters;
+    /** Also keep the full dumpStats() text in Result::statsText. */
+    bool captureStatsText = false;
+};
+
+/** The runner. One instance may execute many sweeps. */
+class Runner
+{
+  public:
+    explicit Runner(RunnerOptions opts = {});
+    ~Runner();
+
+    /** Resolved worker-thread count. */
+    unsigned jobs() const { return jobs_; }
+
+    /** ACP_JOBS env or hardware concurrency (never 0). */
+    static unsigned defaultJobs();
+
+    /** Run one point (cache-aware). */
+    Result run(const Point &point);
+
+    /** Run all points in parallel; results align with @p points. */
+    std::vector<Result> run(const std::vector<Point> &points);
+
+    /** Convenience: build and run a sweep. */
+    std::vector<Result> run(const Sweep &sweep) { return run(sweep.build()); }
+
+    /** Points actually simulated (cache misses) since construction. */
+    std::uint64_t simulatedCount() const { return simulated_.load(); }
+
+    /** The underlying cache (null when caching is disabled). */
+    const ResultCache *cache() const { return cache_.get(); }
+
+    /**
+     * Emit points+results as a JSON document (machine consumption):
+     * one record per point with identity, digest, the full config,
+     * and the result including captured counters.
+     */
+    static void writeJson(std::FILE *out, const std::vector<Point> &points,
+                          const std::vector<Result> &results);
+
+    /** writeJson to @p path; returns false if the file can't be opened. */
+    static bool writeJson(const std::string &path,
+                          const std::vector<Point> &points,
+                          const std::vector<Result> &results);
+
+  private:
+    Result simulate(const Point &point) const;
+    void reportProgress(std::size_t done, std::size_t total,
+                        const Point &point, const Result &result);
+
+    RunnerOptions opts_;
+    unsigned jobs_;
+    std::unique_ptr<ResultCache> cache_;
+    std::atomic<std::uint64_t> simulated_{0};
+    std::mutex progressMutex_;
+};
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_RUNNER_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Experiment description: a Point is one fully-specified simulation
+ * (workload + complete SimConfig + measurement window); a Sweep is a
+ * builder for the cross product workloads × config variants that
+ * every paper figure/table is made of.
+ *
+ * Each point carries its *entire* configuration, and its cache key is
+ * a SHA-256 digest over the complete serialized SimConfig plus the
+ * workload parameters and window (see pointKey/pointDigest), so no
+ * knob can be silently dropped from the key — the defect that forced
+ * the old bench harness to bypass caching for whole ablations.
+ */
+
+#ifndef ACP_EXP_SWEEP_HH
+#define ACP_EXP_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workloads/workloads.hh"
+
+namespace acp::sim
+{
+class System;
+}
+
+namespace acp::exp
+{
+
+/** One fully-keyed experiment: a (workload, config, window) triple. */
+struct Point
+{
+    std::string workload;
+    /** Display label for progress/tables (not part of the key). */
+    std::string label;
+    workloads::WorkloadParams params;
+    sim::SimConfig cfg;
+    /** Functional fast-forward before the timed window. */
+    std::uint64_t warmupInsts = 30000;
+    /** Timed measurement window. */
+    std::uint64_t measureInsts = 60000;
+    /** Cycle cap = measureInsts * cyclesPerInst (deadlock guard). */
+    std::uint64_t cyclesPerInst = 400;
+    /**
+     * Optional hook run after fastForward and before the timed
+     * window (tracing, co-simulation). A point with a hook is not
+     * cacheable: the hook's effect is invisible to the key.
+     */
+    std::function<void(sim::System &)> prepare;
+
+    std::uint64_t maxCycles() const { return measureInsts * cyclesPerInst; }
+    bool cacheable() const { return !prepare; }
+};
+
+/**
+ * Canonical text key of a point: a version line, the workload
+ * identity and window, then the complete serialized SimConfig.
+ */
+std::string pointKey(const Point &point);
+
+/** Lower-case hex SHA-256 of pointKey() — the cache key. */
+std::string pointDigest(const Point &point);
+
+/** In-place config edit applied to the sweep's base configuration. */
+using ConfigMutator = std::function<void(sim::SimConfig &)>;
+
+/**
+ * Builder for a cross product of workloads × labelled config
+ * variants. Example (the shape of Fig. 7):
+ *
+ *   exp::Sweep sweep;
+ *   sweep.base(cfg).params(params).window(30000, 60000)
+ *        .workloads(workloads::intNames())
+ *        .variant("base", [](auto &c) { c.policy = kBaseline; })
+ *        .variant("commit", [](auto &c) { c.policy = kAuthThenCommit; });
+ *   auto results = runner.run(sweep.build());
+ *
+ * build() orders points workload-major: the point for (workload w,
+ * variant v) lands at index w * variantCount() + v.
+ */
+class Sweep
+{
+  public:
+    Sweep &
+    base(const sim::SimConfig &cfg)
+    {
+        base_ = cfg;
+        return *this;
+    }
+
+    Sweep &
+    params(const workloads::WorkloadParams &p)
+    {
+        params_ = p;
+        return *this;
+    }
+
+    Sweep &
+    window(std::uint64_t warmup, std::uint64_t measure,
+           std::uint64_t cycles_per_inst = 400)
+    {
+        warmup_ = warmup;
+        measure_ = measure;
+        cyclesPerInst_ = cycles_per_inst;
+        return *this;
+    }
+
+    Sweep &
+    workload(std::string name)
+    {
+        workloads_.push_back(std::move(name));
+        return *this;
+    }
+
+    Sweep &
+    workloads(const std::vector<std::string> &names)
+    {
+        workloads_.insert(workloads_.end(), names.begin(), names.end());
+        return *this;
+    }
+
+    Sweep &
+    variant(std::string label, ConfigMutator mutate)
+    {
+        variants_.emplace_back(std::move(label), std::move(mutate));
+        return *this;
+    }
+
+    /** Append a fully custom point after the cross product. */
+    Sweep &
+    point(Point p)
+    {
+        extra_.push_back(std::move(p));
+        return *this;
+    }
+
+    /** Variants per workload (1 when none was declared). */
+    std::size_t
+    variantCount() const
+    {
+        return variants_.empty() ? 1 : variants_.size();
+    }
+
+    /** Materialize the cross product (workload-major) + extra points. */
+    std::vector<Point>
+    build() const
+    {
+        std::vector<Point> points;
+        points.reserve(workloads_.size() * variantCount() + extra_.size());
+        for (const std::string &name : workloads_) {
+            if (variants_.empty()) {
+                points.push_back(makePoint(name, name, nullptr));
+                continue;
+            }
+            for (const auto &[label, mutate] : variants_)
+                points.push_back(makePoint(name, label, mutate));
+        }
+        points.insert(points.end(), extra_.begin(), extra_.end());
+        return points;
+    }
+
+  private:
+    Point
+    makePoint(const std::string &name, const std::string &label,
+              const ConfigMutator &mutate) const
+    {
+        Point p;
+        p.workload = name;
+        p.label = label;
+        p.params = params_;
+        p.cfg = base_;
+        p.warmupInsts = warmup_;
+        p.measureInsts = measure_;
+        p.cyclesPerInst = cyclesPerInst_;
+        if (mutate)
+            mutate(p.cfg);
+        return p;
+    }
+
+    sim::SimConfig base_;
+    workloads::WorkloadParams params_;
+    std::uint64_t warmup_ = 30000;
+    std::uint64_t measure_ = 60000;
+    std::uint64_t cyclesPerInst_ = 400;
+    std::vector<std::string> workloads_;
+    std::vector<std::pair<std::string, ConfigMutator>> variants_;
+    std::vector<Point> extra_;
+};
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_SWEEP_HH

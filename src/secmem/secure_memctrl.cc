@@ -13,6 +13,7 @@ SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
       engine_(cfg.authLatency, cfg.authEngineInterval),
       counterCache_("counter_cache", cfg.counterCache), stats_("memctrl")
 {
+    fetchGateDrain_ = cfg.fetchGateDrain;
     if (core::verifies(cfg.policy) && cfg.hashTreeEnabled)
         tree_ = std::make_unique<HashTree>(cfg, ext_);
     if (core::obfuscates(cfg.policy))

@@ -151,6 +151,13 @@ struct SimConfig
 
     // ----- policy / run control --------------------------------------------
     core::AuthPolicy policy = core::AuthPolicy::kBaseline;
+    /**
+     * Drain-authen-then-fetch variant (Section 4.2.4 ablation): the
+     * bus grant waits for the whole authentication queue instead of
+     * the triggering instruction's LastRequest tag. Part of the
+     * config so experiment digests capture it.
+     */
+    bool fetchGateDrain = false;
     std::uint64_t memoryBytes = 256ULL * 1024 * 1024;
     std::uint64_t rngSeed = 12345;
 

@@ -1,23 +1,30 @@
 /**
  * @file
- * acpsim — command-line driver for the secure-processor simulator.
+ * acpsim — command-line driver for the secure-processor simulator,
+ * routed through the acp::exp experiment API so single runs and
+ * multi-point sweeps share one execution and output path.
  *
  *   acpsim --list
  *   acpsim mcf --policy commit --insts 200000
  *   acpsim swim --policy issue --l2 1M --tree --stats
- *   acpsim twolf --policy obf --remap 128K --ws 8M
+ *   acpsim mcf,art,swim --policy baseline,commit,issue --jobs 8 \
+ *          --json sweep.json
  *
- * Prints IPC and (with --stats) the full statistics of every
- * component.
+ * Prints IPC (one row per point), with --stats the full statistics of
+ * every component, and with --json a machine-readable record of every
+ * point including its full configuration and digest.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "core/auth_policy.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
 #include "sim/system.hh"
 #include "workloads/workloads.hh"
 
@@ -32,11 +39,14 @@ usage()
     std::printf(
         "acpsim — authentication-control-point secure processor "
         "simulator\n\n"
-        "usage: acpsim <workload> [options]\n"
+        "usage: acpsim <workload>[,<workload>...] [options]\n"
         "       acpsim --list\n\n"
+        "workloads: any catalog name, comma-separated for a sweep, or\n"
+        "           the groups 'int', 'fp', 'all'\n\n"
         "options:\n"
-        "  --policy P    baseline | issue | write | commit | fetch |\n"
-        "                commit+fetch | obf        (default: baseline)\n"
+        "  --policy P[,P...]  baseline | issue | write | commit | fetch |\n"
+        "                commit+fetch | obf        (default: baseline);\n"
+        "                a comma-separated list sweeps every policy\n"
         "  --l2 SIZE     L2 size, e.g. 256K or 1M  (default: 256K)\n"
         "  --ruu N       RUU entries               (default: 128)\n"
         "  --tree        enable the CHTree integrity tree\n"
@@ -46,10 +56,21 @@ usage()
         "  --insts N     measured instructions     (default: 100000)\n"
         "  --warmup N    fast-forward instructions (default: 50000)\n"
         "  --auth N      MAC verification latency  (default: 148)\n"
-        "  --seed N      workload data seed        (default: 42)\n"
+        "  --seed N      workload data seed: array contents/layout\n"
+        "                randomization             (default: 42)\n"
+        "  --rng-seed N  simulator RNG seed: external-memory and remap\n"
+        "                layer randomness; independent of --seed so\n"
+        "                data layout and simulator randomness can be\n"
+        "                varied separately        (default: 12345)\n"
+        "  --jobs N      worker threads for sweeps (default: ACP_JOBS\n"
+        "                env, else all cores)\n"
+        "  --json FILE   write every point+result as JSON\n"
+        "  --cache       reuse/persist results in ./acp_bench_cache.txt\n"
         "  --stats       dump all component statistics\n"
         "  --trace N     print a commit trace of the first N insts\n"
-        "  --cosim       co-simulate against the functional reference\n");
+        "                (single-point runs only)\n"
+        "  --cosim       co-simulate against the functional reference\n"
+        "                (single-point runs only)\n");
 }
 
 std::uint64_t
@@ -83,6 +104,45 @@ parsePolicy(const std::string &name)
     acp_fatal("unknown policy '%s'", name.c_str());
 }
 
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > pos)
+            parts.push_back(text.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return parts;
+}
+
+std::vector<std::string>
+expandWorkloads(const std::string &arg)
+{
+    std::vector<std::string> names;
+    for (const std::string &part : splitCommas(arg)) {
+        if (part == "int") {
+            for (const std::string &n : workloads::intNames())
+                names.push_back(n);
+        } else if (part == "fp") {
+            for (const std::string &n : workloads::fpNames())
+                names.push_back(n);
+        } else if (part == "all") {
+            for (const std::string &n : workloads::intNames())
+                names.push_back(n);
+            for (const std::string &n : workloads::fpNames())
+                names.push_back(n);
+        } else {
+            names.push_back(part);
+        }
+    }
+    return names;
+}
+
 } // namespace
 
 int
@@ -105,16 +165,19 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::string workload = argv[1];
+    std::vector<std::string> names = expandWorkloads(argv[1]);
+    std::vector<core::AuthPolicy> policies = {core::AuthPolicy::kBaseline};
     sim::SimConfig cfg;
     cfg.memoryBytes = 256ULL << 20;
     cfg.protectedBytes = cfg.memoryBytes;
     workloads::WorkloadParams params;
     std::uint64_t insts = 100000;
     std::uint64_t warmup = 50000;
+    unsigned jobs = 0;
+    std::string json_file;
+    bool use_cache = false;
     bool dump_stats = false;
     bool cosim = false;
-    bool drain = false;
     std::uint64_t trace = 0;
 
     for (int i = 2; i < argc; ++i) {
@@ -125,7 +188,9 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--policy") {
-            cfg.policy = parsePolicy(next());
+            policies.clear();
+            for (const std::string &p : splitCommas(next()))
+                policies.push_back(parsePolicy(p));
         } else if (arg == "--l2") {
             cfg.l2.sizeBytes = parseSize(next());
             cfg.l2.hitLatency = cfg.l2.sizeBytes >= (1 << 20) ? 8 : 4;
@@ -135,7 +200,7 @@ main(int argc, char **argv)
         } else if (arg == "--tree") {
             cfg.hashTreeEnabled = true;
         } else if (arg == "--drain") {
-            drain = true;
+            cfg.fetchGateDrain = true;
         } else if (arg == "--remap") {
             cfg.remapCache.sizeBytes = parseSize(next());
         } else if (arg == "--ws") {
@@ -148,6 +213,14 @@ main(int argc, char **argv)
             cfg.authLatency = unsigned(std::strtoul(next(), nullptr, 0));
         } else if (arg == "--seed") {
             params.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--rng-seed") {
+            cfg.rngSeed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--jobs") {
+            jobs = unsigned(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--cache") {
+            use_cache = true;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--cosim") {
@@ -159,29 +232,76 @@ main(int argc, char **argv)
             acp_fatal("unknown option '%s'", arg.c_str());
         }
     }
+    if (names.empty())
+        acp_fatal("no workloads given");
 
-    sim::System system(cfg, workloads::build(workload, params));
-    if (drain)
-        system.hier().ctrl().setFetchGateDrain(true);
-    if (cosim)
-        system.enableCosim();
+    // Build the sweep: workloads x policies, every knob in the config.
+    exp::Sweep sweep;
+    sweep.base(cfg).params(params).window(warmup, insts, 1000);
+    sweep.workloads(names);
+    for (core::AuthPolicy policy : policies)
+        sweep.variant(core::policyName(policy),
+                      [policy](sim::SimConfig &c) { c.policy = policy; });
+    std::vector<exp::Point> points = sweep.build();
 
-    std::fprintf(stderr, "fast-forwarding %llu instructions...\n",
-                 (unsigned long long)warmup);
-    system.fastForward(warmup);
-    if (trace > 0)
-        system.core().traceCommits(stdout, trace);
-    std::fprintf(stderr, "measuring %llu instructions...\n",
-                 (unsigned long long)insts);
-    sim::RunResult res = system.measureTimed(insts, insts * 1000);
+    if ((trace > 0 || cosim) && points.size() > 1)
+        acp_fatal("--trace/--cosim need a single workload and policy");
+    if (trace > 0 || cosim) {
+        // Tracing hooks into the live System between warmup and the
+        // timed window; the hook makes the point uncacheable.
+        points[0].prepare = [trace, cosim](sim::System &system) {
+            if (cosim)
+                system.enableCosim();
+            if (trace > 0)
+                system.core().traceCommits(stdout, trace);
+        };
+        // enableCosim must be armed before the timed core exists; the
+        // prepare hook runs right after fastForward, which is early
+        // enough (the core is created by measureTimed/traceCommits).
+    }
 
-    std::printf("workload   %s\n", workload.c_str());
-    std::printf("policy     %s\n", core::policyName(cfg.policy));
-    std::printf("insts      %llu\n", (unsigned long long)res.insts);
-    std::printf("cycles     %llu\n", (unsigned long long)res.cycles);
-    std::printf("IPC        %.4f\n", res.ipc);
-    if (dump_stats) {
-        std::printf("\n%s", system.dumpStats().c_str());
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    if (!use_cache)
+        opts.cacheFile.clear();
+    opts.captureStatsText = dump_stats;
+    exp::Runner runner(opts);
+    std::vector<exp::Result> results = runner.run(points);
+
+    if (points.size() == 1) {
+        const exp::Result &res = results[0];
+        std::printf("workload   %s\n", points[0].workload.c_str());
+        std::printf("policy     %s\n",
+                    core::policyName(points[0].cfg.policy));
+        std::printf("insts      %llu\n",
+                    (unsigned long long)res.run.insts);
+        std::printf("cycles     %llu\n",
+                    (unsigned long long)res.run.cycles);
+        std::printf("IPC        %.4f\n", res.run.ipc);
+        if (dump_stats)
+            std::printf("\n%s", res.statsText.c_str());
+    } else {
+        std::printf("%-10s %-20s %10s %12s %12s\n", "workload",
+                    "policy", "IPC", "insts", "cycles");
+        for (std::size_t i = 0; i < points.size(); ++i)
+            std::printf("%-10s %-20s %10.4f %12llu %12llu\n",
+                        points[i].workload.c_str(),
+                        core::policyName(points[i].cfg.policy),
+                        results[i].run.ipc,
+                        (unsigned long long)results[i].run.insts,
+                        (unsigned long long)results[i].run.cycles);
+        if (dump_stats)
+            for (std::size_t i = 0; i < points.size(); ++i)
+                std::printf("\n===== %s / %s =====\n%s",
+                            points[i].workload.c_str(),
+                            core::policyName(points[i].cfg.policy),
+                            results[i].statsText.c_str());
+    }
+
+    if (!json_file.empty()) {
+        if (!exp::Runner::writeJson(json_file, points, results))
+            acp_fatal("cannot write %s", json_file.c_str());
+        std::fprintf(stderr, "wrote %s\n", json_file.c_str());
     }
     return 0;
 }

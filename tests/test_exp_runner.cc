@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the acp::exp experiment subsystem: parallel execution is
+ * bit-identical to serial, the config digest covers every
+ * secure-memory knob, and the versioned result cache round-trips
+ * without re-simulating (while pre-v2 files are never served).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "sim/config_io.hh"
+
+using namespace acp;
+
+namespace
+{
+
+/** Small, fast sweep: 2 workloads x 3 policies. */
+exp::Sweep
+smallSweep()
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 16ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 128 * 1024;
+
+    exp::Sweep sweep;
+    sweep.base(cfg).params(params).window(2000, 3000);
+    sweep.workloads({"mcf", "swim"});
+    sweep.variant("base", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kBaseline;
+    });
+    sweep.variant("issue", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kAuthThenIssue;
+    });
+    sweep.variant("commit", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kAuthThenCommit;
+    });
+    return sweep;
+}
+
+exp::RunnerOptions
+quietOptions(unsigned jobs, std::string cache_file = "")
+{
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.cacheFile = std::move(cache_file);
+    opts.progress = false;
+    return opts;
+}
+
+/** RAII scratch cache file. */
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const char *name) : path_(name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~ScratchFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ExpSweep, CrossProductIsWorkloadMajor)
+{
+    std::vector<exp::Point> points = smallSweep().build();
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].workload, "mcf");
+    EXPECT_EQ(points[0].label, "base");
+    EXPECT_EQ(points[2].label, "commit");
+    EXPECT_EQ(points[3].workload, "swim");
+    EXPECT_EQ(points[1].cfg.policy, core::AuthPolicy::kAuthThenIssue);
+}
+
+TEST(ExpRunner, ParallelMatchesSerialBitIdentical)
+{
+    std::vector<exp::Point> points = smallSweep().build();
+
+    exp::Runner serial(quietOptions(1));
+    exp::Runner parallel(quietOptions(4));
+    std::vector<exp::Result> serial_results = serial.run(points);
+    std::vector<exp::Result> parallel_results = parallel.run(points);
+
+    ASSERT_EQ(serial_results.size(), parallel_results.size());
+    EXPECT_EQ(serial.simulatedCount(), points.size());
+    EXPECT_EQ(parallel.simulatedCount(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(serial_results[i].run.insts,
+                  parallel_results[i].run.insts) << "point " << i;
+        EXPECT_EQ(serial_results[i].run.cycles,
+                  parallel_results[i].run.cycles) << "point " << i;
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(serial_results[i].run.ipc, parallel_results[i].run.ipc)
+            << "point " << i;
+        EXPECT_EQ(serial_results[i].counters, parallel_results[i].counters)
+            << "point " << i;
+    }
+}
+
+TEST(ExpDigest, CoversSecureMemoryFields)
+{
+    exp::Point point;
+    point.workload = "mcf";
+    std::string base_digest = exp::pointDigest(point);
+
+    {
+        exp::Point p = point;
+        p.cfg.counterCache.sizeBytes *= 2;
+        EXPECT_NE(exp::pointDigest(p), base_digest)
+            << "counter-cache size must be part of the key";
+    }
+    {
+        exp::Point p = point;
+        p.cfg.encryptionMode = sim::EncryptionMode::kCbc;
+        EXPECT_NE(exp::pointDigest(p), base_digest)
+            << "encryption mode must be part of the key";
+    }
+    {
+        exp::Point p = point;
+        p.cfg.authLatency += 1;
+        EXPECT_NE(exp::pointDigest(p), base_digest)
+            << "auth latency must be part of the key";
+    }
+    {
+        exp::Point p = point;
+        p.cfg.counterPrediction = false;
+        EXPECT_NE(exp::pointDigest(p), base_digest);
+    }
+    {
+        exp::Point p = point;
+        p.cfg.fetchGateDrain = true;
+        EXPECT_NE(exp::pointDigest(p), base_digest);
+    }
+    {
+        exp::Point p = point;
+        p.cfg.rngSeed += 1;
+        EXPECT_NE(exp::pointDigest(p), base_digest);
+    }
+    {
+        exp::Point p = point;
+        p.params.seed += 1;
+        EXPECT_NE(exp::pointDigest(p), base_digest);
+    }
+    // Identical points agree; the display label is not part of the key.
+    {
+        exp::Point p = point;
+        p.label = "pretty-name";
+        EXPECT_EQ(exp::pointDigest(p), base_digest);
+    }
+}
+
+TEST(ExpDigest, SerializedConfigListsEveryKnobOnce)
+{
+    sim::SimConfig cfg;
+    std::string text = sim::serializeConfig(cfg);
+    for (const char *key :
+         {"counterCache.sizeBytes", "encryptionMode", "authLatency",
+          "counterPrediction", "hashTreeEnabled", "remapCache.sizeBytes",
+          "fetchGateDrain", "rngSeed", "policy"}) {
+        std::string needle = std::string(key) + "=";
+        auto first = text.find(needle);
+        ASSERT_NE(first, std::string::npos) << key;
+        EXPECT_EQ(text.find(needle, first + 1), std::string::npos)
+            << key << " serialized twice";
+    }
+}
+
+TEST(ExpCache, RoundTripSkipsSimulation)
+{
+    ScratchFile file("test_exp_cache_roundtrip.txt");
+    exp::Point point = smallSweep().build()[0];
+
+    exp::Runner first(quietOptions(1, file.path()));
+    exp::Result fresh = first.run(point);
+    EXPECT_FALSE(fresh.fromCache);
+    EXPECT_EQ(first.simulatedCount(), 1u);
+    EXPECT_GT(fresh.run.insts, 0u);
+    EXPECT_FALSE(fresh.counters.empty());
+
+    // A new runner on the same file must serve the stored result
+    // without re-simulating.
+    exp::Runner second(quietOptions(1, file.path()));
+    exp::Result cached = second.run(point);
+    EXPECT_TRUE(cached.fromCache);
+    EXPECT_EQ(second.simulatedCount(), 0u);
+    EXPECT_EQ(cached.run.insts, fresh.run.insts);
+    EXPECT_EQ(cached.run.cycles, fresh.run.cycles);
+    EXPECT_EQ(cached.run.ipc, fresh.run.ipc);
+    EXPECT_EQ(cached.run.reason, fresh.run.reason);
+    EXPECT_EQ(cached.counters, fresh.counters);
+}
+
+TEST(ExpCache, StaleUnversionedFileIsIgnored)
+{
+    ScratchFile file("test_exp_cache_stale.txt");
+    exp::Point point = smallSweep().build()[0];
+
+    // Old snprintf-keyed v1 content: must never be served.
+    {
+        std::FILE *f = std::fopen(file.path().c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fprintf(f, "mcf|pol0|l2_262144|ruu128_64=9.999\n");
+        std::fclose(f);
+    }
+
+    exp::Runner runner(quietOptions(1, file.path()));
+    ASSERT_NE(runner.cache(), nullptr);
+    EXPECT_TRUE(runner.cache()->ignoredStaleFile());
+    exp::Result result = runner.run(point);
+    EXPECT_FALSE(result.fromCache);
+    EXPECT_EQ(runner.simulatedCount(), 1u);
+
+    // The store rewrote the file with the version header.
+    std::FILE *f = std::fopen(file.path().c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[128] = {0};
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    std::fclose(f);
+    EXPECT_EQ(std::string(line), std::string(
+        exp::ResultCache::kVersionHeader) + "\n");
+}
+
+TEST(ExpRunner, JobsResolutionPrefersExplicit)
+{
+    exp::Runner runner(quietOptions(3));
+    EXPECT_EQ(runner.jobs(), 3u);
+    EXPECT_GE(exp::Runner::defaultJobs(), 1u);
+}
+
+} // namespace

@@ -3,17 +3,30 @@
 #   test_output.txt   - full ctest run
 #   bench_output.txt  - every table/figure/ablation, concatenated
 #
+# Parallelism: ACP_JOBS controls both the bench binaries' experiment
+# runner (each runs its sweep points on a thread pool) and the
+# build/ctest -j level. Default: all cores.
+#
 # Honors the usual scale knobs (REPRO_MEASURE_INSTS, REPRO_WARMUP_INSTS,
-# REPRO_WS_BYTES). Per-run IPCs are cached in ./acp_bench_cache.txt, so
-# re-running after a code change only recomputes what changed (delete
-# the cache to force everything).
+# REPRO_WS_BYTES). Per-run results are cached in ./acp_bench_cache.txt
+# (versioned, keyed on the full-config digest), so re-running after a
+# code change only recomputes what changed (delete the cache to force
+# everything).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+JOBS="${ACP_JOBS:-$(nproc)}"
+export ACP_JOBS="$JOBS"
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+GENERATOR=()
+if command -v ninja > /dev/null 2>&1; then
+    GENERATOR=(-G Ninja)
+fi
+
+cmake -B build "${GENERATOR[@]}"
+cmake --build build -j "$JOBS"
+
+ctest --test-dir build -j "$JOBS" 2>&1 | tee test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do
@@ -22,4 +35,4 @@ for b in build/bench/*; do
     echo | tee -a bench_output.txt
 done
 
-echo "wrote test_output.txt and bench_output.txt"
+echo "wrote test_output.txt and bench_output.txt (jobs=$JOBS)"

@@ -111,6 +111,7 @@ Cache::allocate(Addr addr, Eviction *evicted)
     victim->tag = tag;
     victim->lru = ++lruClock_;
     victim->usableAt = 0;
+    victim->dataReadyAt = 0;
     victim->authSeq = kNoAuthSeq;
     victim->data.assign(cfg_.lineBytes, 0);
     return victim;

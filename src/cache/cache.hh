@@ -34,6 +34,12 @@ struct CacheLine
     std::uint64_t lru = 0;
     /** Cycle at which fill data becomes usable by consumers. */
     Cycle usableAt = 0;
+    /** Cycle at which the decrypted fill data was physically present
+     *  on-chip — under authen-then-issue this can be earlier than
+     *  usableAt (verification still pending); observability uses the
+     *  gap to attribute stall cycles to authentication rather than
+     *  memory latency. */
+    Cycle dataReadyAt = 0;
     /** Pending authentication request covering the fill (0 = none). */
     AuthSeq authSeq = 0;
     /** Line payload (plaintext). Sized lazily to the line size. */

@@ -15,6 +15,19 @@ using core::gatesIssue;
 using core::gatesWrite;
 using core::verifies;
 
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::kRunning:           return "running";
+      case StopReason::kHalted:            return "halted";
+      case StopReason::kSecurityException: return "security_exception";
+      case StopReason::kInstLimit:         return "inst_limit";
+      case StopReason::kCycleLimit:        return "cycle_limit";
+    }
+    return "?";
+}
+
 OooCore::OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
                  Addr entry)
     : cfg_(cfg), hier_(hier), bpred_(cfg), regs_(32, 0),
@@ -37,6 +50,14 @@ OooCore::OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
     stats_.addCounter("squashed", &squashedInsts_);
     stats_.addCounter("tainted_commits", &taintedCommits_);
     stats_.addCounter("tainted_store_drains", &taintedStoreDrains_);
+    stats_.addCounter("cycles", &statCycles_);
+    stats_.addCounter("commit_active_cycles", &commitActiveCycles_);
+    for (unsigned i = 0; i < obs::kNumStallCauses; ++i)
+        stats_.addCounter(std::string("stall.") +
+                              obs::stallCauseName(obs::StallCause(i)),
+                          &stallCounters_[i]);
+    stats_.addDistribution("ruu_occupancy", &ruuOccupancy_);
+    stats_.addDistribution("sb_occupancy", &sbOccupancy_);
 }
 
 OooCore::~OooCore() = default;
@@ -184,6 +205,7 @@ OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
                 raw &= (1ULL << (8 * bytes)) - 1;
             entry.result = isa::adjustLoadValue(entry.inst.op, raw);
             entry.readyAt = cycle_ + 2;
+            entry.dataReadyAt = entry.readyAt; // on-chip forward
             entry.dataSeq = kNoAuthSeq; // data never left the chip
             entry.tainted = entry.tainted || older.tainted;
             ++loadForwards_;
@@ -206,6 +228,7 @@ OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
                 raw &= (1ULL << (8 * bytes)) - 1;
             entry.result = isa::adjustLoadValue(entry.inst.op, raw);
             entry.readyAt = cycle_ + 2;
+            entry.dataReadyAt = entry.readyAt;
             entry.dataSeq = kNoAuthSeq;
             entry.tainted = entry.tainted || it->tainted;
             ++loadForwards_;
@@ -224,6 +247,7 @@ OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
         hier_.readTimed(addr, bytes, cycle_ + 1, gate, raw);
     entry.result = isa::adjustLoadValue(entry.inst.op, raw);
     entry.readyAt = access.ready;
+    entry.dataReadyAt = access.dataReady;
     entry.dataSeq = access.authSeq;
     entry.tainted = entry.tainted ||
                     hier_.ctrl().authEngine().requestFailed(access.authSeq);
@@ -252,9 +276,13 @@ OooCore::stageComplete()
         if (predicted_next != entry.actualNext) {
             entry.mispredict = true;
             ++mispredicts_;
+            std::uint64_t squashed_before = squashedInsts_.value();
             squashAfter(pos);
+            ACP_TRACE(trace_, obs::TraceEventKind::kSquash, cycle_,
+                      entry.pc, squashedInsts_.value() - squashed_before);
             fetchPc_ = entry.actualNext;
             fetchStallUntil_ = cycle_ + cfg_.mispredictPenalty;
+            fetchStallCause_ = obs::StallCause::kSquash;
             break; // everything younger is gone
         }
     }
@@ -273,13 +301,25 @@ OooCore::stageCommit()
             AuthSeq gate = std::max(entry.fetchSeq, entry.dataSeq);
             if (!verifiedOk(gate)) {
                 ++authCommitStalls_;
+                if (done == 0) {
+                    commitBlock_ = CommitBlock::kAuthGate;
+                    lastAuthBlockSeq_ = gate;
+                }
                 break;
+            }
+            if (gate != kNoAuthSeq && gate == lastAuthBlockSeq_) {
+                // The tag the head was stalling on has verified.
+                ACP_TRACE(trace_, obs::TraceEventKind::kGateRelease,
+                          cycle_, gate, entry.pc);
+                lastAuthBlockSeq_ = kNoAuthSeq;
             }
         }
 
         if (entry.isStore || entry.isOut) {
             if (storeBuffer_.size() >= cfg_.storeBufferSize) {
                 ++sbFullStalls_;
+                if (done == 0)
+                    commitBlock_ = CommitBlock::kSbFull;
                 break;
             }
             StoreBufEntry sb;
@@ -347,7 +387,10 @@ OooCore::stageCommit()
 
         if (entry.tainted)
             ++taintedCommits_;
+        ACP_TRACE(trace_, obs::TraceEventKind::kCommit, cycle_, entry.pc,
+                  entry.seq);
         ++committed_;
+        ++commitsThisCycle_;
         lastCommitCycle_ = cycle_;
 
         if (entry.writesRd &&
@@ -477,6 +520,8 @@ OooCore::stageIssue()
         }
 
         entry.issued = true;
+        ACP_TRACE(trace_, obs::TraceEventKind::kIssue, cycle_, entry.pc,
+                  entry.seq);
         ++issued_;
         --slots;
     }
@@ -565,10 +610,19 @@ OooCore::stageFetch()
         // feeds this cycle's fetch group; anything slower stalls.
         if (access.ready > cycle_ + cfg_.l1i.hitLatency) {
             fetchStallUntil_ = access.ready;
+            // Attribute the upcoming frontend bubble: fetch-gate bus
+            // delay, else plain miss latency; under authen-then-issue
+            // the tail past data arrival is a verification wait
+            // (classifyStall splits on fetchDataReadyAt_).
+            fetchStallCause_ = access.gateDelayed
+                                   ? obs::StallCause::kFetchGate
+                                   : obs::StallCause::kMemFetch;
+            fetchDataReadyAt_ = access.dataReady;
             break;
         }
 
         FetchedInst fetched_inst;
+        ACP_TRACE(trace_, obs::TraceEventKind::kFetch, cycle_, fetchPc_);
         fetched_inst.pc = fetchPc_;
         fetched_inst.inst = isa::decode(word);
         fetched_inst.fetchSeq = access.authSeq;
@@ -592,6 +646,75 @@ OooCore::stageFetch()
     }
 }
 
+obs::StallCause
+OooCore::classifyStall()
+{
+    // The commit stage already knows why its head couldn't retire.
+    if (commitBlock_ == CommitBlock::kAuthGate)
+        return obs::StallCause::kAuthCommit;
+    if (commitBlock_ == CommitBlock::kSbFull)
+        return obs::StallCause::kSbFull;
+
+    if (ruuCount_ == 0) {
+        // Nothing in flight: the frontend owns the bubble.
+        if (cycle_ < fetchStallUntil_) {
+            if (fetchStallCause_ == obs::StallCause::kSquash ||
+                fetchStallCause_ == obs::StallCause::kFetchGate)
+                return fetchStallCause_;
+            // Memory-driven fetch stall: once the line is physically
+            // on-chip any remaining wait is the issue-gate's
+            // verification tail, not memory latency.
+            if (cycle_ >= fetchDataReadyAt_)
+                return obs::StallCause::kAuthIssue;
+            return obs::StallCause::kMemFetch;
+        }
+        return obs::StallCause::kFrontend;
+    }
+
+    RuuEntry &head = entryAt(0);
+    if (!head.issued)
+        return obs::StallCause::kIssueWait;
+    if (head.isLoad && head.readyAt > cycle_) {
+        // In-flight load at the head: charge verification only once
+        // the data itself has arrived (authen-then-issue holds
+        // usability until the verdict).
+        if (cycle_ >= head.dataReadyAt)
+            return obs::StallCause::kAuthIssue;
+        return obs::StallCause::kMemData;
+    }
+    return obs::StallCause::kExec;
+}
+
+void
+OooCore::accountCycle()
+{
+    ++statCycles_;
+    if (commitsThisCycle_ > 0)
+        ++commitActiveCycles_;
+    else
+        ++stallCounters_[unsigned(classifyStall())];
+    ruuOccupancy_.sample(ruuCount_);
+    sbOccupancy_.sample(storeBuffer_.size());
+    if (recorder_)
+        recorder_->tick(cycle_, committed_.value(), stallCycles());
+}
+
+obs::StallArray
+OooCore::stallCycles() const
+{
+    obs::StallArray out{};
+    for (unsigned i = 0; i < obs::kNumStallCauses; ++i)
+        out[i] = stallCounters_[i].value();
+    return out;
+}
+
+void
+OooCore::flushIntervals()
+{
+    if (recorder_)
+        recorder_->finish(cycle_, committed_.value(), stallCycles());
+}
+
 bool
 OooCore::tick()
 {
@@ -601,7 +724,13 @@ OooCore::tick()
         return false;
 
     stageComplete();
+    commitsThisCycle_ = 0;
+    commitBlock_ = CommitBlock::kNone;
     stageCommit();
+    // Charge the cycle right after commit, before the younger stages
+    // mutate the RUU: attribution sees the machine state the commit
+    // stage actually faced.
+    accountCycle();
     if (stopReason_ != StopReason::kRunning) {
         ++cycle_;
         return false;
@@ -637,6 +766,10 @@ void
 OooCore::resetStats()
 {
     stats_.resetAll();
+    // Re-anchor the interval recorder: cumulative totals just went
+    // back to zero, so deltas must restart from here.
+    if (recorder_)
+        recorder_->rebase(cycle_, committed_.value(), stallCycles());
 }
 
 void

@@ -23,6 +23,7 @@
 #ifndef ACP_CPU_OOO_CORE_HH
 #define ACP_CPU_OOO_CORE_HH
 
+#include <array>
 #include <cstdio>
 #include <deque>
 #include <memory>
@@ -34,6 +35,9 @@
 #include "cpu/flat_mem.hh"
 #include "cpu/func_executor.hh"
 #include "isa/instr.hh"
+#include "obs/interval.hh"
+#include "obs/stall.hh"
+#include "obs/trace.hh"
 #include "secmem/mem_hierarchy.hh"
 #include "sim/config.hh"
 
@@ -49,6 +53,9 @@ enum class StopReason
     kInstLimit,
     kCycleLimit,
 };
+
+/** Stable display name of a stop reason (shared by every sink). */
+const char *stopReasonName(StopReason reason);
 
 /** The out-of-order core. */
 class OooCore
@@ -111,6 +118,18 @@ class OooCore
      */
     void traceCommits(std::FILE *out, std::uint64_t insts);
 
+    /** Attach a passive event trace sink (nullptr detaches). */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
+    /** Attach a passive interval-statistics recorder. */
+    void setIntervalRecorder(obs::IntervalRecorder *rec) { recorder_ = rec; }
+
+    /** Cumulative per-cause stall cycles of the stats window. */
+    obs::StallArray stallCycles() const;
+
+    /** Flush the recorder's partial tail interval (window end). */
+    void flushIntervals();
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -131,6 +150,10 @@ class OooCore
         bool issued = false;
         bool completed = false;
         Cycle readyAt = 0;
+        /** For loads: cycle the data is physically on-chip (equals
+         *  readyAt except under authen-then-issue, where the gap is
+         *  the verification wait). Stall attribution only. */
+        Cycle dataReadyAt = 0;
         std::uint64_t result = 0;
         bool writesRd = false;
 
@@ -202,6 +225,18 @@ class OooCore
     void raiseSecurityException(bool precise);
     bool checkEngineFailure();
 
+    // ----- stall attribution (observability) ------------------------------
+    /** Why the commit stage made no progress this cycle. */
+    enum class CommitBlock : std::uint8_t { kNone, kAuthGate, kSbFull };
+    /**
+     * Charge the current cycle: commit-active, or exactly one stall
+     * cause. Runs immediately after stageCommit, before the younger
+     * stages mutate the RUU. Also feeds the interval recorder.
+     */
+    void accountCycle();
+    /** Pick the single cause of a zero-commit cycle. */
+    obs::StallCause classifyStall();
+
     const sim::SimConfig &cfg_;
     secmem::MemHierarchy &hier_;
     BranchPredictor bpred_;
@@ -242,6 +277,20 @@ class OooCore
     std::FILE *traceOut_ = nullptr;
     std::uint64_t traceRemaining_ = 0;
 
+    // Observability (passive: never feeds back into the model)
+    obs::TraceBuffer *trace_ = nullptr;
+    obs::IntervalRecorder *recorder_ = nullptr;
+    unsigned commitsThisCycle_ = 0;
+    CommitBlock commitBlock_ = CommitBlock::kNone;
+    /** Gate tag the commit stage last stalled on (for the trace's
+     *  gate-release event). */
+    AuthSeq lastAuthBlockSeq_ = kNoAuthSeq;
+    /** Cause charged while the frontend sits out a fetch stall. */
+    obs::StallCause fetchStallCause_ = obs::StallCause::kFrontend;
+    /** Data-arrival cycle of the stalled instruction fetch (splits
+     *  memory wait from verification wait under authen-then-issue). */
+    Cycle fetchDataReadyAt_ = 0;
+
     // Statistics
     StatGroup stats_;
     StatCounter committed_;
@@ -264,6 +313,15 @@ class OooCore
     /** Stores released to memory with a failed-or-later tag
      *  (empirical "authenticated memory state" check, Table 2). */
     StatCounter taintedStoreDrains_;
+    /** Cycles elapsed in the stats window ("core.cycles"). */
+    StatCounter statCycles_;
+    /** Cycles in which at least one instruction committed. */
+    StatCounter commitActiveCycles_;
+    /** Per-cause stall cycles ("core.stall.<cause>"). Invariant:
+     *  their sum equals cycles - commit_active_cycles. */
+    std::array<StatCounter, obs::kNumStallCauses> stallCounters_;
+    StatDistribution ruuOccupancy_;
+    StatDistribution sbOccupancy_;
 
   public:
     std::uint64_t taintedCommits() const { return taintedCommits_.value(); }

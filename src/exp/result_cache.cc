@@ -10,6 +10,40 @@ namespace acp::exp
 namespace
 {
 
+/** Parse "count:sum:min:max" (doubles) into an AvgStat. */
+AvgStat
+parseAvg(const char *value)
+{
+    AvgStat avg;
+    char *end = nullptr;
+    avg.count = std::strtoull(value, &end, 10);
+    if (*end == ':')
+        avg.sum = std::strtod(end + 1, &end);
+    if (*end == ':')
+        avg.min = std::strtod(end + 1, &end);
+    if (*end == ':')
+        avg.max = std::strtod(end + 1, &end);
+    return avg;
+}
+
+/** Parse "count:sum:min:max:b0,b1,..." into a DistStat. */
+DistStat
+parseDist(const char *value)
+{
+    DistStat dist;
+    char *end = nullptr;
+    dist.count = std::strtoull(value, &end, 10);
+    if (*end == ':')
+        dist.sum = std::strtoull(end + 1, &end, 10);
+    if (*end == ':')
+        dist.min = std::strtoull(end + 1, &end, 10);
+    if (*end == ':')
+        dist.max = std::strtoull(end + 1, &end, 10);
+    while (*end == ':' || *end == ',')
+        dist.buckets.push_back(std::strtoull(end + 1, &end, 10));
+    return dist;
+}
+
 /** Parse one "key=value" token into @p result; unknown keys are counters. */
 void
 applyToken(Result &result, const std::string &token)
@@ -28,6 +62,10 @@ applyToken(Result &result, const std::string &token)
     else if (key == "reason")
         result.run.reason =
             cpu::StopReason(std::strtoul(value, nullptr, 10));
+    else if (key.rfind("avg:", 0) == 0)
+        result.averages[key.substr(4)] = parseAvg(value);
+    else if (key.rfind("dist:", 0) == 0)
+        result.distributions[key.substr(5)] = parseDist(value);
     else
         result.counters[key] = std::strtoull(value, nullptr, 10);
 }
@@ -130,6 +168,20 @@ ResultCache::appendLine(const std::string &digest, const Result &result)
     for (const auto &[name, value] : result.counters)
         std::fprintf(f, " %s=%llu", name.c_str(),
                      (unsigned long long)value);
+    for (const auto &[name, avg] : result.averages)
+        std::fprintf(f, " avg:%s=%llu:%.17g:%.17g:%.17g", name.c_str(),
+                     (unsigned long long)avg.count, avg.sum, avg.min,
+                     avg.max);
+    for (const auto &[name, dist] : result.distributions) {
+        std::fprintf(f, " dist:%s=%llu:%llu:%llu:%llu", name.c_str(),
+                     (unsigned long long)dist.count,
+                     (unsigned long long)dist.sum,
+                     (unsigned long long)dist.min,
+                     (unsigned long long)dist.max);
+        for (std::size_t i = 0; i < dist.buckets.size(); ++i)
+            std::fprintf(f, "%c%llu", i == 0 ? ':' : ',',
+                         (unsigned long long)dist.buckets[i]);
+    }
     std::fprintf(f, "\n");
     std::fclose(f);
 }

@@ -4,16 +4,20 @@
  *
  * File format (./acp_bench_cache.txt by default):
  *
- *   acp-cache-v2
+ *   acp-cache-v3
  *   <64-hex-digest> ipc=<g17> insts=<u> cycles=<u> reason=<u> \
- *       [<group.stat>=<u> ...]
+ *       [<group.stat>=<u> ...] \
+ *       [avg:<group.stat>=<count>:<sum>:<min>:<max> ...] \
+ *       [dist:<group.stat>=<count>:<sum>:<min>:<max>:<b0,b1,...> ...]
  *
  * The digest is pointDigest(): SHA-256 over the *complete* serialized
  * SimConfig plus workload identity and window, so every configuration
  * knob participates in the key. Files without the exact version
- * header — including the v1 files the old snprintf-keyed harness
- * wrote — are ignored on load and truncated on the first store,
- * never served.
+ * header — including the v1/v2 files earlier harnesses wrote — are
+ * ignored on load and truncated on the first store, never served.
+ * (v2 -> v3: averages and distributions joined the payload, so a v2
+ * hit would silently lack them.) Interval series are never cached:
+ * points with statsInterval != 0 are uncacheable by design.
  */
 
 #ifndef ACP_EXP_RESULT_CACHE_HH
@@ -24,11 +28,37 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "obs/interval.hh"
 #include "sim/system.hh"
 
 namespace acp::exp
 {
+
+/** Captured StatAverage state (plain data for cache round-trips). */
+struct AvgStat
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const { return count ? sum / double(count) : 0.0; }
+};
+
+/** Captured StatDistribution state. */
+struct DistStat
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    /** Power-of-two buckets (StatDistribution::bucketLow/High). */
+    std::vector<std::uint64_t> buckets;
+
+    double mean() const { return count ? double(sum) / double(count) : 0.0; }
+};
 
 /** Everything one simulated point produced. */
 struct Result
@@ -36,6 +66,14 @@ struct Result
     sim::RunResult run;
     /** Captured integer counters ("l2.misses" -> value). */
     std::map<std::string, std::uint64_t> counters;
+    /** Captured averages ("auth.verify_latency" -> state). */
+    std::map<std::string, AvgStat> averages;
+    /** Captured distributions ("auth.verify_latency_hist" -> state). */
+    std::map<std::string, DistStat> distributions;
+    /** Interval time series (only when cfg.statsInterval != 0). */
+    std::vector<obs::IntervalSample> intervals;
+    /** Interval period in cycles (0 = no interval stats). */
+    std::uint64_t intervalPeriod = 0;
     /** Served from the persistent cache (not re-simulated). */
     bool fromCache = false;
     /** Wall-clock seconds of the simulation (0 when cached). */
@@ -48,7 +86,7 @@ struct Result
 class ResultCache
 {
   public:
-    static constexpr const char *kVersionHeader = "acp-cache-v2";
+    static constexpr const char *kVersionHeader = "acp-cache-v3";
 
     /**
      * Bind to @p path and load existing entries. A missing file is an

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <thread>
 
+#include "cpu/ooo_core.hh"
 #include "crypto/sha256.hh"
 #include "sim/config_io.hh"
 #include "sim/system.hh"
@@ -17,50 +18,58 @@ namespace acp::exp
 namespace
 {
 
-const char *
-stopReasonName(cpu::StopReason reason)
-{
-    switch (reason) {
-      case cpu::StopReason::kRunning:           return "running";
-      case cpu::StopReason::kHalted:            return "halted";
-      case cpu::StopReason::kSecurityException: return "security-exception";
-      case cpu::StopReason::kInstLimit:         return "inst-limit";
-      case cpu::StopReason::kCycleLimit:        return "cycle-limit";
-    }
-    return "?";
-}
-
 /**
- * Pull "group.stat <integer>" lines out of a dumpStats() text.
- * @p wanted filters by exact stat name; empty captures everything
- * integer-valued (averages render as "mean=..." and are skipped).
+ * Typed statistics capture: fills a Result straight from the live
+ * StatGroups via System::visitStats. Replaces the old dumpStats()
+ * text scraping, which silently dropped every non-integer statistic
+ * (averages rendered as "mean=..." and never made it to JSON).
+ * @p wanted filters by exact "group.stat" name; empty captures all.
  */
-void
-captureCounters(const std::string &stats,
-                const std::vector<std::string> &wanted,
-                std::map<std::string, std::uint64_t> &out)
+class CaptureVisitor : public StatVisitor
 {
-    std::size_t pos = 0;
-    while (pos < stats.size()) {
-        std::size_t eol = stats.find('\n', pos);
-        if (eol == std::string::npos)
-            eol = stats.size();
-        std::size_t space = stats.find(' ', pos);
-        if (space != std::string::npos && space < eol) {
-            std::string name = stats.substr(pos, space - pos);
-            std::string value = stats.substr(space + 1, eol - space - 1);
-            bool integral = !value.empty() &&
-                            value.find_first_not_of("0123456789") ==
-                                std::string::npos;
-            bool take = wanted.empty() ||
-                        std::find(wanted.begin(), wanted.end(), name) !=
-                            wanted.end();
-            if (integral && take)
-                out[name] = std::strtoull(value.c_str(), nullptr, 10);
-        }
-        pos = eol + 1;
+  public:
+    CaptureVisitor(const std::vector<std::string> &wanted, Result &out)
+        : wanted_(wanted), out_(out)
+    {
     }
-}
+
+    void
+    onCounter(const std::string &name, std::uint64_t value) override
+    {
+        if (take(name))
+            out_.counters[name] = value;
+    }
+
+    void
+    onAverage(const std::string &name, const StatAverage &avg) override
+    {
+        if (take(name))
+            out_.averages[name] = {avg.count(), avg.sum(), avg.min(),
+                                   avg.max()};
+    }
+
+    void
+    onDistribution(const std::string &name,
+                   const StatDistribution &dist) override
+    {
+        if (take(name))
+            out_.distributions[name] = {dist.count(), dist.sum(),
+                                        dist.min(), dist.max(),
+                                        dist.buckets()};
+    }
+
+  private:
+    bool
+    take(const std::string &name) const
+    {
+        return wanted_.empty() ||
+               std::find(wanted_.begin(), wanted_.end(), name) !=
+                   wanted_.end();
+    }
+
+    const std::vector<std::string> &wanted_;
+    Result &out_;
+};
 
 void
 jsonEscape(std::FILE *f, const std::string &text)
@@ -204,10 +213,16 @@ Runner::simulate(const Point &point) const
     Result result;
     result.run = system.measureTimed(point.measureInsts,
                                      point.maxCycles());
-    std::string stats = system.dumpStats();
-    captureCounters(stats, opts_.counters, result.counters);
+    if (point.finish)
+        point.finish(system);
+    CaptureVisitor capture(opts_.counters, result);
+    system.visitStats(capture);
+    if (const obs::IntervalRecorder *rec = system.intervalRecorder()) {
+        result.intervals = rec->samples();
+        result.intervalPeriod = rec->period();
+    }
     if (opts_.captureStatsText)
-        result.statsText = std::move(stats);
+        result.statsText = system.dumpStats();
 
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -330,7 +345,7 @@ Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
                      "        \"counters\": {",
                      r.run.ipc, (unsigned long long)r.run.insts,
                      (unsigned long long)r.run.cycles,
-                     stopReasonName(r.run.reason),
+                     cpu::stopReasonName(r.run.reason),
                      r.fromCache ? "true" : "false");
         bool first = true;
         for (const auto &[name, value] : r.counters) {
@@ -339,8 +354,69 @@ Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
             std::fprintf(out, "\": %llu", (unsigned long long)value);
             first = false;
         }
-        std::fprintf(out, "%s        }\n      }\n    }",
+        std::fprintf(out, "%s        },\n        \"averages\": {",
                      first ? "" : "\n");
+        first = true;
+        for (const auto &[name, avg] : r.averages) {
+            std::fprintf(out, "%s\n          \"", first ? "" : ",");
+            jsonEscape(out, name);
+            std::fprintf(out,
+                         "\": {\"count\": %llu, \"mean\": %.17g, "
+                         "\"min\": %.17g, \"max\": %.17g}",
+                         (unsigned long long)avg.count, avg.mean(),
+                         avg.min, avg.max);
+            first = false;
+        }
+        std::fprintf(out, "%s        },\n        \"distributions\": {",
+                     first ? "" : "\n");
+        first = true;
+        for (const auto &[name, dist] : r.distributions) {
+            std::fprintf(out, "%s\n          \"", first ? "" : ",");
+            jsonEscape(out, name);
+            std::fprintf(out,
+                         "\": {\"count\": %llu, \"sum\": %llu, "
+                         "\"min\": %llu, \"max\": %llu, \"buckets\": [",
+                         (unsigned long long)dist.count,
+                         (unsigned long long)dist.sum,
+                         (unsigned long long)dist.min,
+                         (unsigned long long)dist.max);
+            for (std::size_t b = 0; b < dist.buckets.size(); ++b)
+                std::fprintf(out, "%s%llu", b ? ", " : "",
+                             (unsigned long long)dist.buckets[b]);
+            std::fputs("]}", out);
+            first = false;
+        }
+        std::fprintf(out, "%s        }", first ? "" : "\n");
+        if (!r.intervals.empty()) {
+            std::fprintf(out,
+                         ",\n        \"intervalPeriod\": %llu,\n"
+                         "        \"intervals\": [",
+                         (unsigned long long)r.intervalPeriod);
+            for (std::size_t s = 0; s < r.intervals.size(); ++s) {
+                const obs::IntervalSample &iv = r.intervals[s];
+                std::fprintf(out,
+                             "%s\n          {\"endCycle\": %llu, "
+                             "\"cycles\": %llu, \"insts\": %llu, "
+                             "\"ipc\": %.17g, \"stalls\": {",
+                             s ? "," : "",
+                             (unsigned long long)iv.endCycle,
+                             (unsigned long long)iv.cycles,
+                             (unsigned long long)iv.insts, iv.ipc);
+                bool first_stall = true;
+                for (unsigned c = 0; c < obs::kNumStallCauses; ++c) {
+                    if (iv.stalls[c] == 0)
+                        continue;
+                    std::fprintf(out, "%s\"%s\": %llu",
+                                 first_stall ? "" : ", ",
+                                 obs::stallCauseName(obs::StallCause(c)),
+                                 (unsigned long long)iv.stalls[c]);
+                    first_stall = false;
+                }
+                std::fputs("}}", out);
+            }
+            std::fputs("\n        ]", out);
+        }
+        std::fputs("\n      }\n    }", out);
     }
     std::fprintf(out, "\n  ]\n}\n");
 }

@@ -41,8 +41,10 @@ struct RunnerOptions
     /** Per-point progress lines on stderr. */
     bool progress = true;
     /**
-     * Counter names to capture from the run's statistics (e.g.
-     * "l2.misses"). Empty = capture every integer counter.
+     * Statistic names to capture from the run (e.g. "l2.misses",
+     * "auth.verify_latency"). The filter applies to every kind —
+     * counters, averages and distributions alike. Empty = capture
+     * everything.
      */
     std::vector<std::string> counters;
     /** Also keep the full dumpStats() text in Result::statsText. */
@@ -80,7 +82,9 @@ class Runner
     /**
      * Emit points+results as a JSON document (machine consumption):
      * one record per point with identity, digest, the full config,
-     * and the result including captured counters.
+     * and the result including captured counters, averages,
+     * distributions and — when statsInterval was set — the interval
+     * time series.
      */
     static void writeJson(std::FILE *out, const std::vector<Point> &points,
                           const std::vector<Result> &results);

@@ -52,9 +52,27 @@ struct Point
      * cacheable: the hook's effect is invisible to the key.
      */
     std::function<void(sim::System &)> prepare;
+    /**
+     * Optional hook run after the timed window, while the System is
+     * still alive (e.g. write the structured trace to a file). Like
+     * prepare, it makes the point uncacheable.
+     */
+    std::function<void(sim::System &)> finish;
 
     std::uint64_t maxCycles() const { return measureInsts * cyclesPerInst; }
-    bool cacheable() const { return !prepare; }
+
+    /**
+     * Cacheable points must be fully described by their digest. Hooks
+     * are invisible to the key, and the observability knobs are
+     * deliberately excluded from it (they never change results), so a
+     * run that wants a trace or interval series must actually run.
+     */
+    bool
+    cacheable() const
+    {
+        return !prepare && !finish && cfg.traceMask == 0 &&
+               cfg.statsInterval == 0;
+    }
 };
 
 /**

@@ -1,0 +1,43 @@
+#include "obs/interval.hh"
+
+#include <cstdio>
+
+namespace acp::obs
+{
+
+void
+printIntervalTable(const std::vector<IntervalSample> &samples,
+                   std::FILE *out)
+{
+    if (samples.empty())
+        return;
+
+    // Only show stall columns that are non-zero somewhere: the table
+    // stays readable and the policy's signature causes stand out.
+    bool used[kNumStallCauses] = {};
+    for (const IntervalSample &s : samples)
+        for (unsigned i = 0; i < kNumStallCauses; ++i)
+            if (s.stalls[i])
+                used[i] = true;
+
+    std::fprintf(out, "%12s %8s %8s %7s", "end_cycle", "cycles",
+                 "insts", "ipc");
+    for (unsigned i = 0; i < kNumStallCauses; ++i)
+        if (used[i])
+            std::fprintf(out, " %11s", stallCauseName(StallCause(i)));
+    std::fputc('\n', out);
+
+    for (const IntervalSample &s : samples) {
+        std::fprintf(out, "%12llu %8llu %8llu %7.4f",
+                     (unsigned long long)s.endCycle,
+                     (unsigned long long)s.cycles,
+                     (unsigned long long)s.insts, s.ipc);
+        for (unsigned i = 0; i < kNumStallCauses; ++i)
+            if (used[i])
+                std::fprintf(out, " %11llu",
+                             (unsigned long long)s.stalls[i]);
+        std::fputc('\n', out);
+    }
+}
+
+} // namespace acp::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Stall-attribution taxonomy: every cycle in which the core commits
+ * nothing is charged to exactly one cause, so the per-cause counters
+ * sum to (cycles - commit-active cycles). This is the breakdown that
+ * turns "authen-then-issue loses 40% IPC" into "…and 90% of that is
+ * loads whose data had decrypted but not yet verified".
+ *
+ * The taxonomy is exhaustive and exclusive by construction: the core
+ * classifies each non-committing cycle from the retire-stage view
+ * (state of the RUU head, or of the frontend when the RUU is empty)
+ * immediately after the commit stage runs.
+ */
+
+#ifndef ACP_OBS_STALL_HH
+#define ACP_OBS_STALL_HH
+
+#include <array>
+#include <cstdint>
+
+namespace acp::obs
+{
+
+/** Why a cycle retired nothing (charged once per such cycle). */
+enum class StallCause : unsigned
+{
+    /** Head complete; the authen-then-commit gate awaits verification. */
+    kAuthCommit,
+    /** Head load's data decrypted but unusable until verified
+     *  (the authen-then-issue latency gap, at issue or at fetch). */
+    kAuthIssue,
+    /** Head store/out blocked on a full store(-release) buffer — the
+     *  authen-then-write backpressure path. */
+    kSbFull,
+    /** Head load in flight to the cache hierarchy / memory. */
+    kMemData,
+    /** RUU empty; instruction fetch waiting on the hierarchy. */
+    kMemFetch,
+    /** RUU empty; fetch bus grant held by the authen-then-fetch gate. */
+    kFetchGate,
+    /** Head executing in a functional unit. */
+    kExec,
+    /** Head waiting to issue (FU/port contention, disambiguation). */
+    kIssueWait,
+    /** RUU empty during a branch-mispredict refill. */
+    kSquash,
+    /** RUU empty, frontend refilling (no specific stall recorded). */
+    kFrontend,
+
+    kNumCauses,
+};
+
+constexpr unsigned kNumStallCauses = unsigned(StallCause::kNumCauses);
+
+/** Per-cause cycle totals, indexed by StallCause. */
+using StallArray = std::array<std::uint64_t, kNumStallCauses>;
+
+/** Stable stat/display name ("auth_commit", "mem_data", ...). */
+constexpr const char *
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::kAuthCommit: return "auth_commit";
+      case StallCause::kAuthIssue:  return "auth_issue";
+      case StallCause::kSbFull:     return "sb_full";
+      case StallCause::kMemData:    return "mem_data";
+      case StallCause::kMemFetch:   return "mem_fetch";
+      case StallCause::kFetchGate:  return "fetch_gate";
+      case StallCause::kExec:       return "exec";
+      case StallCause::kIssueWait:  return "issue_wait";
+      case StallCause::kSquash:     return "squash";
+      case StallCause::kFrontend:   return "frontend";
+      case StallCause::kNumCauses:  break;
+    }
+    return "?";
+}
+
+} // namespace acp::obs
+
+#endif // ACP_OBS_STALL_HH

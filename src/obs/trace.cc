@@ -1,0 +1,78 @@
+#include "obs/trace.hh"
+
+namespace acp::obs
+{
+
+TraceBuffer::TraceBuffer(std::uint32_t mask, std::size_t capacity)
+    : mask_(mask), ring_(capacity ? capacity : 1)
+{
+}
+
+void
+TraceBuffer::clear()
+{
+    writeAt_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+}
+
+std::vector<TraceEvent>
+TraceBuffer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    forEach([&out](const TraceEvent &ev) { out.push_back(ev); });
+    return out;
+}
+
+void
+TraceBuffer::dumpText(std::FILE *out) const
+{
+    forEach([out](const TraceEvent &ev) {
+        std::fprintf(out, "%10llu  %-18s",
+                     (unsigned long long)ev.cycle,
+                     traceKindName(ev.kind));
+        switch (ev.kind) {
+          case TraceEventKind::kFetch:
+            std::fprintf(out, " pc=0x%llx", (unsigned long long)ev.a);
+            break;
+          case TraceEventKind::kIssue:
+          case TraceEventKind::kCommit:
+            std::fprintf(out, " pc=0x%llx seq=%llu",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b);
+            break;
+          case TraceEventKind::kSquash:
+            std::fprintf(out, " pc=0x%llx squashed=%llu",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b);
+            break;
+          case TraceEventKind::kAuthRequest:
+          case TraceEventKind::kAuthDataArrive:
+            std::fprintf(out, " auth_seq=%llu line=0x%llx",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b);
+            break;
+          case TraceEventKind::kAuthVerifyDone:
+            std::fprintf(out, " auth_seq=%llu ok=%llu",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b);
+            break;
+          case TraceEventKind::kGateRelease:
+            std::fprintf(out, " auth_seq=%llu pc=0x%llx",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b);
+            break;
+          case TraceEventKind::kFetchGateBegin:
+          case TraceEventKind::kFetchGateEnd:
+            std::fprintf(out, " stall=%llu tag=%llu line=0x%llx",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b,
+                         (unsigned long long)ev.c);
+            break;
+        }
+        std::fputc('\n', out);
+    });
+}
+
+} // namespace acp::obs

@@ -1,0 +1,132 @@
+#include "obs/trace_json.hh"
+
+#include <cinttypes>
+
+namespace acp::obs
+{
+
+namespace
+{
+
+/** One trace-event object; @p first suppresses the leading comma. */
+void
+emitEvent(std::FILE *out, bool &first, const char *ph, const char *cat,
+          const char *name, Cycle ts, std::uint64_t id, bool has_id,
+          const char *args_fmt = nullptr, std::uint64_t arg0 = 0,
+          std::uint64_t arg1 = 0)
+{
+    std::fprintf(out, "%s\n    {\"ph\":\"%s\",\"cat\":\"%s\","
+                 "\"name\":\"%s\",\"ts\":%llu,\"pid\":0",
+                 first ? "" : ",", ph, cat, name,
+                 (unsigned long long)ts);
+    first = false;
+    if (has_id)
+        std::fprintf(out, ",\"id\":\"%llu\"", (unsigned long long)id);
+    // Instant events need a scope; thread instants live on tid 0.
+    if (ph[0] == 'i')
+        std::fputs(",\"tid\":0,\"s\":\"t\"", out);
+    else
+        std::fputs(",\"tid\":1", out);
+    if (args_fmt != nullptr) {
+        std::fputs(",\"args\":{", out);
+        std::fprintf(out, args_fmt, (unsigned long long)arg0,
+                     (unsigned long long)arg1);
+        std::fputc('}', out);
+    }
+    std::fputc('}', out);
+}
+
+} // namespace
+
+void
+writeChromeTrace(const TraceBuffer &buf, std::FILE *out)
+{
+    std::fputs("{\n  \"traceEvents\": [", out);
+    bool first = true;
+
+    // Track names (metadata events).
+    std::fprintf(out, "%s\n    {\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":\"core\"}}",
+                 first ? "" : ",");
+    first = false;
+    std::fputs(",\n    {\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+               "\"name\":\"thread_name\",\"args\":{\"name\":\"secmem\"}}",
+               out);
+
+    buf.forEach([&](const TraceEvent &ev) {
+        switch (ev.kind) {
+          case TraceEventKind::kFetch:
+            emitEvent(out, first, "i", "pipeline", "fetch", ev.cycle, 0,
+                      false, "\"pc\":%llu", ev.a);
+            break;
+          case TraceEventKind::kIssue:
+            emitEvent(out, first, "i", "pipeline", "issue", ev.cycle, 0,
+                      false, "\"pc\":%llu,\"seq\":%llu", ev.a, ev.b);
+            break;
+          case TraceEventKind::kCommit:
+            emitEvent(out, first, "i", "pipeline", "commit", ev.cycle, 0,
+                      false, "\"pc\":%llu,\"seq\":%llu", ev.a, ev.b);
+            break;
+          case TraceEventKind::kSquash:
+            emitEvent(out, first, "i", "pipeline", "squash", ev.cycle, 0,
+                      false, "\"pc\":%llu,\"squashed\":%llu", ev.a, ev.b);
+            break;
+          case TraceEventKind::kAuthRequest:
+            emitEvent(out, first, "i", "auth", "auth.request", ev.cycle,
+                      0, false, "\"auth_seq\":%llu,\"line\":%llu", ev.a,
+                      ev.b);
+            break;
+          case TraceEventKind::kAuthDataArrive:
+            // Span start: data+MAC on-chip, verification pending. The
+            // span's duration is the authentication latency gap the
+            // auth.verify_latency statistic averages.
+            emitEvent(out, first, "b", "auth", "auth.verify", ev.cycle,
+                      ev.a, true, "\"auth_seq\":%llu,\"line\":%llu",
+                      ev.a, ev.b);
+            break;
+          case TraceEventKind::kAuthVerifyDone:
+            emitEvent(out, first, "e", "auth", "auth.verify", ev.cycle,
+                      ev.a, true, "\"auth_seq\":%llu,\"ok\":%llu", ev.a,
+                      ev.b);
+            break;
+          case TraceEventKind::kGateRelease:
+            emitEvent(out, first, "i", "auth", "auth.gate_release",
+                      ev.cycle, 0, false,
+                      "\"auth_seq\":%llu,\"pc\":%llu", ev.a, ev.b);
+            break;
+          case TraceEventKind::kFetchGateBegin:
+            emitEvent(out, first, "b", "gate", "fetch_gate", ev.cycle,
+                      ev.a, true, "\"tag\":%llu,\"line\":%llu", ev.b,
+                      ev.c);
+            break;
+          case TraceEventKind::kFetchGateEnd:
+            emitEvent(out, first, "e", "gate", "fetch_gate", ev.cycle,
+                      ev.a, true, "\"tag\":%llu,\"line\":%llu", ev.b,
+                      ev.c);
+            break;
+        }
+    });
+
+    std::fprintf(out, "\n  ],\n"
+                 "  \"displayTimeUnit\": \"ms\",\n"
+                 "  \"otherData\": {\n"
+                 "    \"generator\": \"acpsim\",\n"
+                 "    \"timeUnit\": \"core cycles\",\n"
+                 "    \"eventsRecorded\": %" PRIu64 ",\n"
+                 "    \"eventsHeld\": %zu\n"
+                 "  }\n}\n",
+                 buf.recorded(), buf.size());
+}
+
+bool
+writeChromeTrace(const TraceBuffer &buf, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeChromeTrace(buf, f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace acp::obs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome trace-event JSON sink for a TraceBuffer. The output loads in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing, with the
+ * simulated cycle count as the timestamp unit (1 "us" == 1 cycle):
+ *
+ *   - pipeline events (fetch/issue/commit/squash) as instants on the
+ *     "core" track,
+ *   - each authentication request as an async span from data/hash
+ *     arrival to verification verdict on the "auth" track — the
+ *     span's length IS the paper's authentication latency gap,
+ *   - fetch-gate stalls as async spans on the "fetch-gate" track.
+ */
+
+#ifndef ACP_OBS_TRACE_JSON_HH
+#define ACP_OBS_TRACE_JSON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace acp::obs
+{
+
+/** Emit @p buf as a complete Chrome trace-event JSON document. */
+void writeChromeTrace(const TraceBuffer &buf, std::FILE *out);
+
+/** writeChromeTrace to @p path; returns false if it can't be opened. */
+bool writeChromeTrace(const TraceBuffer &buf, const std::string &path);
+
+} // namespace acp::obs
+
+#endif // ACP_OBS_TRACE_JSON_HH

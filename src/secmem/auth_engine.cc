@@ -17,6 +17,8 @@ AuthEngine::AuthEngine(unsigned latency, unsigned occupancy)
     stats_.addCounter("failures", &failures_);
     stats_.addAverage("queue_delay", &queueDelay_);
     stats_.addAverage("verify_latency", &verifyLatency_);
+    stats_.addDistribution("verify_latency_hist", &verifyLatencyHist_);
+    stats_.addDistribution("queue_depth", &queueDepth_);
 }
 
 AuthSeq
@@ -29,6 +31,20 @@ AuthEngine::post(Cycle ready_at, Cycle extra_latency, bool mac_ok)
 
     queueDelay_.sample(double(start - ready_at));
     verifyLatency_.sample(double(done - ready_at));
+    verifyLatencyHist_.sample(done - ready_at);
+
+    // Engine backlog seen by this request: earlier requests still
+    // unfinished when its data arrived. Completion cycles are only
+    // loosely ordered (tree paths add per-request latency), so scan
+    // back until a comfortably-finished prefix is reached.
+    std::uint64_t depth = 0;
+    for (auto it = doneCycles_.rbegin(); it != doneCycles_.rend(); ++it) {
+        if (*it > ready_at)
+            ++depth;
+        else
+            break;
+    }
+    queueDepth_.sample(depth);
 
     ++lastRequest_;
     doneCycles_.push_back(done);

@@ -113,6 +113,8 @@ class AuthEngine
     StatCounter failures_;
     StatAverage queueDelay_;
     StatAverage verifyLatency_;
+    StatDistribution verifyLatencyHist_;
+    StatDistribution queueDepth_;
 };
 
 } // namespace acp::secmem

@@ -78,6 +78,8 @@ MemHierarchy::ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
         ref.ready = lookup_done > line->usableAt ? lookup_done
                                                  : line->usableAt;
         ref.authSeq = line->authSeq;
+        ref.dataReady = lookup_done > line->dataReadyAt ? lookup_done
+                                                        : line->dataReadyAt;
         return ref;
     }
 
@@ -95,10 +97,13 @@ MemHierarchy::ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
     if (core::gatesIssue(cfg_.policy) && !fill.macOk)
         line->usableAt = kCycleNever;
     line->authSeq = fill.authSeq;
+    line->dataReadyAt = fill.dataReady;
 
     ref.line = line;
     ref.ready = line->usableAt;
     ref.authSeq = line->authSeq;
+    ref.dataReady = line->dataReadyAt;
+    ref.gateDelayed = fill.gateDelayed;
     return ref;
 }
 
@@ -114,6 +119,8 @@ MemHierarchy::ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
         ref.ready = lookup_done > line->usableAt ? lookup_done
                                                  : line->usableAt;
         ref.authSeq = line->authSeq;
+        ref.dataReady = lookup_done > line->dataReadyAt ? lookup_done
+                                                        : line->dataReadyAt;
         return ref;
     }
 
@@ -142,10 +149,13 @@ MemHierarchy::ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
                 l1.lineBytes());
     line->usableAt = l2ref.ready;
     line->authSeq = l2ref.authSeq;
+    line->dataReadyAt = l2ref.dataReady;
 
     ref.line = line;
     ref.ready = l2ref.ready;
     ref.authSeq = l2ref.authSeq;
+    ref.dataReady = l2ref.dataReady;
+    ref.gateDelayed = l2ref.gateDelayed;
     return ref;
 }
 
@@ -179,6 +189,9 @@ MemHierarchy::readTimed(Addr addr, unsigned bytes, Cycle cycle,
             out.ready = ref.ready;
         if (ref.authSeq > out.authSeq)
             out.authSeq = ref.authSeq;
+        if (ref.dataReady > out.dataReady)
+            out.dataReady = ref.dataReady;
+        out.gateDelayed |= ref.gateDelayed;
         done += in_line;
     }
     return out;
@@ -211,6 +224,9 @@ MemHierarchy::writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
             out.ready = ref.ready;
         if (ref.authSeq > out.authSeq)
             out.authSeq = ref.authSeq;
+        if (ref.dataReady > out.dataReady)
+            out.dataReady = ref.dataReady;
+        out.gateDelayed |= ref.gateDelayed;
         done += in_line;
     }
     return out;
@@ -233,6 +249,8 @@ MemHierarchy::fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
     MemAccess out;
     out.ready = ref.ready;
     out.authSeq = ref.authSeq;
+    out.dataReady = ref.dataReady;
+    out.gateDelayed = ref.gateDelayed;
     return out;
 }
 

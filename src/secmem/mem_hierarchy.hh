@@ -35,6 +35,14 @@ struct MemAccess
     Cycle ready = 0;
     /** Latest pending authentication tag covering the data. */
     AuthSeq authSeq = kNoAuthSeq;
+    /** Cycle the decrypted data is physically on-chip. Equal to ready
+     *  except under authen-then-issue, where the difference is the
+     *  verification wait (observability only — the pipeline never
+     *  consumes data before ready). */
+    Cycle dataReady = 0;
+    /** Whether the authen-then-fetch gate delayed this access's bus
+     *  grant (observability only). */
+    bool gateDelayed = false;
 };
 
 /** The hierarchy. */
@@ -75,12 +83,17 @@ class MemHierarchy
     std::uint64_t translationFaults() const { return faults_.value(); }
     StatGroup &stats() { return stats_; }
 
+    /** Attach (or detach) a passive event trace sink. */
+    void setTrace(obs::TraceBuffer *trace) { ctrl_.setTrace(trace); }
+
   private:
     struct LineRef
     {
         cache::CacheLine *line = nullptr;
         Cycle ready = 0;
         AuthSeq authSeq = kNoAuthSeq;
+        Cycle dataReady = 0;
+        bool gateDelayed = false;
     };
 
     /** Clamp to the simulated address space, counting faults. */

@@ -33,6 +33,8 @@ SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
     stats_.addAverage("fetch_gate_delay", &fetchGateDelay_);
     stats_.addAverage("decrypt_verify_gap", &decryptGap_);
     stats_.addAverage("fill_latency", &fillLatency_);
+    stats_.addDistribution("decrypt_verify_gap_hist", &decryptGapHist_);
+    stats_.addDistribution("fill_latency_hist", &fillLatencyHist_);
 }
 
 Addr
@@ -135,6 +137,12 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         if (gate_done > start) {
             ++fetchGateStalls_;
             fetchGateDelay_.sample(double(gate_done - start));
+            fill.gateDelayed = true;
+            std::uint64_t sid = ++gateStallId_;
+            ACP_TRACE(obsTrace_, obs::TraceEventKind::kFetchGateBegin,
+                      start, sid, tag, line_addr / kExtLineBytes);
+            ACP_TRACE(obsTrace_, obs::TraceEventKind::kFetchGateEnd,
+                      gate_done, sid, tag, line_addr / kExtLineBytes);
             start = gate_done;
         }
     }
@@ -194,6 +202,7 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         mac_ready = data_arrive + Cycle(chunks + 1) * cfg_.decryptLatency;
     }
     fillLatency_.sample(double(fill.dataReady - req_cycle));
+    fillLatencyHist_.sample(fill.dataReady - req_cycle);
 
     // 7. Authentication.
     if (verify) {
@@ -211,6 +220,16 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         fill.authSeq = engine_.post(fill.dataReady, extra, fill.macOk);
         fill.verifyDone = engine_.doneCycle(fill.authSeq);
         decryptGap_.sample(double(fill.verifyDone - fill.dataReady));
+        decryptGapHist_.sample(fill.verifyDone - fill.dataReady);
+        // Auth lifecycle: request issued, data+MAC on-chip, verdict.
+        // The data_arrive→verify_done pair renders as a span whose
+        // duration equals this request's auth.verify_latency sample.
+        ACP_TRACE(obsTrace_, obs::TraceEventKind::kAuthRequest, req_cycle,
+                  fill.authSeq, line_addr / kExtLineBytes);
+        ACP_TRACE(obsTrace_, obs::TraceEventKind::kAuthDataArrive,
+                  fill.dataReady, fill.authSeq, line_addr / kExtLineBytes);
+        ACP_TRACE(obsTrace_, obs::TraceEventKind::kAuthVerifyDone,
+                  fill.verifyDone, fill.authSeq, fill.macOk ? 1 : 0);
     } else {
         fill.authSeq = kNoAuthSeq;
         fill.verifyDone = fill.dataReady;

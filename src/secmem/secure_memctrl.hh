@@ -34,6 +34,7 @@
 #include "common/types.hh"
 #include "mem/bus_trace.hh"
 #include "mem/dram.hh"
+#include "obs/trace.hh"
 #include "secmem/auth_engine.hh"
 #include "secmem/counter_predictor.hh"
 #include "secmem/external_memory.hh"
@@ -56,6 +57,8 @@ struct LineFill
     AuthSeq authSeq = kNoAuthSeq;
     /** Functional integrity verdict (false == tampered). */
     bool macOk = true;
+    /** Whether the authen-then-fetch gate delayed the bus grant. */
+    bool gateDelayed = false;
 };
 
 /** The controller. */
@@ -92,6 +95,9 @@ class SecureMemCtrl
     /** Use drain-authen-then-fetch semantics (ablation). */
     void setFetchGateDrain(bool on) { fetchGateDrain_ = on; }
 
+    /** Attach (or detach with nullptr) a passive event trace sink. */
+    void setTrace(obs::TraceBuffer *trace) { obsTrace_ = trace; }
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -117,6 +123,9 @@ class SecureMemCtrl
     std::vector<Cycle> inflight_;
     bool fetchGateDrain_ = false;
     unsigned lineTransferBytes_;
+    obs::TraceBuffer *obsTrace_ = nullptr;
+    /** Pairs fetch-gate begin/end span events (trace-only id). */
+    std::uint64_t gateStallId_ = 0;
 
     StatGroup stats_;
     StatCounter fetches_;
@@ -126,6 +135,8 @@ class SecureMemCtrl
     StatAverage fetchGateDelay_;
     StatAverage decryptGap_; // verifyDone - dataReady (the latency gap)
     StatAverage fillLatency_;
+    StatDistribution decryptGapHist_;
+    StatDistribution fillLatencyHist_;
 };
 
 } // namespace acp::secmem

@@ -161,6 +161,18 @@ struct SimConfig
     std::uint64_t memoryBytes = 256ULL * 1024 * 1024;
     std::uint64_t rngSeed = 12345;
 
+    // ----- observability ---------------------------------------------------
+    /**
+     * Structured-trace category mask (bits of obs::TraceCat; 0 = no
+     * tracing). Observability is strictly passive — it never changes
+     * simulation results — so these two fields are deliberately NOT
+     * part of serializeConfig()/pointDigest(): a traced run shares its
+     * digest (and therefore its cached result) with the untraced one.
+     */
+    std::uint32_t traceMask = 0;
+    /** Interval-statistics period in cycles (0 = disabled). */
+    std::uint64_t statsInterval = 0;
+
     /** Convenience: apply the paper's 1MB L2 configuration. */
     void
     useLargeL2()

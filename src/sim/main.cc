@@ -23,8 +23,12 @@
 
 #include "common/logging.hh"
 #include "core/auth_policy.hh"
+#include "cpu/ooo_core.hh"
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
+#include "obs/interval.hh"
+#include "obs/trace.hh"
+#include "obs/trace_json.hh"
 #include "sim/system.hh"
 #include "workloads/workloads.hh"
 
@@ -67,8 +71,12 @@ usage()
         "  --json FILE   write every point+result as JSON\n"
         "  --cache       reuse/persist results in ./acp_bench_cache.txt\n"
         "  --stats       dump all component statistics\n"
-        "  --trace N     print a commit trace of the first N insts\n"
-        "                (single-point runs only)\n"
+        "  --stats-interval N  record IPC + stall breakdown every N\n"
+        "                cycles; prints a table and lands in --json\n"
+        "  --trace FILE  write a Chrome trace-event JSON of the timed\n"
+        "                window (Perfetto-loadable; single-point only)\n"
+        "  --trace-commits N  print a commit trace of the first N\n"
+        "                insts (single-point runs only)\n"
         "  --cosim       co-simulate against the functional reference\n"
         "                (single-point runs only)\n");
 }
@@ -178,7 +186,8 @@ main(int argc, char **argv)
     bool use_cache = false;
     bool dump_stats = false;
     bool cosim = false;
-    std::uint64_t trace = 0;
+    std::uint64_t trace_commits = 0;
+    std::string trace_file;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -226,7 +235,11 @@ main(int argc, char **argv)
         } else if (arg == "--cosim") {
             cosim = true;
         } else if (arg == "--trace") {
-            trace = std::strtoull(next(), nullptr, 0);
+            trace_file = next();
+        } else if (arg == "--trace-commits") {
+            trace_commits = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--stats-interval") {
+            cfg.statsInterval = std::strtoull(next(), nullptr, 0);
         } else {
             usage();
             acp_fatal("unknown option '%s'", arg.c_str());
@@ -244,20 +257,33 @@ main(int argc, char **argv)
                       [policy](sim::SimConfig &c) { c.policy = policy; });
     std::vector<exp::Point> points = sweep.build();
 
-    if ((trace > 0 || cosim) && points.size() > 1)
-        acp_fatal("--trace/--cosim need a single workload and policy");
-    if (trace > 0 || cosim) {
+    if ((trace_commits > 0 || cosim || !trace_file.empty()) &&
+        points.size() > 1)
+        acp_fatal("--trace/--trace-commits/--cosim need a single "
+                  "workload and policy");
+    if (trace_commits > 0 || cosim) {
         // Tracing hooks into the live System between warmup and the
         // timed window; the hook makes the point uncacheable.
-        points[0].prepare = [trace, cosim](sim::System &system) {
+        points[0].prepare = [trace_commits, cosim](sim::System &system) {
             if (cosim)
                 system.enableCosim();
-            if (trace > 0)
-                system.core().traceCommits(stdout, trace);
+            if (trace_commits > 0)
+                system.core().traceCommits(stdout, trace_commits);
         };
         // enableCosim must be armed before the timed core exists; the
         // prepare hook runs right after fastForward, which is early
         // enough (the core is created by measureTimed/traceCommits).
+    }
+    if (!trace_file.empty()) {
+        // Structured tracing: record everything, write the Chrome
+        // trace while the System is still alive (finish hook).
+        points[0].cfg.traceMask = obs::kCatAll;
+        std::string path = trace_file;
+        points[0].finish = [path](sim::System &system) {
+            if (!obs::writeChromeTrace(*system.traceBuffer(), path))
+                acp_fatal("cannot write %s", path.c_str());
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+        };
     }
 
     exp::RunnerOptions opts;
@@ -278,18 +304,35 @@ main(int argc, char **argv)
         std::printf("cycles     %llu\n",
                     (unsigned long long)res.run.cycles);
         std::printf("IPC        %.4f\n", res.run.ipc);
+        std::printf("reason     %s\n",
+                    cpu::stopReasonName(res.run.reason));
+        if (res.intervalPeriod != 0 && !res.intervals.empty()) {
+            std::printf("\nintervals (every %llu cycles):\n",
+                        (unsigned long long)res.intervalPeriod);
+            obs::printIntervalTable(res.intervals, stdout);
+        }
         if (dump_stats)
             std::printf("\n%s", res.statsText.c_str());
     } else {
-        std::printf("%-10s %-20s %10s %12s %12s\n", "workload",
-                    "policy", "IPC", "insts", "cycles");
+        std::printf("%-10s %-20s %10s %12s %12s %10s\n", "workload",
+                    "policy", "IPC", "insts", "cycles", "reason");
         for (std::size_t i = 0; i < points.size(); ++i)
-            std::printf("%-10s %-20s %10.4f %12llu %12llu\n",
+            std::printf("%-10s %-20s %10.4f %12llu %12llu %10s\n",
                         points[i].workload.c_str(),
                         core::policyName(points[i].cfg.policy),
                         results[i].run.ipc,
                         (unsigned long long)results[i].run.insts,
-                        (unsigned long long)results[i].run.cycles);
+                        (unsigned long long)results[i].run.cycles,
+                        cpu::stopReasonName(results[i].run.reason));
+        for (std::size_t i = 0; i < points.size(); ++i)
+            if (results[i].intervalPeriod != 0 &&
+                !results[i].intervals.empty()) {
+                std::printf("\n%s / %s intervals (every %llu cycles):\n",
+                            points[i].workload.c_str(),
+                            core::policyName(points[i].cfg.policy),
+                            (unsigned long long)results[i].intervalPeriod);
+                obs::printIntervalTable(results[i].intervals, stdout);
+            }
         if (dump_stats)
             for (std::size_t i = 0; i < points.size(); ++i)
                 std::printf("\n===== %s / %s =====\n%s",

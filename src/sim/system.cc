@@ -21,6 +21,14 @@ System::System(const SimConfig &cfg, isa::Program prog)
     };
     port.fetch = [mem](Addr a) { return mem->fetch(a); };
     refExec_ = std::make_unique<cpu::FuncExecutor>(port, prog_.entry);
+
+    if (cfg_.traceMask != 0) {
+        trace_ = std::make_unique<obs::TraceBuffer>(cfg_.traceMask);
+        hier_.setTrace(trace_.get());
+    }
+    if (cfg_.statsInterval != 0)
+        recorder_ = std::make_unique<obs::IntervalRecorder>(
+            cfg_.statsInterval);
 }
 
 std::uint64_t
@@ -55,6 +63,8 @@ System::core()
             core_->setReg(r, refExec_->reg(r));
         if (cosim_)
             core_->setCosimShadow(refExec_.get());
+        core_->setTrace(trace_.get());
+        core_->setIntervalRecorder(recorder_.get());
     }
     return *core_;
 }
@@ -79,6 +89,9 @@ System::measureTimed(std::uint64_t max_insts, std::uint64_t max_cycles)
     res.insts = timed_core.instsCommitted() - insts0;
     res.cycles = timed_core.cycles() - cycles0;
     res.ipc = res.cycles ? double(res.insts) / double(res.cycles) : 0.0;
+    // The window is over: emit the partial tail interval so interval
+    // cycle counts sum to the window length.
+    timed_core.flushIntervals();
     return res;
 }
 
@@ -107,6 +120,31 @@ System::dumpStats()
     if (hier_.ctrl().counterPredictor())
         hier_.ctrl().counterPredictor()->stats().dump(out);
     return out;
+}
+
+void
+System::visitStats(StatVisitor &visitor)
+{
+    // Same component order as dumpStats().
+    if (core_)
+        core_->stats().visit(visitor);
+    hier_.stats().visit(visitor);
+    hier_.l1i().stats().visit(visitor);
+    hier_.l1d().stats().visit(visitor);
+    hier_.l2().stats().visit(visitor);
+    hier_.itlb().stats().visit(visitor);
+    hier_.dtlb().stats().visit(visitor);
+    hier_.ctrl().stats().visit(visitor);
+    hier_.ctrl().authEngine().stats().visit(visitor);
+    hier_.ctrl().dram().stats().visit(visitor);
+    hier_.ctrl().counterCache().stats().visit(visitor);
+    hier_.ctrl().externalMemory().stats().visit(visitor);
+    if (hier_.ctrl().hashTree())
+        hier_.ctrl().hashTree()->stats().visit(visitor);
+    if (hier_.ctrl().remapLayer())
+        hier_.ctrl().remapLayer()->stats().visit(visitor);
+    if (hier_.ctrl().counterPredictor())
+        hier_.ctrl().counterPredictor()->stats().visit(visitor);
 }
 
 } // namespace acp::sim

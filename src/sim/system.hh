@@ -23,6 +23,8 @@
 #include "cpu/func_executor.hh"
 #include "cpu/ooo_core.hh"
 #include "isa/program.hh"
+#include "obs/interval.hh"
+#include "obs/trace.hh"
 #include "secmem/mem_hierarchy.hh"
 #include "sim/config.hh"
 
@@ -68,6 +70,15 @@ class System
     /** Dump all component statistics as text. */
     std::string dumpStats();
 
+    /** Feed every component statistic to @p visitor, typed. */
+    void visitStats(StatVisitor &visitor);
+
+    /** Structured trace buffer (nullptr unless cfg.traceMask != 0). */
+    obs::TraceBuffer *traceBuffer() { return trace_.get(); }
+
+    /** Interval recorder (nullptr unless cfg.statsInterval != 0). */
+    obs::IntervalRecorder *intervalRecorder() { return recorder_.get(); }
+
   private:
     SimConfig cfg_;
     isa::Program prog_;
@@ -76,6 +87,10 @@ class System
     std::unique_ptr<cpu::FuncExecutor> refExec_;
     std::unique_ptr<cpu::OooCore> core_;
     bool cosim_ = false;
+
+    // Observability (passive; both optional)
+    std::unique_ptr<obs::TraceBuffer> trace_;
+    std::unique_ptr<obs::IntervalRecorder> recorder_;
 };
 
 } // namespace acp::sim

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the statistics package and the core's stall-cycle
+ * attribution: counter/average/distribution math, the empty-average
+ * dump rendering, typed StatVisitor iteration, and the accounting
+ * invariant sum(core.stall.*) == core.cycles - core.commit_active_cycles
+ * for every authentication policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/auth_policy.hh"
+#include "obs/stall.hh"
+#include "sim/system.hh"
+#include "workloads/workloads.hh"
+
+using namespace acp;
+using core::AuthPolicy;
+
+namespace
+{
+
+/** Collects everything a visit() hands out, by qualified name. */
+class RecordingVisitor : public StatVisitor
+{
+  public:
+    void
+    onCounter(const std::string &name, std::uint64_t value) override
+    {
+        counters[name] = value;
+    }
+
+    void
+    onAverage(const std::string &name, const StatAverage &avg) override
+    {
+        averages[name] = avg;
+    }
+
+    void
+    onDistribution(const std::string &name,
+                   const StatDistribution &dist) override
+    {
+        distributions[name] = dist;
+    }
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, StatAverage> averages;
+    std::map<std::string, StatDistribution> distributions;
+};
+
+} // namespace
+
+TEST(Stats, CounterBasics)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageMath)
+{
+    StatAverage avg;
+    EXPECT_EQ(avg.count(), 0u);
+    EXPECT_EQ(avg.mean(), 0.0);
+
+    avg.sample(10.0);
+    avg.sample(2.0);
+    avg.sample(6.0);
+    EXPECT_EQ(avg.count(), 3u);
+    EXPECT_DOUBLE_EQ(avg.sum(), 18.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(avg.min(), 2.0);
+    EXPECT_DOUBLE_EQ(avg.max(), 10.0);
+
+    avg.reset();
+    EXPECT_EQ(avg.count(), 0u);
+    EXPECT_EQ(avg.sum(), 0.0);
+}
+
+TEST(Stats, EmptyAverageDumpRendersDashes)
+{
+    StatGroup group("g");
+    StatAverage empty;
+    StatAverage zeros;
+    zeros.sample(0.0);
+    group.addAverage("empty", &empty);
+    group.addAverage("zeros", &zeros);
+
+    std::string out;
+    group.dump(out);
+    // Never-sampled: min/max are meaningless, rendered as "-" so an
+    // empty average cannot be confused with one that sampled zeros.
+    EXPECT_NE(out.find("g.empty mean=0.0000 count=0 min=- max=-"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("g.zeros mean=0.0000 count=1 min=0.00 max=0.00"),
+              std::string::npos)
+        << out;
+}
+
+TEST(Stats, DistributionBucketGeometry)
+{
+    // bucket 0: v == 0; bucket k: 2^(k-1) <= v < 2^k.
+    EXPECT_EQ(StatDistribution::bucketOf(0), 0u);
+    EXPECT_EQ(StatDistribution::bucketOf(1), 1u);
+    EXPECT_EQ(StatDistribution::bucketOf(2), 2u);
+    EXPECT_EQ(StatDistribution::bucketOf(3), 2u);
+    EXPECT_EQ(StatDistribution::bucketOf(4), 3u);
+    EXPECT_EQ(StatDistribution::bucketOf(7), 3u);
+    EXPECT_EQ(StatDistribution::bucketOf(8), 4u);
+
+    for (unsigned i = 0; i < 20; ++i) {
+        EXPECT_EQ(StatDistribution::bucketOf(StatDistribution::bucketLow(i)),
+                  i);
+        EXPECT_EQ(StatDistribution::bucketOf(
+                      StatDistribution::bucketHigh(i) - 1),
+                  i);
+        EXPECT_LT(StatDistribution::bucketLow(i),
+                  StatDistribution::bucketHigh(i));
+    }
+}
+
+TEST(Stats, DistributionExactMoments)
+{
+    StatDistribution dist;
+    for (std::uint64_t v : {0ull, 1ull, 3ull, 3ull, 148ull})
+        dist.sample(v);
+
+    EXPECT_EQ(dist.count(), 5u);
+    EXPECT_EQ(dist.sum(), 155u);
+    EXPECT_EQ(dist.min(), 0u);
+    EXPECT_EQ(dist.max(), 148u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 31.0);
+
+    const std::vector<std::uint64_t> &b = dist.buckets();
+    ASSERT_EQ(b.size(), StatDistribution::bucketOf(148) + 1);
+    EXPECT_EQ(b[0], 1u); // the 0
+    EXPECT_EQ(b[1], 1u); // the 1
+    EXPECT_EQ(b[2], 2u); // the 3s
+    EXPECT_EQ(b[StatDistribution::bucketOf(148)], 1u);
+
+    dist.reset();
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_TRUE(dist.buckets().empty());
+}
+
+TEST(Stats, VisitorSeesEveryKindTyped)
+{
+    StatGroup group("g");
+    StatCounter counter;
+    counter += 7;
+    StatAverage avg;
+    avg.sample(1.5);
+    avg.sample(2.5);
+    StatDistribution dist;
+    dist.sample(9);
+    group.addCounter("hits", &counter);
+    group.addAverage("latency", &avg);
+    group.addDistribution("depth", &dist);
+
+    RecordingVisitor visitor;
+    group.visit(visitor);
+
+    ASSERT_EQ(visitor.counters.count("g.hits"), 1u);
+    EXPECT_EQ(visitor.counters["g.hits"], 7u);
+    ASSERT_EQ(visitor.averages.count("g.latency"), 1u);
+    EXPECT_EQ(visitor.averages["g.latency"].count(), 2u);
+    EXPECT_DOUBLE_EQ(visitor.averages["g.latency"].mean(), 2.0);
+    ASSERT_EQ(visitor.distributions.count("g.depth"), 1u);
+    EXPECT_EQ(visitor.distributions["g.depth"].sum(), 9u);
+}
+
+namespace
+{
+
+/**
+ * Run a short simulation under @p policy and return the captured
+ * core statistics.
+ */
+RecordingVisitor
+runCore(AuthPolicy policy)
+{
+    sim::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.memoryBytes = 16ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 128 * 1024;
+
+    sim::System system(cfg, workloads::build("mcf", params));
+    system.fastForward(2000);
+    system.measureTimed(3000, 3000 * 400);
+
+    RecordingVisitor visitor;
+    system.visitStats(visitor);
+    return visitor;
+}
+
+} // namespace
+
+TEST(StallAttribution, ExhaustiveAndExclusiveForEveryPolicy)
+{
+    // The tentpole invariant: every non-committing cycle is charged to
+    // exactly one cause, so the per-cause stall counters partition
+    // cycles - commit_active_cycles — for every gate placement.
+    for (AuthPolicy policy :
+         {AuthPolicy::kAuthThenIssue, AuthPolicy::kAuthThenCommit,
+          AuthPolicy::kAuthThenWrite, AuthPolicy::kAuthThenFetch,
+          AuthPolicy::kCommitPlusObfuscation}) {
+        RecordingVisitor stats = runCore(policy);
+
+        ASSERT_EQ(stats.counters.count("core.cycles"), 1u)
+            << core::policyName(policy);
+        ASSERT_EQ(stats.counters.count("core.commit_active_cycles"), 1u);
+        std::uint64_t cycles = stats.counters["core.cycles"];
+        std::uint64_t active = stats.counters["core.commit_active_cycles"];
+        ASSERT_GT(cycles, 0u) << core::policyName(policy);
+        ASSERT_GE(cycles, active);
+
+        std::uint64_t stalls = 0;
+        unsigned causes_seen = 0;
+        for (unsigned i = 0; i < obs::kNumStallCauses; ++i) {
+            std::string name = std::string("core.stall.") +
+                               obs::stallCauseName(obs::StallCause(i));
+            ASSERT_EQ(stats.counters.count(name), 1u) << name;
+            stalls += stats.counters[name];
+            ++causes_seen;
+        }
+        EXPECT_EQ(causes_seen, obs::kNumStallCauses);
+        EXPECT_EQ(stalls, cycles - active)
+            << "stall attribution must partition non-committing cycles "
+            << "under " << core::policyName(policy);
+    }
+}
+
+TEST(StallAttribution, GatedPoliciesChargeAuthCycles)
+{
+    // A commit-gated run must actually blame the commit gate; a
+    // baseline run must not.
+    RecordingVisitor gated = runCore(AuthPolicy::kAuthThenCommit);
+    EXPECT_GT(gated.counters["core.stall.auth_commit"], 0u);
+
+    RecordingVisitor base = runCore(AuthPolicy::kBaseline);
+    EXPECT_EQ(base.counters["core.stall.auth_commit"], 0u);
+}

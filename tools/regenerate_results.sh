@@ -12,8 +12,28 @@
 # (versioned, keyed on the full-config digest), so re-running after a
 # code change only recomputes what changed (delete the cache to force
 # everything).
+#
+# --check: instead of regenerating results, build a separate
+# sanitizer-instrumented tree (ACP_SANITIZE=address,undefined in
+# build-asan/) and run the full test suite under it. Catches memory
+# and UB bugs the plain run would silently survive; writes nothing
+# to the result artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--check" ]]; then
+    JOBS="${ACP_JOBS:-$(nproc)}"
+    GENERATOR=()
+    if command -v ninja > /dev/null 2>&1; then
+        GENERATOR=(-G Ninja)
+    fi
+    cmake -B build-asan "${GENERATOR[@]}" \
+        -DACP_SANITIZE=address,undefined
+    cmake --build build-asan -j "$JOBS"
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+    echo "sanitizer check passed (build-asan/, jobs=$JOBS)"
+    exit 0
+fi
 
 JOBS="${ACP_JOBS:-$(nproc)}"
 export ACP_JOBS="$JOBS"

@@ -38,8 +38,7 @@ main()
         secmem::MemHierarchy hier(cfg);
 
         std::uint64_t value;
-        secmem::MemAccess access =
-            hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
+        mem::Txn access = hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
         Cycle verdict =
             access.authSeq == kNoAuthSeq
                 ? access.ready
@@ -71,8 +70,7 @@ main()
         cfg.protectedBytes = cfg.memoryBytes;
         secmem::MemHierarchy hier(cfg);
         std::uint64_t value;
-        secmem::MemAccess access =
-            hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
+        mem::Txn access = hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
         std::printf("%-22s %9llu ns\n",
                     mode == sim::EncryptionMode::kCounterMode
                         ? "counter mode" : "CBC (serial)",

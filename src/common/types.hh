@@ -26,6 +26,13 @@ constexpr AuthSeq kNoAuthSeq = 0;
 /** A cycle value meaning "never" / not yet scheduled. */
 constexpr Cycle kCycleNever = ~Cycle(0);
 
+/**
+ * Line size of every off-chip transfer unit: the external (ciphertext)
+ * memory line, the L2 line, and the granularity metadata (counters,
+ * tree nodes, remap entries) is fetched at.
+ */
+constexpr unsigned kExtLineBytes = 64;
+
 } // namespace acp
 
 #endif // ACP_COMMON_TYPES_HH

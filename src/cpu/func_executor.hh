@@ -11,21 +11,37 @@
 #define ACP_CPU_FUNC_EXECUTOR_HH
 
 #include <array>
-#include <functional>
 
 #include "common/types.hh"
+#include "cpu/flat_mem.hh"
 #include "isa/instr.hh"
 #include "isa/semantics.hh"
 
 namespace acp::cpu
 {
 
-/** Memory callbacks the executor runs against. */
-struct MemPort
+/** Memory port the executor runs against: a flat reference memory. */
+class MemPort
 {
-    std::function<std::uint64_t(Addr, unsigned)> read;
-    std::function<void(Addr, unsigned, std::uint64_t)> write;
-    std::function<std::uint32_t(Addr)> fetch;
+  public:
+    explicit MemPort(FlatMem &mem) : mem_(&mem) {}
+
+    std::uint64_t
+    read(Addr addr, unsigned bytes) const
+    {
+        return mem_->read(addr, bytes);
+    }
+
+    void
+    write(Addr addr, unsigned bytes, std::uint64_t value) const
+    {
+        mem_->write(addr, bytes, value);
+    }
+
+    std::uint32_t fetch(Addr addr) const { return mem_->fetch(addr); }
+
+  private:
+    FlatMem *mem_;
 };
 
 /** What one retired instruction did (for co-simulation comparison). */

@@ -243,8 +243,8 @@ OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
                        ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
                        : kNoAuthSeq;
     std::uint64_t raw = 0;
-    secmem::MemAccess access =
-        hier_.readTimed(addr, bytes, cycle_ + 1, gate, raw);
+    mem::Txn access =
+        hier_.readTimed(addr, bytes, cycle_ + 1, gate, raw, entry.seq);
     entry.result = isa::adjustLoadValue(entry.inst.op, raw);
     entry.readyAt = access.ready;
     entry.dataReadyAt = access.dataReady;
@@ -604,8 +604,7 @@ OooCore::stageFetch()
                            ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
                            : kNoAuthSeq;
         std::uint32_t word = 0;
-        secmem::MemAccess access =
-            hier_.fetchTimed(fetchPc_, cycle_, gate, word);
+        mem::Txn access = hier_.fetchTimed(fetchPc_, cycle_, gate, word);
         // L1I hits are pipelined: data arriving within the hit latency
         // feeds this cycle's fetch group; anything slower stalls.
         if (access.ready > cycle_ + cfg_.l1i.hitLatency) {

@@ -4,7 +4,7 @@
  *
  * File format (./acp_bench_cache.txt by default):
  *
- *   acp-cache-v3
+ *   acp-cache-v4
  *   <64-hex-digest> ipc=<g17> insts=<u> cycles=<u> reason=<u> \
  *       [<group.stat>=<u> ...] \
  *       [avg:<group.stat>=<count>:<sum>:<min>:<max> ...] \
@@ -13,11 +13,13 @@
  * The digest is pointDigest(): SHA-256 over the *complete* serialized
  * SimConfig plus workload identity and window, so every configuration
  * knob participates in the key. Files without the exact version
- * header — including the v1/v2 files earlier harnesses wrote — are
+ * header — including the v1/v2/v3 files earlier harnesses wrote — are
  * ignored on load and truncated on the first store, never served.
- * (v2 -> v3: averages and distributions joined the payload, so a v2
- * hit would silently lack them.) Interval series are never cached:
- * points with statsInterval != 0 are uncacheable by design.
+ * (v3 -> v4: the shared-bus transaction refactor changed off-chip
+ * timing — every beat now reserves the shared BusArbiter — and added
+ * the bus stat group, so pre-refactor numbers are not comparable.)
+ * Interval series are never
+ * cached: points with statsInterval != 0 are uncacheable by design.
  */
 
 #ifndef ACP_EXP_RESULT_CACHE_HH
@@ -86,7 +88,7 @@ struct Result
 class ResultCache
 {
   public:
-    static constexpr const char *kVersionHeader = "acp-cache-v3";
+    static constexpr const char *kVersionHeader = "acp-cache-v4";
 
     /**
      * Bind to @p path and load existing entries. A missing file is an

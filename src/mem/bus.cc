@@ -1,0 +1,28 @@
+#include "mem/bus.hh"
+
+namespace acp::mem
+{
+
+BusArbiter::BusArbiter(const sim::SimConfig &cfg)
+    : cfg_(cfg), stats_("bus")
+{
+    stats_.addCounter("grants", &grants_);
+    stats_.addCounter("contended_grants", &contendedGrants_);
+    stats_.addCounter("beats", &beats_);
+    stats_.addAverage("grant_wait", &grantWait_);
+}
+
+Cycle
+BusArbiter::reserve(Cycle earliest, unsigned beats)
+{
+    ++grants_;
+    beats_ += beats;
+    Cycle start = earliest > freeAt_ ? earliest : freeAt_;
+    if (start > earliest)
+        ++contendedGrants_;
+    grantWait_.sample(double(start - earliest));
+    freeAt_ = start + Cycle(beats) * cfg_.busClockRatio;
+    return start;
+}
+
+} // namespace acp::mem

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Front-side bus arbiter: the single shared data-bus resource every
+ * off-chip beat reserves a slot on. Data fills, MAC beats, counter
+ * lines, tree nodes, remap-table entries and writebacks all pass
+ * through here, so concurrent requests serialize exactly where the
+ * hardware would (paper Sections 4.2.4, 4.3 — bus contention is the
+ * dominant cost of authen-then-fetch and obfuscation).
+ *
+ * Like the DRAM model, the arbiter is a latency oracle: reserve() is
+ * called in nondecreasing earliest-cycle order per requester and
+ * returns the grant cycle while advancing the bus-free pointer. The
+ * grant cycle is when the transfer physically drives the bus; it is
+ * recorded on the owning Txn's timeline (kBusGrant). BusTrace — the
+ * adversary's view — records at request time, the conservative bound
+ * at which an attacker on the memory interface first sees the address.
+ */
+
+#ifndef ACP_MEM_BUS_HH
+#define ACP_MEM_BUS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace acp::mem
+{
+
+/** The arbiter. */
+class BusArbiter
+{
+  public:
+    explicit BusArbiter(const sim::SimConfig &cfg);
+
+    /**
+     * Reserve the bus for one transfer.
+     * @param earliest first cycle the requester could drive the bus
+     *        (bank ready, gate released, translation resolved)
+     * @param beats transfer length in bus beats
+     * @return the grant cycle (>= earliest; the transfer occupies the
+     *         bus until grant + beats * busClockRatio)
+     */
+    Cycle reserve(Cycle earliest, unsigned beats);
+
+    /** Cycle at which the bus becomes free. */
+    Cycle freeAt() const { return freeAt_; }
+
+    /** Reset timing state (bus idle) but keep stats. */
+    void resetTiming() { freeAt_ = 0; }
+
+    StatGroup &stats() { return stats_; }
+
+    std::uint64_t grants() const { return grants_.value(); }
+    std::uint64_t contendedGrants() const
+    {
+        return contendedGrants_.value();
+    }
+
+  private:
+    const sim::SimConfig &cfg_;
+    Cycle freeAt_ = 0;
+
+    StatGroup stats_;
+    StatCounter grants_;
+    StatCounter contendedGrants_;
+    StatCounter beats_;
+    StatAverage grantWait_;
+};
+
+} // namespace acp::mem
+
+#endif // ACP_MEM_BUS_HH

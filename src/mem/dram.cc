@@ -6,8 +6,8 @@
 namespace acp::mem
 {
 
-Dram::Dram(const sim::SimConfig &cfg)
-    : cfg_(cfg), banks_(cfg.dramBanks), stats_("dram")
+Dram::Dram(const sim::SimConfig &cfg, BusArbiter &bus)
+    : cfg_(cfg), bus_(bus), banks_(cfg.dramBanks), stats_("dram")
 {
     if (!isPowerOfTwo(cfg.dramBanks) || !isPowerOfTwo(cfg.dramRowBytes))
         acp_fatal("DRAM banks and row size must be powers of two");
@@ -26,7 +26,6 @@ Dram::resetTiming()
         bank.rowOpen = false;
         bank.busyUntil = 0;
     }
-    busFreeAt_ = 0;
 }
 
 DramResult
@@ -60,15 +59,15 @@ Dram::access(Addr addr, Cycle req_cycle, unsigned bytes, bool is_write)
     bank.rowOpen = true;
     bank.openRow = row;
 
-    // Data transfer occupies the shared bus: one beat per bus clock.
+    // Data transfer: one beat per bus clock, granted by the arbiter
+    // all off-chip traffic shares.
     unsigned beats = unsigned(divCeil(bytes, cfg_.busWidthBytes));
     if (beats == 0)
         beats = 1;
     Cycle bank_ready = start + access_lat;
-    Cycle data_start = bank_ready > busFreeAt_ ? bank_ready : busFreeAt_;
+    Cycle data_start = bus_.reserve(bank_ready, beats);
     Cycle complete = data_start + Cycle(beats) * ratio;
 
-    busFreeAt_ = complete;
     // The bank frees after its own row cycle + burst readout; bus
     // queueing must NOT extend bank occupancy, or row activations
     // stop overlapping earlier transfers and random traffic diverges.
@@ -77,6 +76,7 @@ Dram::access(Addr addr, Cycle req_cycle, unsigned bytes, bool is_write)
     latency_.sample(double(complete - req_cycle));
 
     DramResult res;
+    res.busGrant = data_start;
     res.firstBeat = data_start + ratio;
     res.complete = complete;
     return res;

@@ -1,9 +1,11 @@
 /**
  * @file
  * SDRAM timing model after Gries & Romer [7]: per-bank open-row state,
- * page-hit / row-miss / page-miss latency classes, and a shared data
- * bus that serializes transfers. Follows the paper's Table 3:
- * 200 MHz x 8 B bus, CAS 20 / RP 7 / RCD 7 bus clocks, X-5-5-5 burst.
+ * page-hit / row-miss / page-miss latency classes. Data transfers
+ * reserve slots on the shared BusArbiter the caller supplies, so bank
+ * activations overlap but beats serialize with every other bus user.
+ * Follows the paper's Table 3: 200 MHz x 8 B bus, CAS 20 / RP 7 /
+ * RCD 7 bus clocks, X-5-5-5 burst.
  *
  * The model is a latency oracle: access() is called in nondecreasing
  * request-time order and returns the completion cycle while updating
@@ -18,6 +20,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/bus.hh"
 #include "sim/config.hh"
 
 namespace acp::mem
@@ -26,17 +29,19 @@ namespace acp::mem
 /** Completion info for one DRAM access. */
 struct DramResult
 {
+    /** Cycle the bus arbiter granted the transfer (address visible). */
+    Cycle busGrant = 0;
     /** Cycle the first beat of data is on the bus (critical word). */
     Cycle firstBeat = 0;
     /** Cycle the full transfer completes. */
     Cycle complete = 0;
 };
 
-/** Open-row SDRAM with banked structure and a shared data bus. */
+/** Open-row SDRAM with banked structure behind a shared data bus. */
 class Dram
 {
   public:
-    explicit Dram(const sim::SimConfig &cfg);
+    Dram(const sim::SimConfig &cfg, BusArbiter &bus);
 
     /**
      * Perform one access.
@@ -48,10 +53,8 @@ class Dram
     DramResult access(Addr addr, Cycle req_cycle, unsigned bytes,
                       bool is_write);
 
-    /** Cycle at which the shared data bus becomes free. */
-    Cycle busFreeAt() const { return busFreeAt_; }
-
-    /** Reset timing state (banks closed, bus idle) but keep stats. */
+    /** Reset bank timing state (banks closed) but keep stats. The
+     *  shared BusArbiter is reset by its owner. */
     void resetTiming();
 
     StatGroup &stats() { return stats_; }
@@ -70,8 +73,8 @@ class Dram
     };
 
     const sim::SimConfig &cfg_;
+    BusArbiter &bus_;
     std::vector<Bank> banks_;
-    Cycle busFreeAt_ = 0;
 
     StatGroup stats_;
     StatCounter accesses_;

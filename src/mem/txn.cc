@@ -1,0 +1,51 @@
+#include "mem/txn.hh"
+
+#include <algorithm>
+
+namespace acp::mem
+{
+
+void
+Txn::note(PathEvent event, Cycle cycle, Addr at)
+{
+    // Insert after any step with the same cycle: equal-cycle events
+    // keep record order, later-noted earlier events sort into place.
+    auto pos = std::upper_bound(
+        path.begin(), path.end(), cycle,
+        [](Cycle c, const TxnStep &s) { return c < s.cycle; });
+    path.insert(pos, TxnStep{cycle, at, event});
+}
+
+Cycle
+Txn::eventCycle(PathEvent event) const
+{
+    for (const TxnStep &s : path)
+        if (s.event == event)
+            return s.cycle;
+    return kCycleNever;
+}
+
+unsigned
+Txn::eventCount(PathEvent event) const
+{
+    unsigned n = 0;
+    for (const TxnStep &s : path)
+        if (s.event == event)
+            ++n;
+    return n;
+}
+
+void
+Txn::merge(const Txn &child)
+{
+    ready = std::max(ready, child.ready);
+    dataReady = std::max(dataReady, child.dataReady);
+    verifyDone = std::max(verifyDone, child.verifyDone);
+    authSeq = std::max(authSeq, child.authSeq);
+    macOk = macOk && child.macOk;
+    gateDelayed = gateDelayed || child.gateDelayed;
+    for (const TxnStep &s : child.path)
+        note(s.event, s.cycle, s.addr);
+}
+
+} // namespace acp::mem

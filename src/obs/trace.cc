@@ -70,6 +70,12 @@ TraceBuffer::dumpText(std::FILE *out) const
                          (unsigned long long)ev.b,
                          (unsigned long long)ev.c);
             break;
+          case TraceEventKind::kBusGrant:
+            std::fprintf(out, " txn=%llu line=0x%llx kind=%llu",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)ev.b,
+                         (unsigned long long)ev.c);
+            break;
         }
         std::fputc('\n', out);
     });

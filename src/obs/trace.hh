@@ -41,6 +41,8 @@ enum TraceCat : std::uint32_t
     kCatAuth = 1u << 1,
     /** Fetch-gate (bus-grant) stall begin/end. */
     kCatGate = 1u << 2,
+    /** Front-side bus grants (one per DRAM transfer, any kind). */
+    kCatBus = 1u << 3,
 
     kCatAll = 0xffffffffu,
 };
@@ -59,6 +61,7 @@ enum class TraceEventKind : std::uint8_t
     kGateRelease,   // a=auth seq (gate tag), b=pc    (commit gate opens)
     kFetchGateBegin,// a=stall id, b=gate tag, c=line addr
     kFetchGateEnd,  // a=stall id, b=gate tag, c=line addr
+    kBusGrant,      // a=txn id, b=line addr, c=bus txn kind (cycle=grant)
 };
 
 /** One recorded event. */
@@ -96,6 +99,8 @@ traceKindCat(TraceEventKind k)
       case TraceEventKind::kFetchGateBegin:
       case TraceEventKind::kFetchGateEnd:
         return kCatGate;
+      case TraceEventKind::kBusGrant:
+        return kCatBus;
     }
     return kCatPipeline;
 }
@@ -115,6 +120,7 @@ traceKindName(TraceEventKind k)
       case TraceEventKind::kGateRelease:    return "auth.gate_release";
       case TraceEventKind::kFetchGateBegin: return "fetch_gate.begin";
       case TraceEventKind::kFetchGateEnd:   return "fetch_gate.end";
+      case TraceEventKind::kBusGrant:       return "bus.grant";
     }
     return "?";
 }

@@ -104,6 +104,10 @@ writeChromeTrace(const TraceBuffer &buf, std::FILE *out)
                       ev.a, true, "\"tag\":%llu,\"line\":%llu", ev.b,
                       ev.c);
             break;
+          case TraceEventKind::kBusGrant:
+            emitEvent(out, first, "i", "bus", "bus.grant", ev.cycle, 0,
+                      false, "\"txn\":%llu,\"line\":%llu", ev.a, ev.b);
+            break;
         }
     });
 

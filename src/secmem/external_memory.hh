@@ -26,9 +26,6 @@
 namespace acp::secmem
 {
 
-/** Line size used by the protected external memory (L2 line). */
-constexpr unsigned kExtLineBytes = 64;
-
 /** Result of fetching and decrypting one line. */
 struct FetchedLine
 {

@@ -114,7 +114,7 @@ HashTree::nodeAddr(unsigned level, std::uint64_t index) const
 }
 
 TreeTiming
-HashTree::verify(Addr line_addr, Cycle start, const TreeMemAccess &mem)
+HashTree::verify(Addr line_addr, Cycle start, const MetaMemPort &mem)
 {
     ++verifies_;
     TreeTiming out;
@@ -142,7 +142,7 @@ HashTree::verify(Addr line_addr, Cycle start, const TreeMemAccess &mem)
         // 'start'; the DRAM model serializes bank/bus conflicts).
         ++nodeFetches_;
         ++out.nodeFetches;
-        Cycle arrive = mem(nodeAddr(level, index), start, false);
+        Cycle arrive = mem.read(nodeAddr(level, index), start);
         if (arrive > last_arrival)
             last_arrival = arrive;
 
@@ -150,7 +150,7 @@ HashTree::verify(Addr line_addr, Cycle start, const TreeMemAccess &mem)
         nodeCache_.allocate(nodeAddr(level, index), &evicted);
         if (evicted.valid && evicted.dirty) {
             ++nodeWritebacks_;
-            mem(evicted.addr, arrive, true);
+            mem.write(evicted.addr, arrive);
         }
         index /= kArity;
     }
@@ -162,7 +162,7 @@ HashTree::verify(Addr line_addr, Cycle start, const TreeMemAccess &mem)
 }
 
 TreeTiming
-HashTree::update(Addr line_addr, Cycle start, const TreeMemAccess &mem)
+HashTree::update(Addr line_addr, Cycle start, const MetaMemPort &mem)
 {
     ++updates_;
     TreeTiming out;
@@ -183,12 +183,12 @@ HashTree::update(Addr line_addr, Cycle start, const TreeMemAccess &mem)
     if (node == nullptr) {
         ++nodeFetches_;
         ++out.nodeFetches;
-        ready = mem(node_addr, start, false);
+        ready = mem.read(node_addr, start);
         cache::Eviction evicted;
         node = nodeCache_.allocate(node_addr, &evicted);
         if (evicted.valid && evicted.dirty) {
             ++nodeWritebacks_;
-            mem(evicted.addr, ready, true);
+            mem.write(evicted.addr, ready);
         }
     }
     node->dirty = true;

@@ -20,13 +20,13 @@
 #ifndef ACP_SECMEM_HASH_TREE_HH
 #define ACP_SECMEM_HASH_TREE_HH
 
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "secmem/meta_port.hh"
 #include "sim/config.hh"
 
 namespace acp::secmem
@@ -47,14 +47,6 @@ struct TreeTiming
     bool ok = true;
 };
 
-/**
- * Memory-access callback supplied by the secure memory controller:
- * (node address, request cycle, is_write) -> completion cycle.
- * Node fetches issued by the trusted engine are exempt from the
- * authen-then-fetch gate (see DESIGN.md).
- */
-using TreeMemAccess = std::function<Cycle(Addr, Cycle, bool)>;
-
 /** The integrity tree with its dedicated node cache. */
 class HashTree
 {
@@ -66,17 +58,18 @@ class HashTree
 
     /**
      * Verify the counter of @p line_addr against the tree: walk up
-     * from the leaf group to the first trusted (cached) node.
+     * from the leaf group to the first trusted (cached) node. Node
+     * traffic is issued through @p mem, the triggering transaction's
+     * metadata port.
      */
-    TreeTiming verify(Addr line_addr, Cycle start,
-                      const TreeMemAccess &mem);
+    TreeTiming verify(Addr line_addr, Cycle start, const MetaMemPort &mem);
 
     /**
      * Update the tree after a counter bump (line writeback): refresh
      * functional hashes up to the root and dirty the leaf-group node
      * in the cache (fetching it first on a miss).
      */
-    TreeTiming update(Addr line_addr, Cycle start, const TreeMemAccess &mem);
+    TreeTiming update(Addr line_addr, Cycle start, const MetaMemPort &mem);
 
     /** Number of levels above the leaves (root excluded from memory). */
     unsigned levels() const { return levels_; }

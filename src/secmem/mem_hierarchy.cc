@@ -66,68 +66,73 @@ MemHierarchy::handleL2Eviction(cache::Eviction &evicted, Cycle cycle,
         ctrl_.writebackLine(evicted.addr, evicted.data.data(), cycle, warm);
 }
 
-MemHierarchy::LineRef
-MemHierarchy::ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
-                       mem::BusTxnKind kind)
+void
+MemHierarchy::foldLine(mem::Txn &acc, Cycle lookup_done,
+                       const cache::CacheLine &line)
 {
-    LineRef ref;
+    Cycle usable = lookup_done > line.usableAt ? lookup_done
+                                               : line.usableAt;
+    Cycle data = lookup_done > line.dataReadyAt ? lookup_done
+                                                : line.dataReadyAt;
+    if (usable > acc.ready)
+        acc.ready = usable;
+    if (data > acc.dataReady)
+        acc.dataReady = data;
+    if (line.authSeq > acc.authSeq)
+        acc.authSeq = line.authSeq;
+}
+
+cache::CacheLine *
+MemHierarchy::ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
+                       mem::BusTxnKind kind, mem::Txn &acc)
+{
     cache::CacheLine *line = l2_.lookup(line_addr);
     Cycle lookup_done = cycle + l2_.hitLatency();
     if (line != nullptr) {
-        ref.line = line;
-        ref.ready = lookup_done > line->usableAt ? lookup_done
-                                                 : line->usableAt;
-        ref.authSeq = line->authSeq;
-        ref.dataReady = lookup_done > line->dataReadyAt ? lookup_done
-                                                        : line->dataReadyAt;
-        return ref;
+        foldLine(acc, lookup_done, *line);
+        return line;
     }
 
-    LineFill fill = ctrl_.fetchLine(line_addr, lookup_done, gate_tag, kind);
+    mem::Txn fill = ctrl_.fetchLine(line_addr, lookup_done, gate_tag,
+                                    kind, false, acc.origin);
 
     cache::Eviction evicted;
     line = l2_.allocate(line_addr, &evicted);
     handleL2Eviction(evicted, lookup_done, false);
 
     std::memcpy(line->data.data(), fill.data.data(), kExtLineBytes);
-    line->usableAt = core::gatesIssue(cfg_.policy) ? fill.verifyDone
-                                                   : fill.dataReady;
-    // Under authen-then-issue a line that fails verification never
-    // becomes usable: the exception fires before any consumer runs.
-    if (core::gatesIssue(cfg_.policy) && !fill.macOk)
-        line->usableAt = kCycleNever;
+    // The controller already applied the policy's usability decision
+    // (verification under authen-then-issue; kCycleNever on failure).
+    line->usableAt = fill.ready;
     line->authSeq = fill.authSeq;
     line->dataReadyAt = fill.dataReady;
 
-    ref.line = line;
-    ref.ready = line->usableAt;
-    ref.authSeq = line->authSeq;
-    ref.dataReady = line->dataReadyAt;
-    ref.gateDelayed = fill.gateDelayed;
-    return ref;
+    acc.merge(fill);
+    return line;
 }
 
-MemHierarchy::LineRef
+cache::CacheLine *
 MemHierarchy::ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
-                       AuthSeq gate_tag, bool is_instr)
+                       AuthSeq gate_tag, bool is_instr, mem::Txn &acc)
 {
-    LineRef ref;
     cache::CacheLine *line = l1.lookup(line_addr);
     Cycle lookup_done = cycle + l1.hitLatency();
     if (line != nullptr) {
-        ref.line = line;
-        ref.ready = lookup_done > line->usableAt ? lookup_done
-                                                 : line->usableAt;
-        ref.authSeq = line->authSeq;
-        ref.dataReady = lookup_done > line->dataReadyAt ? lookup_done
-                                                        : line->dataReadyAt;
-        return ref;
+        foldLine(acc, lookup_done, *line);
+        return line;
     }
 
     Addr l2_line = l2_.lineAlign(line_addr);
-    LineRef l2ref = ensureL2(l2_line, lookup_done, gate_tag,
-                             is_instr ? mem::BusTxnKind::kInstrFetch
-                                      : mem::BusTxnKind::kDataFetch);
+    mem::Txn sub;
+    sub.addr = l2_line;
+    sub.gateTag = gate_tag;
+    sub.reqCycle = lookup_done;
+    sub.origin = acc.origin;
+    cache::CacheLine *l2line =
+        ensureL2(l2_line, lookup_done, gate_tag,
+                 is_instr ? mem::BusTxnKind::kInstrFetch
+                          : mem::BusTxnKind::kDataFetch,
+                 sub);
 
     cache::Eviction evicted;
     line = l1.allocate(line_addr, &evicted);
@@ -145,28 +150,31 @@ MemHierarchy::ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
     }
 
     std::memcpy(line->data.data(),
-                l2ref.line->data.data() + (line_addr & (l2_.lineBytes() - 1)),
+                l2line->data.data() + (line_addr & (l2_.lineBytes() - 1)),
                 l1.lineBytes());
-    line->usableAt = l2ref.ready;
-    line->authSeq = l2ref.authSeq;
-    line->dataReadyAt = l2ref.dataReady;
+    line->usableAt = sub.ready;
+    line->authSeq = sub.authSeq;
+    line->dataReadyAt = sub.dataReady;
 
-    ref.line = line;
-    ref.ready = l2ref.ready;
-    ref.authSeq = l2ref.authSeq;
-    ref.dataReady = l2ref.dataReady;
-    ref.gateDelayed = l2ref.gateDelayed;
-    return ref;
+    acc.merge(sub);
+    return line;
 }
 
-MemAccess
+mem::Txn
 MemHierarchy::readTimed(Addr addr, unsigned bytes, Cycle cycle,
-                        AuthSeq gate_tag, std::uint64_t &value)
+                        AuthSeq gate_tag, std::uint64_t &value,
+                        std::uint64_t origin)
 {
     addr = translate(addr);
     cycle += dtlb_.access(addr);
 
-    MemAccess out;
+    mem::Txn out;
+    out.addr = addr;
+    out.gateTag = gate_tag;
+    out.reqCycle = cycle;
+    out.origin = origin;
+    out.note(mem::PathEvent::kRequest, cycle, addr);
+
     value = 0;
     unsigned done = 0;
     while (done < bytes) {
@@ -179,32 +187,32 @@ MemHierarchy::readTimed(Addr addr, unsigned bytes, Cycle cycle,
         if (done == 0 && in_line < bytes)
             ++crossLineAccesses_;
 
-        LineRef ref = ensureL1(l1d_, line_addr, cycle, gate_tag, false);
+        cache::CacheLine *line =
+            ensureL1(l1d_, line_addr, cycle, gate_tag, false, out);
         for (unsigned i = 0; i < in_line; ++i) {
-            value |= std::uint64_t(
-                         ref.line->data[byte_addr - line_addr + i])
+            value |= std::uint64_t(line->data[byte_addr - line_addr + i])
                      << (8 * (done + i));
         }
-        if (ref.ready > out.ready)
-            out.ready = ref.ready;
-        if (ref.authSeq > out.authSeq)
-            out.authSeq = ref.authSeq;
-        if (ref.dataReady > out.dataReady)
-            out.dataReady = ref.dataReady;
-        out.gateDelayed |= ref.gateDelayed;
         done += in_line;
     }
     return out;
 }
 
-MemAccess
+mem::Txn
 MemHierarchy::writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
-                         Cycle cycle, AuthSeq gate_tag)
+                         Cycle cycle, AuthSeq gate_tag,
+                         std::uint64_t origin)
 {
     addr = translate(addr);
     cycle += dtlb_.access(addr);
 
-    MemAccess out;
+    mem::Txn out;
+    out.addr = addr;
+    out.gateTag = gate_tag;
+    out.reqCycle = cycle;
+    out.origin = origin;
+    out.note(mem::PathEvent::kRequest, cycle, addr);
+
     unsigned done = 0;
     while (done < bytes) {
         Addr byte_addr = translate(addr + done);
@@ -214,43 +222,39 @@ MemHierarchy::writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
                                     line_addr + l1d_.lineBytes() -
                                         byte_addr));
 
-        LineRef ref = ensureL1(l1d_, line_addr, cycle, gate_tag, false);
+        cache::CacheLine *line =
+            ensureL1(l1d_, line_addr, cycle, gate_tag, false, out);
         for (unsigned i = 0; i < in_line; ++i) {
-            ref.line->data[byte_addr - line_addr + i] =
+            line->data[byte_addr - line_addr + i] =
                 std::uint8_t(value >> (8 * (done + i)));
         }
-        ref.line->dirty = true;
-        if (ref.ready > out.ready)
-            out.ready = ref.ready;
-        if (ref.authSeq > out.authSeq)
-            out.authSeq = ref.authSeq;
-        if (ref.dataReady > out.dataReady)
-            out.dataReady = ref.dataReady;
-        out.gateDelayed |= ref.gateDelayed;
+        line->dirty = true;
         done += in_line;
     }
     return out;
 }
 
-MemAccess
+mem::Txn
 MemHierarchy::fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
                          std::uint32_t &word)
 {
     pc = translate(pc);
     cycle += itlb_.access(pc);
 
+    mem::Txn out;
+    out.addr = pc;
+    out.kind = mem::BusTxnKind::kInstrFetch;
+    out.gateTag = gate_tag;
+    out.reqCycle = cycle;
+    out.note(mem::PathEvent::kRequest, cycle, pc);
+
     Addr line_addr = l1i_.lineAlign(pc);
-    LineRef ref = ensureL1(l1i_, line_addr, cycle, gate_tag, true);
+    cache::CacheLine *line =
+        ensureL1(l1i_, line_addr, cycle, gate_tag, true, out);
 
     word = 0;
     for (unsigned i = 0; i < 4; ++i)
-        word |= std::uint32_t(ref.line->data[pc - line_addr + i]) << (8 * i);
-
-    MemAccess out;
-    out.ready = ref.ready;
-    out.authSeq = ref.authSeq;
-    out.dataReady = ref.dataReady;
-    out.gateDelayed = ref.gateDelayed;
+        word |= std::uint32_t(line->data[pc - line_addr + i]) << (8 * i);
     return out;
 }
 
@@ -263,7 +267,7 @@ MemHierarchy::funcEnsureL2(Addr line_addr, bool warm_tags)
     if (!warm_tags)
         return nullptr;
 
-    LineFill fill = ctrl_.fetchLine(line_addr, 0, kNoAuthSeq,
+    mem::Txn fill = ctrl_.fetchLine(line_addr, 0, kNoAuthSeq,
                                     mem::BusTxnKind::kDataFetch,
                                     /*warm=*/true);
     cache::Eviction evicted;

@@ -6,10 +6,13 @@
  * holds ciphertext (paper Section 2).
  *
  * The hierarchy is a latency oracle in the SimpleScalar tradition:
- * timed accesses return the cycle at which data becomes *usable by the
- * pipeline* (which, under authen-then-issue, is the verification
- * completion, not the decrypt completion) plus the authentication
- * sequence tag that commit/write gates consult.
+ * timed accesses return a mem::Txn whose ready cycle is when data
+ * becomes *usable by the pipeline* (which, under authen-then-issue, is
+ * the verification completion, not the decrypt completion) plus the
+ * authentication sequence tag that commit/write gates consult. Line
+ * fills behind a miss are child transactions merged into the access
+ * Txn, so the caller sees the full resource path (gate stalls, bus
+ * grants, metadata traffic) the access took.
  */
 
 #ifndef ACP_SECMEM_MEM_HIERARCHY_HH
@@ -22,28 +25,12 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
+#include "mem/txn.hh"
 #include "secmem/secure_memctrl.hh"
 #include "sim/config.hh"
 
 namespace acp::secmem
 {
-
-/** Timed access outcome. */
-struct MemAccess
-{
-    /** Cycle data is usable by the pipeline. */
-    Cycle ready = 0;
-    /** Latest pending authentication tag covering the data. */
-    AuthSeq authSeq = kNoAuthSeq;
-    /** Cycle the decrypted data is physically on-chip. Equal to ready
-     *  except under authen-then-issue, where the difference is the
-     *  verification wait (observability only — the pipeline never
-     *  consumes data before ready). */
-    Cycle dataReady = 0;
-    /** Whether the authen-then-fetch gate delayed this access's bus
-     *  grant (observability only). */
-    bool gateDelayed = false;
-};
 
 /** The hierarchy. */
 class MemHierarchy
@@ -53,14 +40,16 @@ class MemHierarchy
 
     // ----- timed paths (move data AND compute latency) -----------------
     /** Data read of @p bytes (1/4/8), may cross line boundaries. */
-    MemAccess readTimed(Addr addr, unsigned bytes, Cycle cycle,
-                        AuthSeq gate_tag, std::uint64_t &value);
+    mem::Txn readTimed(Addr addr, unsigned bytes, Cycle cycle,
+                       AuthSeq gate_tag, std::uint64_t &value,
+                       std::uint64_t origin = 0);
     /** Data write (store release). */
-    MemAccess writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
-                         Cycle cycle, AuthSeq gate_tag);
+    mem::Txn writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
+                        Cycle cycle, AuthSeq gate_tag,
+                        std::uint64_t origin = 0);
     /** Instruction fetch of one word. */
-    MemAccess fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
-                         std::uint32_t &word);
+    mem::Txn fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
+                        std::uint32_t &word);
 
     // ----- functional paths (no timing; optional tag warmup) -----------
     std::uint64_t funcRead(Addr addr, unsigned bytes, bool warm_tags);
@@ -87,23 +76,20 @@ class MemHierarchy
     void setTrace(obs::TraceBuffer *trace) { ctrl_.setTrace(trace); }
 
   private:
-    struct LineRef
-    {
-        cache::CacheLine *line = nullptr;
-        Cycle ready = 0;
-        AuthSeq authSeq = kNoAuthSeq;
-        Cycle dataReady = 0;
-        bool gateDelayed = false;
-    };
-
     /** Clamp to the simulated address space, counting faults. */
     Addr translate(Addr addr);
-    /** Ensure the line is in L2 (filling on miss). Timed. */
-    LineRef ensureL2(Addr line_addr, Cycle cycle, AuthSeq gate_tag,
-                     mem::BusTxnKind kind);
+    /** Fold a cache hit's line timing into the access transaction. */
+    static void foldLine(mem::Txn &acc, Cycle lookup_done,
+                         const cache::CacheLine &line);
+    /** Ensure the line is in L2 (filling on miss). Timed; the fill's
+     *  transaction merges into @p acc. */
+    cache::CacheLine *ensureL2(Addr line_addr, Cycle cycle,
+                               AuthSeq gate_tag, mem::BusTxnKind kind,
+                               mem::Txn &acc);
     /** Ensure the line is in an L1 (filling from L2 on miss). Timed. */
-    LineRef ensureL1(cache::Cache &l1, Addr line_addr, Cycle cycle,
-                     AuthSeq gate_tag, bool is_instr);
+    cache::CacheLine *ensureL1(cache::Cache &l1, Addr line_addr,
+                               Cycle cycle, AuthSeq gate_tag,
+                               bool is_instr, mem::Txn &acc);
     /** Functional equivalents. */
     cache::CacheLine *funcEnsureL2(Addr line_addr, bool warm_tags);
     cache::CacheLine *funcEnsureL1(cache::Cache &l1, Addr line_addr,

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Metadata memory port: the txn-scoped context through which the
+ * trusted engines (hash tree, remap layer) reach external memory.
+ *
+ * Replaces the old per-call std::function callback typedefs: one port
+ * instance is scoped to the transaction
+ * whose walk triggered the traffic, so every node or entry fetch it
+ * issues lands on that transaction's path timeline, reserves the
+ * shared bus, and appears in the adversary-visible bus trace.
+ * Metadata fetches issued by the trusted engines are exempt from the
+ * authen-then-fetch gate (see DESIGN.md).
+ */
+
+#ifndef ACP_SECMEM_META_PORT_HH
+#define ACP_SECMEM_META_PORT_HH
+
+#include "common/types.hh"
+
+namespace acp::secmem
+{
+
+/** The port interface. Tests substitute fixed-latency ports. */
+class MetaMemPort
+{
+  public:
+    virtual ~MetaMemPort() = default;
+
+    /** Fetch a metadata line; returns the completion cycle. */
+    virtual Cycle read(Addr addr, Cycle cycle) const = 0;
+
+    /** Write back a metadata line; returns the completion cycle. */
+    virtual Cycle write(Addr addr, Cycle cycle) const = 0;
+};
+
+} // namespace acp::secmem
+
+#endif // ACP_SECMEM_META_PORT_HH

@@ -29,19 +29,19 @@ RemapLayer::entryLineAddr(Addr line_addr) const
 
 Cycle
 RemapLayer::touchEntry(Addr line_addr, Cycle cycle,
-                       const RemapMemAccess &mem, bool make_dirty)
+                       const MetaMemPort &mem, bool make_dirty)
 {
     Addr entry_line = entryLineAddr(line_addr);
     cache::CacheLine *line = remapCache_.lookup(entry_line);
     Cycle ready = cycle;
     if (line == nullptr) {
         ++entryFetches_;
-        ready = mem(entry_line, cycle, false);
+        ready = mem.read(entry_line, cycle);
         cache::Eviction evicted;
         line = remapCache_.allocate(entry_line, &evicted);
         if (evicted.valid && evicted.dirty) {
             ++entryWritebacks_;
-            mem(evicted.addr, ready, true);
+            mem.write(evicted.addr, ready);
         }
     }
     if (make_dirty)
@@ -51,7 +51,7 @@ RemapLayer::touchEntry(Addr line_addr, Cycle cycle,
 
 RemapResult
 RemapLayer::translate(Addr line_addr, Cycle cycle,
-                      const RemapMemAccess &mem)
+                      const MetaMemPort &mem)
 {
     ++translates_;
     RemapResult res;
@@ -70,7 +70,7 @@ RemapLayer::translate(Addr line_addr, Cycle cycle,
 }
 
 RemapResult
-RemapLayer::shuffle(Addr line_addr, Cycle cycle, const RemapMemAccess &mem)
+RemapLayer::shuffle(Addr line_addr, Cycle cycle, const MetaMemPort &mem)
 {
     ++shuffles_;
     RemapResult res;

@@ -17,20 +17,17 @@
 #ifndef ACP_SECMEM_REMAP_HH
 #define ACP_SECMEM_REMAP_HH
 
-#include <functional>
 #include <unordered_map>
 
 #include "cache/cache.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "secmem/meta_port.hh"
 #include "sim/config.hh"
 
 namespace acp::secmem
 {
-
-/** Memory access callback: (addr, cycle, is_write) -> completion. */
-using RemapMemAccess = std::function<Cycle(Addr, Cycle, bool)>;
 
 /** Outcome of a remap-layer operation. */
 struct RemapResult
@@ -47,13 +44,14 @@ class RemapLayer
   public:
     RemapLayer(const sim::SimConfig &cfg);
 
-    /** Translate a logical line address for a fetch. */
+    /** Translate a logical line address for a fetch. Entry traffic is
+     *  issued through @p mem, the transaction's metadata port. */
     RemapResult translate(Addr line_addr, Cycle cycle,
-                          const RemapMemAccess &mem);
+                          const MetaMemPort &mem);
 
     /** Re-shuffle on writeback: new random location, entry update. */
     RemapResult shuffle(Addr line_addr, Cycle cycle,
-                        const RemapMemAccess &mem);
+                        const MetaMemPort &mem);
 
     cache::Cache &remapCache() { return remapCache_; }
     StatGroup &stats() { return stats_; }
@@ -62,7 +60,7 @@ class RemapLayer
     /** Address of the remap-table line holding @p line_addr's entry. */
     Addr entryLineAddr(Addr line_addr) const;
     /** Charge the remap-cache access; fetch the entry line on miss. */
-    Cycle touchEntry(Addr line_addr, Cycle cycle, const RemapMemAccess &mem,
+    Cycle touchEntry(Addr line_addr, Cycle cycle, const MetaMemPort &mem,
                      bool make_dirty);
 
     const sim::SimConfig &cfg_;

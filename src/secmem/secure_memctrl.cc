@@ -9,7 +9,7 @@ namespace acp::secmem
 {
 
 SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
-    : cfg_(cfg), ext_(seed), dram_(cfg),
+    : cfg_(cfg), ext_(seed), bus_(cfg), dram_(cfg, bus_),
       engine_(cfg.authLatency, cfg.authEngineInterval),
       counterCache_("counter_cache", cfg.counterCache), stats_("memctrl")
 {
@@ -48,10 +48,22 @@ SecureMemCtrl::counterLineAddr(Addr line_addr) const
 
 Cycle
 SecureMemCtrl::dramAccess(Addr addr, Cycle cycle, unsigned bytes,
-                          bool is_write, mem::BusTxnKind kind)
+                          bool is_write, mem::BusTxnKind kind,
+                          mem::Txn &txn)
 {
+    mem::DramResult res = dram_.access(addr, cycle, bytes, is_write);
+    // Adversary model: the address is exposed when the request enters
+    // the off-chip queue (conservative — an attacker on the DIMM
+    // interface sees it before the bank/bus grant it waits for). The
+    // Txn timeline separately records the actual grant cycle.
     trace_.record(cycle, addr, kind);
-    return dram_.access(addr, cycle, bytes, is_write).complete;
+    txn.note(mem::PathEvent::kBusGrant, res.busGrant, addr);
+    txn.note(mem::PathEvent::kDramFirstBeat, res.firstBeat, addr);
+    txn.note(mem::PathEvent::kDramComplete, res.complete, addr);
+    ACP_TRACE(obsTrace_, obs::TraceEventKind::kBusGrant, res.busGrant,
+              txn.id, addr / kExtLineBytes,
+              std::uint64_t(static_cast<unsigned>(kind)));
+    return res.complete;
 }
 
 Cycle
@@ -70,7 +82,7 @@ SecureMemCtrl::admit(Cycle req_cycle)
 
 Cycle
 SecureMemCtrl::touchCounter(Addr line_addr, Cycle cycle, bool make_dirty,
-                            bool warm)
+                            bool warm, mem::Txn &txn)
 {
     Addr ctr_line = counterLineAddr(line_addr);
     cache::CacheLine *line = counterCache_.lookup(ctr_line);
@@ -79,45 +91,56 @@ SecureMemCtrl::touchCounter(Addr line_addr, Cycle cycle, bool make_dirty,
         ++counterMisses_;
         if (!warm)
             ready = dramAccess(ctr_line, cycle, kExtLineBytes, false,
-                               mem::BusTxnKind::kCounterFetch);
+                               mem::BusTxnKind::kCounterFetch, txn);
         cache::Eviction evicted;
         line = counterCache_.allocate(ctr_line, &evicted);
         if (evicted.valid && evicted.dirty && !warm)
             dramAccess(evicted.addr, ready, kExtLineBytes, true,
-                       mem::BusTxnKind::kWriteback);
+                       mem::BusTxnKind::kWriteback, txn);
     }
     if (make_dirty)
         line->dirty = true;
     return ready;
 }
 
-LineFill
+mem::Txn
 SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
-                         mem::BusTxnKind kind, bool warm)
+                         mem::BusTxnKind kind, bool warm,
+                         std::uint64_t origin)
 {
     ++fetches_;
-    LineFill fill;
+    mem::Txn txn;
+    txn.id = ++txnSeq_;
+    txn.addr = line_addr;
+    txn.kind = kind;
+    txn.gateTag = gate_tag;
+    txn.reqCycle = req_cycle;
+    txn.origin = origin;
 
     // Functional transfer first (always happens).
     FetchedLine fetched = ext_.fetchLine(line_addr);
-    fill.data = fetched.plain;
-    fill.macOk = fetched.macOk;
+    txn.data = fetched.plain;
+    txn.macOk = fetched.macOk;
 
     const core::AuthPolicy policy = cfg_.policy;
     bool verify = core::verifies(policy);
 
     if (warm) {
         // Warm the metadata caches too, but no timing.
-        touchCounter(line_addr, 0, false, true);
+        touchCounter(line_addr, 0, false, true, txn);
         if (remap_) {
-            auto noop = [](Addr, Cycle, bool) { return Cycle(0); };
-            remap_->translate(line_addr, 0, noop);
+            MetaPort warm_port(*this, txn, mem::BusTxnKind::kRemapFetch,
+                               true);
+            remap_->translate(line_addr, 0, warm_port);
         }
-        return fill;
+        return txn;
     }
+
+    txn.note(mem::PathEvent::kRequest, req_cycle, line_addr);
 
     // 1. MSHR admission.
     Cycle start = admit(req_cycle);
+    txn.note(mem::PathEvent::kMshrAdmit, start, line_addr);
 
     // 2. authen-then-fetch gate.
     if (core::gatesFetch(policy)) {
@@ -127,17 +150,20 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         // never-ready fill without touching the bus (no address leak).
         if (engine_.anyFailure() && tag != kNoAuthSeq &&
             tag >= engine_.firstFailedSeq()) {
-            fill.dataReady = kCycleNever;
-            fill.verifyDone = kCycleNever;
-            fill.authSeq = kNoAuthSeq;
-            fill.data.fill(0);
-            return fill;
+            txn.ready = kCycleNever;
+            txn.dataReady = kCycleNever;
+            txn.verifyDone = kCycleNever;
+            txn.authSeq = kNoAuthSeq;
+            txn.data.fill(0);
+            return txn;
         }
         Cycle gate_done = engine_.doneCycle(tag);
         if (gate_done > start) {
             ++fetchGateStalls_;
             fetchGateDelay_.sample(double(gate_done - start));
-            fill.gateDelayed = true;
+            txn.gateDelayed = true;
+            txn.note(mem::PathEvent::kFetchGateRelease, gate_done,
+                     line_addr);
             std::uint64_t sid = ++gateStallId_;
             ACP_TRACE(obsTrace_, obs::TraceEventKind::kFetchGateBegin,
                       start, sid, tag, line_addr / kExtLineBytes);
@@ -147,23 +173,18 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         }
     }
 
-    auto mem_cb = [this](Addr a, Cycle c, bool w) {
-        return dramAccess(a, c, kExtLineBytes, w,
-                          w ? mem::BusTxnKind::kWriteback
-                            : mem::BusTxnKind::kTreeNodeFetch);
-    };
+    MetaPort tree_port(*this, txn, mem::BusTxnKind::kTreeNodeFetch,
+                       false);
 
     // 3. Address obfuscation.
     Addr phys = line_addr;
     if (remap_) {
-        auto remap_cb = [this](Addr a, Cycle c, bool w) {
-            return dramAccess(a, c, kExtLineBytes, w,
-                              w ? mem::BusTxnKind::kWriteback
-                                : mem::BusTxnKind::kRemapFetch);
-        };
-        RemapResult tr = remap_->translate(line_addr, start, remap_cb);
+        MetaPort remap_port(*this, txn, mem::BusTxnKind::kRemapFetch,
+                            false);
+        RemapResult tr = remap_->translate(line_addr, start, remap_port);
         phys = tr.physAddr;
         start = tr.readyAt;
+        txn.note(mem::PathEvent::kRemapTranslate, start, phys);
     }
 
     // 4-6. Counter lookup, pad generation and decrypt timing.
@@ -173,7 +194,10 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         // Counter lookup; pad generation overlaps the data fetch.
         bool ctr_hit = counterCache_.peek(counterLineAddr(line_addr)) !=
                        nullptr;
-        Cycle ctr_ready = touchCounter(line_addr, start, false, false);
+        Cycle ctr_ready = touchCounter(line_addr, start, false, false,
+                                       txn);
+        txn.note(mem::PathEvent::kCounterReady, ctr_ready,
+                 counterLineAddr(line_addr));
         Cycle pad_ready = ctr_ready + cfg_.decryptLatency;
 
         // [19]: on a counter-cache miss, predicted pads are computed
@@ -184,10 +208,10 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
             pad_ready = start + cfg_.decryptLatency;
 
         data_arrive = dramAccess(phys, start, lineTransferBytes_, false,
-                                 kind);
+                                 kind, txn);
         // Decrypt: max(fetch, pad) — Table 1, counter mode.
-        fill.dataReady = std::max(data_arrive, pad_ready);
-        mac_ready = fill.dataReady;
+        txn.dataReady = std::max(data_arrive, pad_ready);
+        mac_ready = txn.dataReady;
     } else {
         // CBC: decryption is serial per 16-byte chunk and can only
         // start once the ciphertext arrives (Table 1, second row).
@@ -195,55 +219,72 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         // (chunks+1)/2 serial passes on average; CBC-MAC needs the
         // full line plus a final chaining pass.
         data_arrive = dramAccess(phys, start, lineTransferBytes_, false,
-                                 kind);
+                                 kind, txn);
         unsigned chunks = kExtLineBytes / 16;
-        fill.dataReady = data_arrive +
-                         Cycle((chunks + 1) / 2) * cfg_.decryptLatency;
+        txn.dataReady = data_arrive +
+                        Cycle((chunks + 1) / 2) * cfg_.decryptLatency;
         mac_ready = data_arrive + Cycle(chunks + 1) * cfg_.decryptLatency;
     }
-    fillLatency_.sample(double(fill.dataReady - req_cycle));
-    fillLatencyHist_.sample(fill.dataReady - req_cycle);
+    txn.note(mem::PathEvent::kDecryptDone, txn.dataReady, line_addr);
+    fillLatency_.sample(double(txn.dataReady - req_cycle));
+    fillLatencyHist_.sample(txn.dataReady - req_cycle);
 
     // 7. Authentication.
     if (verify) {
-        Cycle extra = mac_ready > fill.dataReady
-                          ? mac_ready - fill.dataReady
+        Cycle extra = mac_ready > txn.dataReady
+                          ? mac_ready - txn.dataReady
                           : 0;
         if (tree_) {
-            TreeTiming tt = tree_->verify(line_addr, data_arrive, mem_cb);
+            TreeTiming tt = tree_->verify(line_addr, data_arrive,
+                                          tree_port);
             if (!tt.ok)
-                fill.macOk = false;
-            if (tt.readyAt > fill.dataReady &&
-                tt.readyAt - fill.dataReady > extra)
-                extra = tt.readyAt - fill.dataReady;
+                txn.macOk = false;
+            if (tt.readyAt > txn.dataReady &&
+                tt.readyAt - txn.dataReady > extra)
+                extra = tt.readyAt - txn.dataReady;
         }
-        fill.authSeq = engine_.post(fill.dataReady, extra, fill.macOk);
-        fill.verifyDone = engine_.doneCycle(fill.authSeq);
-        decryptGap_.sample(double(fill.verifyDone - fill.dataReady));
-        decryptGapHist_.sample(fill.verifyDone - fill.dataReady);
+        txn.authSeq = engine_.post(txn.dataReady, extra, txn.macOk);
+        txn.verifyDone = engine_.doneCycle(txn.authSeq);
+        txn.note(mem::PathEvent::kVerifyPosted, txn.dataReady, line_addr);
+        txn.note(mem::PathEvent::kVerifyDone, txn.verifyDone, line_addr);
+        decryptGap_.sample(double(txn.verifyDone - txn.dataReady));
+        decryptGapHist_.sample(txn.verifyDone - txn.dataReady);
         // Auth lifecycle: request issued, data+MAC on-chip, verdict.
         // The data_arrive→verify_done pair renders as a span whose
         // duration equals this request's auth.verify_latency sample.
         ACP_TRACE(obsTrace_, obs::TraceEventKind::kAuthRequest, req_cycle,
-                  fill.authSeq, line_addr / kExtLineBytes);
+                  txn.authSeq, line_addr / kExtLineBytes);
         ACP_TRACE(obsTrace_, obs::TraceEventKind::kAuthDataArrive,
-                  fill.dataReady, fill.authSeq, line_addr / kExtLineBytes);
+                  txn.dataReady, txn.authSeq, line_addr / kExtLineBytes);
         ACP_TRACE(obsTrace_, obs::TraceEventKind::kAuthVerifyDone,
-                  fill.verifyDone, fill.authSeq, fill.macOk ? 1 : 0);
+                  txn.verifyDone, txn.authSeq, txn.macOk ? 1 : 0);
     } else {
-        fill.authSeq = kNoAuthSeq;
-        fill.verifyDone = fill.dataReady;
+        txn.authSeq = kNoAuthSeq;
+        txn.verifyDone = txn.dataReady;
     }
 
-    inflight_.push_back(fill.dataReady);
-    return fill;
+    // Usability is the controller's call: under an issue-gating policy
+    // the line is not pipeline-usable until the verdict (and never, if
+    // the verdict is a failure — the exception fires first).
+    txn.ready = core::gatesIssue(policy) ? txn.verifyDone : txn.dataReady;
+    if (core::gatesIssue(policy) && !txn.macOk)
+        txn.ready = kCycleNever;
+
+    inflight_.push_back(txn.dataReady);
+    return txn;
 }
 
-Cycle
+mem::Txn
 SecureMemCtrl::writebackLine(Addr line_addr, const std::uint8_t *data,
-                             Cycle cycle, bool warm)
+                             Cycle cycle, bool warm, std::uint64_t origin)
 {
     ++writebacks_;
+    mem::Txn txn;
+    txn.id = ++txnSeq_;
+    txn.addr = line_addr;
+    txn.kind = mem::BusTxnKind::kWriteback;
+    txn.reqCycle = cycle;
+    txn.origin = origin;
 
     // Functional: counter bump, re-encrypt, MAC refresh.
     ext_.storeLine(line_addr, data);
@@ -251,43 +292,48 @@ SecureMemCtrl::writebackLine(Addr line_addr, const std::uint8_t *data,
         predictor_->onWriteback(line_addr, ext_.counterOf(line_addr));
 
     if (warm) {
-        touchCounter(line_addr, 0, true, true);
+        touchCounter(line_addr, 0, true, true, txn);
         if (tree_) {
-            auto noop = [](Addr, Cycle, bool) { return Cycle(0); };
-            tree_->update(line_addr, 0, noop);
+            MetaPort warm_port(*this, txn,
+                               mem::BusTxnKind::kTreeNodeFetch, true);
+            tree_->update(line_addr, 0, warm_port);
         }
-        return 0;
+        return txn;
     }
 
+    txn.note(mem::PathEvent::kRequest, cycle, line_addr);
+
     // Counter line is written (dirty in the counter cache).
-    Cycle ready = touchCounter(line_addr, cycle, true, false);
+    Cycle ready = touchCounter(line_addr, cycle, true, false, txn);
+    txn.note(mem::PathEvent::kCounterReady, ready,
+             counterLineAddr(line_addr));
 
     // Tree path update (timing + functional).
     if (tree_) {
-        auto mem_cb = [this](Addr a, Cycle c, bool w) {
-            return dramAccess(a, c, kExtLineBytes, w,
-                              w ? mem::BusTxnKind::kWriteback
-                                : mem::BusTxnKind::kTreeNodeFetch);
-        };
-        TreeTiming tt = tree_->update(line_addr, ready, mem_cb);
+        MetaPort tree_port(*this, txn, mem::BusTxnKind::kTreeNodeFetch,
+                           false);
+        TreeTiming tt = tree_->update(line_addr, ready, tree_port);
         ready = tt.readyAt;
     }
 
     // Re-shuffle under obfuscation.
     Addr phys = line_addr;
     if (remap_) {
-        auto remap_cb = [this](Addr a, Cycle c, bool w) {
-            return dramAccess(a, c, kExtLineBytes, w,
-                              w ? mem::BusTxnKind::kWriteback
-                                : mem::BusTxnKind::kRemapFetch);
-        };
-        RemapResult sh = remap_->shuffle(line_addr, ready, remap_cb);
+        MetaPort remap_port(*this, txn, mem::BusTxnKind::kRemapFetch,
+                            false);
+        RemapResult sh = remap_->shuffle(line_addr, ready, remap_port);
         phys = sh.physAddr;
         ready = sh.readyAt;
+        txn.note(mem::PathEvent::kRemapTranslate, ready, phys);
     }
 
-    return dramAccess(phys, ready, lineTransferBytes_, true,
-                      mem::BusTxnKind::kWriteback);
+    Cycle complete = dramAccess(phys, ready, lineTransferBytes_, true,
+                                mem::BusTxnKind::kWriteback, txn);
+    txn.note(mem::PathEvent::kWriteback, complete, phys);
+    txn.ready = complete;
+    txn.dataReady = complete;
+    txn.verifyDone = complete;
+    return txn;
 }
 
 } // namespace acp::secmem

@@ -9,11 +9,17 @@
  *   3. address obfuscation: re-map translation (Section 4.3)
  *   4. counter lookup (counter cache; miss fetches the counter line)
  *      and counter-mode pad pre-computation overlapped with the fetch
- *   5. DRAM burst (line + MAC beats) on the front-side bus — the
- *      address becomes visible to the adversary here
+ *   5. DRAM burst (line + MAC beats) granted by the shared BusArbiter —
+ *      the address becomes visible to the adversary at the grant
  *   6. decrypt completes at max(data arrival, pad ready)  [Table 1]
  *   7. authentication request posted to the in-order engine; with the
  *      hash tree enabled the counter's tree path is verified too
+ *
+ * Every step is recorded on the mem::Txn the controller returns, so
+ * upstream components and tests can replay the exact resource path an
+ * access took. All metadata traffic (counter lines, tree nodes, remap
+ * entries, metadata writebacks) is charged to the same Txn through a
+ * controller-backed MetaMemPort.
  *
  * Writeback path (dirty L2 eviction): re-shuffle (obfuscation),
  * counter bump + re-encrypt + MAC (functional), tree update, DRAM
@@ -25,41 +31,27 @@
 #ifndef ACP_SECMEM_SECURE_MEMCTRL_HH
 #define ACP_SECMEM_SECURE_MEMCTRL_HH
 
-#include <array>
 #include <memory>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/bus.hh"
 #include "mem/bus_trace.hh"
 #include "mem/dram.hh"
+#include "mem/txn.hh"
 #include "obs/trace.hh"
 #include "secmem/auth_engine.hh"
 #include "secmem/counter_predictor.hh"
 #include "secmem/external_memory.hh"
 #include "secmem/hash_tree.hh"
+#include "secmem/meta_port.hh"
 #include "secmem/remap.hh"
 #include "sim/config.hh"
 
 namespace acp::secmem
 {
-
-/** Result of one external line fetch. */
-struct LineFill
-{
-    std::array<std::uint8_t, kExtLineBytes> data;
-    /** Decrypted data available to the cache hierarchy. */
-    Cycle dataReady = 0;
-    /** Authentication verdict available. */
-    Cycle verifyDone = 0;
-    /** Auth request id (kNoAuthSeq when the policy never verifies). */
-    AuthSeq authSeq = kNoAuthSeq;
-    /** Functional integrity verdict (false == tampered). */
-    bool macOk = true;
-    /** Whether the authen-then-fetch gate delayed the bus grant. */
-    bool gateDelayed = false;
-};
 
 /** The controller. */
 class SecureMemCtrl
@@ -73,18 +65,27 @@ class SecureMemCtrl
      * @param req_cycle cycle the request leaves the L2
      * @param gate_tag triggering instruction's LastRequest tag (for
      *        the authen-then-fetch gate; kNoAuthSeq = ungated)
-     * @param kind bus-trace transaction kind
+     * @param kind bus transaction kind
      * @param warm functional-only (cache warmup): no timing updates
+     * @param origin dynamic instruction number of the triggering RUU
+     *        entry (0 = none, e.g. instruction fetch or warmup)
+     * @return the completed transaction; txn.ready already reflects
+     *         the active policy's usability decision (verification
+     *         under authen-then-issue, decrypt completion otherwise;
+     *         kCycleNever for gate-squashed or failed fills)
      */
-    LineFill fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
-                       mem::BusTxnKind kind, bool warm = false);
+    mem::Txn fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
+                       mem::BusTxnKind kind, bool warm = false,
+                       std::uint64_t origin = 0);
 
-    /** Write back one dirty line; returns DRAM completion cycle. */
-    Cycle writebackLine(Addr line_addr, const std::uint8_t *data,
-                        Cycle cycle, bool warm = false);
+    /** Write back one dirty line; txn.ready is the DRAM completion. */
+    mem::Txn writebackLine(Addr line_addr, const std::uint8_t *data,
+                           Cycle cycle, bool warm = false,
+                           std::uint64_t origin = 0);
 
     ExternalMemory &externalMemory() { return ext_; }
     AuthEngine &authEngine() { return engine_; }
+    mem::BusArbiter &busArbiter() { return bus_; }
     mem::Dram &dram() { return dram_; }
     mem::BusTrace &busTrace() { return trace_; }
     cache::Cache &counterCache() { return counterCache_; }
@@ -101,18 +102,59 @@ class SecureMemCtrl
     StatGroup &stats() { return stats_; }
 
   private:
+    /**
+     * Metadata port bound to one transaction: tree-node, remap-entry
+     * and counter-eviction traffic flows through the shared bus/bank
+     * model and is noted on the owning Txn's timeline. Warm-mode ports
+     * are free (functional warmup only).
+     */
+    class MetaPort final : public MetaMemPort
+    {
+      public:
+        MetaPort(SecureMemCtrl &ctrl, mem::Txn &txn,
+                 mem::BusTxnKind read_kind, bool warm)
+            : ctrl_(ctrl), txn_(txn), readKind_(read_kind), warm_(warm)
+        {
+        }
+
+        Cycle
+        read(Addr addr, Cycle cycle) const override
+        {
+            if (warm_)
+                return cycle;
+            return ctrl_.dramAccess(addr, cycle, kExtLineBytes, false,
+                                    readKind_, txn_);
+        }
+
+        Cycle
+        write(Addr addr, Cycle cycle) const override
+        {
+            if (warm_)
+                return cycle;
+            return ctrl_.dramAccess(addr, cycle, kExtLineBytes, true,
+                                    mem::BusTxnKind::kWriteback, txn_);
+        }
+
+      private:
+        SecureMemCtrl &ctrl_;
+        mem::Txn &txn_;
+        mem::BusTxnKind readKind_;
+        bool warm_;
+    };
+
     /** Admission control for outstanding fetches (MSHR limit). */
     Cycle admit(Cycle req_cycle);
     /** Charge a counter-line access; returns counter availability. */
     Cycle touchCounter(Addr line_addr, Cycle cycle, bool make_dirty,
-                       bool warm);
+                       bool warm, mem::Txn &txn);
     Addr counterLineAddr(Addr line_addr) const;
-    /** Raw DRAM access helper with bus-trace recording. */
+    /** One bus/bank transfer, charged to @p txn (trace at grant). */
     Cycle dramAccess(Addr addr, Cycle cycle, unsigned bytes, bool is_write,
-                     mem::BusTxnKind kind);
+                     mem::BusTxnKind kind, mem::Txn &txn);
 
     const sim::SimConfig &cfg_;
     ExternalMemory ext_;
+    mem::BusArbiter bus_; // must outlive dram_ (shared resource)
     mem::Dram dram_;
     mem::BusTrace trace_;
     AuthEngine engine_;
@@ -126,6 +168,8 @@ class SecureMemCtrl
     obs::TraceBuffer *obsTrace_ = nullptr;
     /** Pairs fetch-gate begin/end span events (trace-only id). */
     std::uint64_t gateStallId_ = 0;
+    /** Controller-assigned transaction ids (deterministic). */
+    std::uint64_t txnSeq_ = 0;
 
     StatGroup stats_;
     StatCounter fetches_;

@@ -13,14 +13,8 @@ System::System(const SimConfig &cfg, isa::Program prog)
     hier_.loadProgram(prog_);
     refMem_.loadProgram(prog_);
 
-    cpu::MemPort port;
-    cpu::FlatMem *mem = &refMem_;
-    port.read = [mem](Addr a, unsigned b) { return mem->read(a, b); };
-    port.write = [mem](Addr a, unsigned b, std::uint64_t v) {
-        mem->write(a, b, v);
-    };
-    port.fetch = [mem](Addr a) { return mem->fetch(a); };
-    refExec_ = std::make_unique<cpu::FuncExecutor>(port, prog_.entry);
+    refExec_ = std::make_unique<cpu::FuncExecutor>(cpu::MemPort(refMem_),
+                                                   prog_.entry);
 
     if (cfg_.traceMask != 0) {
         trace_ = std::make_unique<obs::TraceBuffer>(cfg_.traceMask);
@@ -95,56 +89,43 @@ System::measureTimed(std::uint64_t max_insts, std::uint64_t max_cycles)
     return res;
 }
 
+void
+System::forEachComponent(const std::function<void(StatGroup &)> &fn)
+{
+    if (core_)
+        fn(core_->stats());
+    fn(hier_.stats());
+    fn(hier_.l1i().stats());
+    fn(hier_.l1d().stats());
+    fn(hier_.l2().stats());
+    fn(hier_.itlb().stats());
+    fn(hier_.dtlb().stats());
+    fn(hier_.ctrl().stats());
+    fn(hier_.ctrl().authEngine().stats());
+    fn(hier_.ctrl().busArbiter().stats());
+    fn(hier_.ctrl().dram().stats());
+    fn(hier_.ctrl().counterCache().stats());
+    fn(hier_.ctrl().externalMemory().stats());
+    if (hier_.ctrl().hashTree())
+        fn(hier_.ctrl().hashTree()->stats());
+    if (hier_.ctrl().remapLayer())
+        fn(hier_.ctrl().remapLayer()->stats());
+    if (hier_.ctrl().counterPredictor())
+        fn(hier_.ctrl().counterPredictor()->stats());
+}
+
 std::string
 System::dumpStats()
 {
     std::string out;
-    if (core_) {
-        core_->stats().dump(out);
-    }
-    hier_.stats().dump(out);
-    hier_.l1i().stats().dump(out);
-    hier_.l1d().stats().dump(out);
-    hier_.l2().stats().dump(out);
-    hier_.itlb().stats().dump(out);
-    hier_.dtlb().stats().dump(out);
-    hier_.ctrl().stats().dump(out);
-    hier_.ctrl().authEngine().stats().dump(out);
-    hier_.ctrl().dram().stats().dump(out);
-    hier_.ctrl().counterCache().stats().dump(out);
-    hier_.ctrl().externalMemory().stats().dump(out);
-    if (hier_.ctrl().hashTree())
-        hier_.ctrl().hashTree()->stats().dump(out);
-    if (hier_.ctrl().remapLayer())
-        hier_.ctrl().remapLayer()->stats().dump(out);
-    if (hier_.ctrl().counterPredictor())
-        hier_.ctrl().counterPredictor()->stats().dump(out);
+    forEachComponent([&out](StatGroup &g) { g.dump(out); });
     return out;
 }
 
 void
 System::visitStats(StatVisitor &visitor)
 {
-    // Same component order as dumpStats().
-    if (core_)
-        core_->stats().visit(visitor);
-    hier_.stats().visit(visitor);
-    hier_.l1i().stats().visit(visitor);
-    hier_.l1d().stats().visit(visitor);
-    hier_.l2().stats().visit(visitor);
-    hier_.itlb().stats().visit(visitor);
-    hier_.dtlb().stats().visit(visitor);
-    hier_.ctrl().stats().visit(visitor);
-    hier_.ctrl().authEngine().stats().visit(visitor);
-    hier_.ctrl().dram().stats().visit(visitor);
-    hier_.ctrl().counterCache().stats().visit(visitor);
-    hier_.ctrl().externalMemory().stats().visit(visitor);
-    if (hier_.ctrl().hashTree())
-        hier_.ctrl().hashTree()->stats().visit(visitor);
-    if (hier_.ctrl().remapLayer())
-        hier_.ctrl().remapLayer()->stats().visit(visitor);
-    if (hier_.ctrl().counterPredictor())
-        hier_.ctrl().counterPredictor()->stats().visit(visitor);
+    forEachComponent([&visitor](StatGroup &g) { g.visit(visitor); });
 }
 
 } // namespace acp::sim

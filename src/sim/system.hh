@@ -16,6 +16,7 @@
 #ifndef ACP_SIM_SYSTEM_HH
 #define ACP_SIM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -80,6 +81,9 @@ class System
     obs::IntervalRecorder *intervalRecorder() { return recorder_.get(); }
 
   private:
+    /** Visit every live component's stat group in dump order. */
+    void forEachComponent(const std::function<void(StatGroup &)> &fn);
+
     SimConfig cfg_;
     isa::Program prog_;
     secmem::MemHierarchy hier_;

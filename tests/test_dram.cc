@@ -26,7 +26,8 @@ cfg()
 TEST(Dram, RowMissThenPageHit)
 {
     sim::SimConfig c = cfg();
-    Dram dram(c);
+    BusArbiter bus(c);
+    Dram dram(c, bus);
 
     // First access to a closed bank: RCD + CAS.
     DramResult first = dram.access(0x0, 0, 64, false);
@@ -47,7 +48,8 @@ TEST(Dram, RowMissThenPageHit)
 TEST(Dram, PageConflictCostsPrecharge)
 {
     sim::SimConfig c = cfg();
-    Dram dram(c);
+    BusArbiter bus(c);
+    Dram dram(c, bus);
 
     dram.access(0x0, 0, 64, false);
     // Another row in the same bank: banks interleave per row, so the
@@ -78,7 +80,8 @@ TEST(Dram, LatencyOrdering)
 TEST(Dram, BusSerializesConcurrentAccesses)
 {
     sim::SimConfig c = cfg();
-    Dram dram(c);
+    BusArbiter bus(c);
+    Dram dram(c, bus);
 
     // Two simultaneous accesses to different banks: row activation
     // overlaps, but data transfers share the bus.
@@ -91,7 +94,8 @@ TEST(Dram, BusSerializesConcurrentAccesses)
 TEST(Dram, BankParallelismBeatsSameBank)
 {
     sim::SimConfig c = cfg();
-    Dram bank_par(c), bank_ser(c);
+    BusArbiter bus_par(c), bus_ser(c);
+    Dram bank_par(c, bus_par), bank_ser(c, bus_ser);
 
     // Different banks issued back to back.
     bank_par.access(0x0, 0, 64, false);
@@ -108,7 +112,8 @@ TEST(Dram, BankParallelismBeatsSameBank)
 TEST(Dram, FirstBeatBeforeComplete)
 {
     sim::SimConfig c = cfg();
-    Dram dram(c);
+    BusArbiter bus(c);
+    Dram dram(c, bus);
     DramResult res = dram.access(0x100, 0, 64, false);
     EXPECT_LT(res.firstBeat, res.complete);
 }
@@ -116,12 +121,14 @@ TEST(Dram, FirstBeatBeforeComplete)
 TEST(Dram, ResetTimingClearsBanksKeepsStats)
 {
     sim::SimConfig c = cfg();
-    Dram dram(c);
+    BusArbiter bus(c);
+    Dram dram(c, bus);
     dram.access(0x0, 0, 64, false);
     std::uint64_t accesses = dram.accesses();
     dram.resetTiming();
+    bus.resetTiming();
     EXPECT_EQ(dram.accesses(), accesses);
-    EXPECT_EQ(dram.busFreeAt(), 0u);
+    EXPECT_EQ(bus.freeAt(), 0u);
     // After reset the bank is closed again: row miss, not page hit.
     dram.access(0x0, 0, 64, false);
     EXPECT_EQ(dram.rowMisses(), 2u);
@@ -130,7 +137,8 @@ TEST(Dram, ResetTimingClearsBanksKeepsStats)
 TEST(Dram, SmallTransferUsesOneBeat)
 {
     sim::SimConfig c = cfg();
-    Dram dram(c);
+    BusArbiter bus(c);
+    Dram dram(c, bus);
     DramResult res = dram.access(0x0, 0, 4, false);
     Cycle expect = Cycle(c.rasToCasLatency + c.casLatency) * c.busClockRatio +
                    Cycle(1) * c.busClockRatio;

@@ -22,13 +22,7 @@ struct Machine
     explicit Machine(const Program &prog) : mem(1 << 24)
     {
         mem.loadProgram(prog);
-        MemPort port;
-        port.read = [this](Addr a, unsigned b) { return mem.read(a, b); };
-        port.write = [this](Addr a, unsigned b, std::uint64_t v) {
-            mem.write(a, b, v);
-        };
-        port.fetch = [this](Addr a) { return mem.fetch(a); };
-        exec = std::make_unique<FuncExecutor>(port, prog.entry);
+        exec = std::make_unique<FuncExecutor>(MemPort(mem), prog.entry);
     }
 
     FlatMem mem;

@@ -99,18 +99,18 @@ TEST(MemHierarchy, TimedReadLatencies)
 
     std::uint64_t value;
     // Cold read: TLB miss + L1 miss + L2 miss + DRAM + decrypt.
-    MemAccess cold = hier.readTimed(0x2000, 8, 0, kNoAuthSeq, value);
+    mem::Txn cold = hier.readTimed(0x2000, 8, 0, kNoAuthSeq, value);
     EXPECT_GT(cold.ready, Cycle(cfg.decryptLatency));
     EXPECT_NE(cold.authSeq, kNoAuthSeq);
 
     // Hot read: L1 hit at the hit latency.
     Cycle t = cold.ready + 1000;
-    MemAccess hot = hier.readTimed(0x2000, 8, t, kNoAuthSeq, value);
+    mem::Txn hot = hier.readTimed(0x2000, 8, t, kNoAuthSeq, value);
     EXPECT_EQ(hot.ready, t + cfg.l1d.hitLatency);
 
     // L2 hit: evicted... instead read the other half of the L2 line
     // (different L1 line, same L2 line).
-    MemAccess l2hit = hier.readTimed(0x2020, 8, t, kNoAuthSeq, value);
+    mem::Txn l2hit = hier.readTimed(0x2020, 8, t, kNoAuthSeq, value);
     EXPECT_GE(l2hit.ready, t + cfg.l2.hitLatency);
     EXPECT_LT(l2hit.ready, t + 60); // far faster than DRAM
 }
@@ -121,12 +121,12 @@ TEST(MemHierarchy, IssueGateDelaysUsability)
 
     sim::SimConfig commit_cfg = smallCfg(core::AuthPolicy::kAuthThenCommit);
     MemHierarchy commit_hier(commit_cfg);
-    MemAccess commit_access =
+    mem::Txn commit_access =
         commit_hier.readTimed(0x4000, 8, 0, kNoAuthSeq, value);
 
     sim::SimConfig issue_cfg = smallCfg(core::AuthPolicy::kAuthThenIssue);
     MemHierarchy issue_hier(issue_cfg);
-    MemAccess issue_access =
+    mem::Txn issue_access =
         issue_hier.readTimed(0x4000, 8, 0, kNoAuthSeq, value);
 
     // Under authen-then-issue the data is not usable until verified:
@@ -141,7 +141,7 @@ TEST(MemHierarchy, BaselineHasNoAuthSeq)
     sim::SimConfig cfg = smallCfg(core::AuthPolicy::kBaseline);
     MemHierarchy hier(cfg);
     std::uint64_t value;
-    MemAccess access = hier.readTimed(0x4000, 8, 0, kNoAuthSeq, value);
+    mem::Txn access = hier.readTimed(0x4000, 8, 0, kNoAuthSeq, value);
     EXPECT_EQ(access.authSeq, kNoAuthSeq);
 }
 
@@ -235,7 +235,7 @@ TEST(MemHierarchy, TamperedLineDecryptsCorrupt)
     hier.ctrl().externalMemory().tamper(0x8000, mask, 8);
 
     std::uint64_t value;
-    MemAccess access = hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
+    mem::Txn access = hier.readTimed(0x8000, 8, 0, kNoAuthSeq, value);
     // The decrypted (bogus) pointer is exactly what the attacker chose…
     EXPECT_EQ(value, 0x5008u);
     // …and the authentication engine has flagged the line.
@@ -249,12 +249,12 @@ TEST(MemHierarchy, CbcModeSlowerThanCounterMode)
 
     sim::SimConfig ctr_cfg = smallCfg(core::AuthPolicy::kBaseline);
     MemHierarchy ctr_hier(ctr_cfg);
-    MemAccess ctr = ctr_hier.readTimed(0x5000, 8, 0, kNoAuthSeq, value);
+    mem::Txn ctr = ctr_hier.readTimed(0x5000, 8, 0, kNoAuthSeq, value);
 
     sim::SimConfig cbc_cfg = smallCfg(core::AuthPolicy::kBaseline);
     cbc_cfg.encryptionMode = sim::EncryptionMode::kCbc;
     MemHierarchy cbc_hier(cbc_cfg);
-    MemAccess cbc = cbc_hier.readTimed(0x5000, 8, 0, kNoAuthSeq, value);
+    mem::Txn cbc = cbc_hier.readTimed(0x5000, 8, 0, kNoAuthSeq, value);
 
     // CBC cannot overlap decryption with the fetch: strictly slower.
     EXPECT_GT(cbc.ready, ctr.ready);
@@ -271,13 +271,13 @@ TEST(MemHierarchy, CounterPredictionHidesCounterMiss)
     miss_cfg.counterCache.sizeBytes = 1024;
     miss_cfg.counterPrediction = false;
     MemHierarchy nopred(miss_cfg);
-    MemAccess slow = nopred.readTimed(0x6000, 8, 0, kNoAuthSeq, value);
+    mem::Txn slow = nopred.readTimed(0x6000, 8, 0, kNoAuthSeq, value);
 
     sim::SimConfig pred_cfg = smallCfg(core::AuthPolicy::kBaseline);
     pred_cfg.counterCache.sizeBytes = 1024;
     pred_cfg.counterPrediction = true;
     MemHierarchy pred(pred_cfg);
-    MemAccess fast = pred.readTimed(0x6000, 8, 0, kNoAuthSeq, value);
+    mem::Txn fast = pred.readTimed(0x6000, 8, 0, kNoAuthSeq, value);
 
     // Provisioned (counter 0) line: the cold predictor hits.
     EXPECT_LT(fast.ready, slow.ready);

@@ -173,12 +173,29 @@ TEST(AuthEngine, ExtraLatencyExtendsCompletion)
 namespace
 {
 
-/** Memory callback charging a fixed 100-cycle access. */
-Cycle
-fixedMem(Addr, Cycle c, bool)
+/** Metadata port charging a fixed 100-cycle access. */
+struct FixedPort final : MetaMemPort
 {
-    return c + 100;
-}
+    Cycle read(Addr, Cycle c) const override { return c + 100; }
+    Cycle write(Addr, Cycle c) const override { return c + 100; }
+};
+
+const FixedPort fixedMem;
+
+/** Fixed-latency port that counts reads (entry fetches). */
+struct CountingPort final : MetaMemPort
+{
+    mutable int fetches = 0;
+
+    Cycle
+    read(Addr, Cycle c) const override
+    {
+        ++fetches;
+        return c + 100;
+    }
+
+    Cycle write(Addr, Cycle c) const override { return c + 100; }
+};
 
 } // namespace
 
@@ -310,21 +327,16 @@ TEST(Remap, CacheMissFetchesEntry)
     cfg.remapCache.sizeBytes = 1024; // tiny: force misses
     RemapLayer remap(cfg);
 
-    int fetches = 0;
-    auto counting = [&](Addr, Cycle c, bool w) {
-        if (!w)
-            ++fetches;
-        return c + 100;
-    };
+    CountingPort counting;
     // Touch many distinct entry lines (16 entries per 64B line).
     for (int i = 0; i < 64; ++i)
         remap.translate(Addr(i) * 64 * 16, 0, counting);
-    EXPECT_GT(fetches, 40);
+    EXPECT_GT(counting.fetches, 40);
 
     // Re-touching the most recent entries should hit.
-    fetches = 0;
+    counting.fetches = 0;
     remap.translate(Addr(63) * 64 * 16, 0, counting);
-    EXPECT_EQ(fetches, 0);
+    EXPECT_EQ(counting.fetches, 0);
 }
 
 TEST(AuthEngine, LastArrivedByExcludesOutstanding)

@@ -248,6 +248,8 @@ OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
     entry.result = isa::adjustLoadValue(entry.inst.op, raw);
     entry.readyAt = access.ready;
     entry.dataReadyAt = access.dataReady;
+    entry.busReqAt = access.busRequestAt;
+    entry.busGrantAt = access.busGrantAt;
     entry.dataSeq = access.authSeq;
     entry.tainted = entry.tainted ||
                     hier_.ctrl().authEngine().requestFailed(access.authSeq);
@@ -679,6 +681,12 @@ OooCore::classifyStall()
         // usability until the verdict).
         if (cycle_ >= head.dataReadyAt)
             return obs::StallCause::kAuthIssue;
+        // While the line transfer sits in the shared-bus arbiter's
+        // queue, the wait is contention, not intrinsic memory latency.
+        if (head.busGrantAt != kCycleNever &&
+            head.busGrantAt > head.busReqAt && cycle_ >= head.busReqAt &&
+            cycle_ < head.busGrantAt)
+            return obs::StallCause::kBusWait;
         return obs::StallCause::kMemData;
     }
     return obs::StallCause::kExec;

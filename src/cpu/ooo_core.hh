@@ -154,6 +154,12 @@ class OooCore
          *  readyAt except under authen-then-issue, where the gap is
          *  the verification wait). Stall attribution only. */
         Cycle dataReadyAt = 0;
+        /** For loads that went off-chip: the primary transfer's bus
+         *  request/grant window (kCycleNever when it never left the
+         *  chip). busGrantAt > busReqAt means the shared-bus arbiter
+         *  queued it behind other traffic. Stall attribution only. */
+        Cycle busReqAt = kCycleNever;
+        Cycle busGrantAt = kCycleNever;
         std::uint64_t result = 0;
         bool writesRd = false;
 

@@ -4,7 +4,7 @@
  *
  * File format (./acp_bench_cache.txt by default):
  *
- *   acp-cache-v4
+ *   acp-cache-v5
  *   <64-hex-digest> ipc=<g17> insts=<u> cycles=<u> reason=<u> \
  *       [<group.stat>=<u> ...] \
  *       [avg:<group.stat>=<count>:<sum>:<min>:<max> ...] \
@@ -17,9 +17,12 @@
  * ignored on load and truncated on the first store, never served.
  * (v3 -> v4: the shared-bus transaction refactor changed off-chip
  * timing — every beat now reserves the shared BusArbiter — and added
- * the bus stat group, so pre-refactor numbers are not comparable.)
- * Interval series are never
- * cached: points with statsInterval != 0 are uncacheable by design.
+ * the bus stat group, so pre-refactor numbers are not comparable.
+ * v4 -> v5: the stall taxonomy gained core.stall.bus_wait, split out
+ * of mem_data; v4 entries carry stall breakdowns that violate the
+ * new 11-cause partition, so they must not be served.)
+ * Interval series and path profiles are never cached: points with
+ * statsInterval != 0 or profileEnabled are uncacheable by design.
  */
 
 #ifndef ACP_EXP_RESULT_CACHE_HH
@@ -76,6 +79,10 @@ struct Result
     std::vector<obs::IntervalSample> intervals;
     /** Interval period in cycles (0 = no interval stats). */
     std::uint64_t intervalPeriod = 0;
+    /** Path-profiler snapshot (only when cfg.profileEnabled). */
+    obs::PathProfile profile;
+    /** True when @ref profile holds a live snapshot. */
+    bool hasProfile = false;
     /** Served from the persistent cache (not re-simulated). */
     bool fromCache = false;
     /** Wall-clock seconds of the simulation (0 when cached). */
@@ -88,7 +95,7 @@ struct Result
 class ResultCache
 {
   public:
-    static constexpr const char *kVersionHeader = "acp-cache-v4";
+    static constexpr const char *kVersionHeader = "acp-cache-v5";
 
     /**
      * Bind to @p path and load existing entries. A missing file is an

@@ -9,6 +9,7 @@
 
 #include "cpu/ooo_core.hh"
 #include "crypto/sha256.hh"
+#include "obs/path_report.hh"
 #include "sim/config_io.hh"
 #include "sim/system.hh"
 
@@ -221,6 +222,10 @@ Runner::simulate(const Point &point) const
         result.intervals = rec->samples();
         result.intervalPeriod = rec->period();
     }
+    if (point.cfg.profileEnabled) {
+        result.profile = system.pathProfile();
+        result.hasProfile = true;
+    }
     if (opts_.captureStatsText)
         result.statsText = system.dumpStats();
 
@@ -415,6 +420,10 @@ Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
                 std::fputs("}}", out);
             }
             std::fputs("\n        ]", out);
+        }
+        if (r.hasProfile) {
+            std::fputs(",\n        \"profile\": ", out);
+            obs::writePathProfileJson(out, r.profile, "        ");
         }
         std::fputs("\n      }\n    }", out);
     }

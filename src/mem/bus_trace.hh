@@ -31,6 +31,22 @@ enum class BusTxnKind
     kIoOut, // value written to an output port (addr field holds value)
 };
 
+/** Stable stat/display name of a bus transaction kind. */
+constexpr const char *
+busTxnKindName(BusTxnKind kind)
+{
+    switch (kind) {
+      case BusTxnKind::kInstrFetch:    return "instr_fetch";
+      case BusTxnKind::kDataFetch:     return "data_fetch";
+      case BusTxnKind::kWriteback:     return "writeback";
+      case BusTxnKind::kCounterFetch:  return "counter_fetch";
+      case BusTxnKind::kTreeNodeFetch: return "tree_node_fetch";
+      case BusTxnKind::kRemapFetch:    return "remap_fetch";
+      case BusTxnKind::kIoOut:         return "io_out";
+    }
+    return "?";
+}
+
 /** One observed transaction. */
 struct BusTxn
 {

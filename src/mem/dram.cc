@@ -76,6 +76,7 @@ Dram::access(Addr addr, Cycle req_cycle, unsigned bytes, bool is_write)
     latency_.sample(double(complete - req_cycle));
 
     DramResult res;
+    res.busRequest = bank_ready;
     res.busGrant = data_start;
     res.firstBeat = data_start + ratio;
     res.complete = complete;

@@ -29,6 +29,9 @@ namespace acp::mem
 /** Completion info for one DRAM access. */
 struct DramResult
 {
+    /** Cycle the transfer could first have driven the bus (bank row
+     *  cycle done); busGrant - busRequest is pure arbiter queueing. */
+    Cycle busRequest = 0;
     /** Cycle the bus arbiter granted the transfer (address visible). */
     Cycle busGrant = 0;
     /** Cycle the first beat of data is on the bus (critical word). */

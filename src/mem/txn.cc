@@ -44,6 +44,12 @@ Txn::merge(const Txn &child)
     authSeq = std::max(authSeq, child.authSeq);
     macOk = macOk && child.macOk;
     gateDelayed = gateDelayed || child.gateDelayed;
+    // First primary transfer wins (an access folds at most one line
+    // fill per line; cross-line accesses keep the first line's wait).
+    if (busGrantAt == kCycleNever) {
+        busRequestAt = child.busRequestAt;
+        busGrantAt = child.busGrantAt;
+    }
     for (const TxnStep &s : child.path)
         note(s.event, s.cycle, s.addr);
 }

@@ -121,6 +121,16 @@ struct Txn
     bool macOk = true;
     /** Whether the authen-then-fetch gate delayed the bus grant. */
     bool gateDelayed = false;
+    /**
+     * Bus queueing of the *primary* transfer (the line transfer of
+     * this transaction's own kind, not metadata traffic): the cycle
+     * it could first have driven the bus and the cycle the arbiter
+     * actually granted it. busGrantAt > busRequestAt means the grant
+     * was contended — the window the core's bus_wait stall cause
+     * charges. kCycleNever until a primary transfer happened.
+     */
+    Cycle busRequestAt = kCycleNever;
+    Cycle busGrantAt = kCycleNever;
     /** Decrypted line payload (fetches only). */
     std::array<std::uint8_t, kExtLineBytes> data{};
 

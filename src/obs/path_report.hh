@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Renderers for PathProfile snapshots: an aligned text report for the
+ * terminal (acpsim --profile) and a JSON object for files and for
+ * embedding into exp::Runner result JSON. Both render only the plain
+ * PathProfile data, so cached/merged profiles print identically to
+ * live ones.
+ */
+
+#ifndef ACP_OBS_PATH_REPORT_HH
+#define ACP_OBS_PATH_REPORT_HH
+
+#include <cstdio>
+
+#include "obs/path_profiler.hh"
+
+namespace acp::obs
+{
+
+/** Append the human-readable profile report to @p out. */
+void writePathProfileText(std::FILE *out, const PathProfile &profile);
+
+/**
+ * Write the profile as one JSON object (no trailing newline). Every
+ * line after the first is prefixed with @p indent so the object can
+ * be embedded at any nesting depth.
+ */
+void writePathProfileJson(std::FILE *out, const PathProfile &profile,
+                          const char *indent);
+
+} // namespace acp::obs
+
+#endif // ACP_OBS_PATH_REPORT_HH

@@ -34,6 +34,11 @@ enum class StallCause : unsigned
     kSbFull,
     /** Head load in flight to the cache hierarchy / memory. */
     kMemData,
+    /** Head load's off-chip transfer sat in the shared-bus queue: the
+     *  arbiter had granted the bus to another transaction. Split out
+     *  of kMemData so bus contention is visible next to the
+     *  authentication costs. */
+    kBusWait,
     /** RUU empty; instruction fetch waiting on the hierarchy. */
     kMemFetch,
     /** RUU empty; fetch bus grant held by the authen-then-fetch gate. */
@@ -64,6 +69,7 @@ stallCauseName(StallCause c)
       case StallCause::kAuthIssue:  return "auth_issue";
       case StallCause::kSbFull:     return "sb_full";
       case StallCause::kMemData:    return "mem_data";
+      case StallCause::kBusWait:    return "bus_wait";
       case StallCause::kMemFetch:   return "mem_fetch";
       case StallCause::kFetchGate:  return "fetch_gate";
       case StallCause::kExec:       return "exec";

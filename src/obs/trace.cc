@@ -76,6 +76,13 @@ TraceBuffer::dumpText(std::FILE *out) const
                          (unsigned long long)ev.b,
                          (unsigned long long)ev.c);
             break;
+          case TraceEventKind::kTxnStep:
+            std::fprintf(out, " txn=%llu event=%llu kind=%llu addr=0x%llx",
+                         (unsigned long long)ev.a,
+                         (unsigned long long)(ev.b & 0xff),
+                         (unsigned long long)(ev.b >> 8),
+                         (unsigned long long)ev.c);
+            break;
         }
         std::fputc('\n', out);
     });

@@ -43,6 +43,8 @@ enum TraceCat : std::uint32_t
     kCatGate = 1u << 2,
     /** Front-side bus grants (one per DRAM transfer, any kind). */
     kCatBus = 1u << 3,
+    /** Per-transaction path timelines (one event per TxnStep). */
+    kCatPath = 1u << 4,
 
     kCatAll = 0xffffffffu,
 };
@@ -62,6 +64,7 @@ enum class TraceEventKind : std::uint8_t
     kFetchGateBegin,// a=stall id, b=gate tag, c=line addr
     kFetchGateEnd,  // a=stall id, b=gate tag, c=line addr
     kBusGrant,      // a=txn id, b=line addr, c=bus txn kind (cycle=grant)
+    kTxnStep,       // a=txn id, b=path event | bus txn kind << 8, c=addr
 };
 
 /** One recorded event. */
@@ -101,6 +104,8 @@ traceKindCat(TraceEventKind k)
         return kCatGate;
       case TraceEventKind::kBusGrant:
         return kCatBus;
+      case TraceEventKind::kTxnStep:
+        return kCatPath;
     }
     return kCatPipeline;
 }
@@ -121,6 +126,7 @@ traceKindName(TraceEventKind k)
       case TraceEventKind::kFetchGateBegin: return "fetch_gate.begin";
       case TraceEventKind::kFetchGateEnd:   return "fetch_gate.end";
       case TraceEventKind::kBusGrant:       return "bus.grant";
+      case TraceEventKind::kTxnStep:        return "txn.step";
     }
     return "?";
 }

@@ -2,6 +2,9 @@
 
 #include <cinttypes>
 
+#include "mem/txn.hh"
+#include "obs/path_profiler.hh"
+
 namespace acp::obs
 {
 
@@ -52,6 +55,14 @@ writeChromeTrace(const TraceBuffer &buf, std::FILE *out)
     std::fputs(",\n    {\"ph\":\"M\",\"pid\":0,\"tid\":1,"
                "\"name\":\"thread_name\",\"args\":{\"name\":\"secmem\"}}",
                out);
+
+    // Txn timelines arrive as contiguous runs of kTxnStep events (the
+    // controller mirrors the whole path at retire). Consecutive steps
+    // of the same transaction become sequential async spans named by
+    // the segment the delta is charged to; Perfetto groups the spans
+    // of one transaction into a track keyed by (cat "txn", id).
+    std::uint64_t txn_last_id = ~std::uint64_t(0);
+    Cycle txn_last_cycle = 0;
 
     buf.forEach([&](const TraceEvent &ev) {
         switch (ev.kind) {
@@ -108,6 +119,20 @@ writeChromeTrace(const TraceBuffer &buf, std::FILE *out)
             emitEvent(out, first, "i", "bus", "bus.grant", ev.cycle, 0,
                       false, "\"txn\":%llu,\"line\":%llu", ev.a, ev.b);
             break;
+          case TraceEventKind::kTxnStep: {
+            auto event = mem::PathEvent(ev.b & 0xff);
+            if (ev.a == txn_last_id && ev.cycle > txn_last_cycle) {
+                const char *seg = pathSegmentName(segmentOfEvent(event));
+                emitEvent(out, first, "b", "txn", seg, txn_last_cycle,
+                          ev.a, true, "\"kind\":%llu,\"addr\":%llu",
+                          ev.b >> 8, ev.c);
+                emitEvent(out, first, "e", "txn", seg, ev.cycle, ev.a,
+                          true);
+            }
+            txn_last_id = ev.a;
+            txn_last_cycle = ev.cycle;
+            break;
+          }
         }
     });
 

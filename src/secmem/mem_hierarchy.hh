@@ -75,6 +75,9 @@ class MemHierarchy
     /** Attach (or detach) a passive event trace sink. */
     void setTrace(obs::TraceBuffer *trace) { ctrl_.setTrace(trace); }
 
+    /** Attach (or detach) a passive transaction-path profiler. */
+    void setProfiler(obs::PathProfiler *p) { ctrl_.setProfiler(p); }
+
   private:
     /** Clamp to the simulated address space, counting faults. */
     Addr translate(Addr addr);

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/auth_policy.hh"
+#include "obs/path_profiler.hh"
 
 namespace acp::secmem
 {
@@ -52,6 +53,13 @@ SecureMemCtrl::dramAccess(Addr addr, Cycle cycle, unsigned bytes,
                           mem::Txn &txn)
 {
     mem::DramResult res = dram_.access(addr, cycle, bytes, is_write);
+    // Latch the bus-queueing window of the transaction's *primary*
+    // transfer (its own line, not metadata); first transfer wins so
+    // cross-line merges keep the first line's wait.
+    if (kind == txn.kind && txn.busGrantAt == kCycleNever) {
+        txn.busRequestAt = res.busRequest;
+        txn.busGrantAt = res.busGrant;
+    }
     // Adversary model: the address is exposed when the request enters
     // the off-chip queue (conservative — an attacker on the DIMM
     // interface sees it before the bank/bus grant it waits for). The
@@ -64,6 +72,25 @@ SecureMemCtrl::dramAccess(Addr addr, Cycle cycle, unsigned bytes,
               txn.id, addr / kExtLineBytes,
               std::uint64_t(static_cast<unsigned>(kind)));
     return res.complete;
+}
+
+void
+SecureMemCtrl::retire(const mem::Txn &txn)
+{
+    if (profiler_)
+        profiler_->record(txn);
+    // Mirror the timeline into the event trace as one contiguous run
+    // of kTxnStep events; the Chrome sink turns each run into an
+    // async per-transaction track of segment spans.
+    if (obsTrace_ && obsTrace_->wants(obs::kCatPath)) {
+        std::uint64_t kind_bits =
+            std::uint64_t(static_cast<unsigned>(txn.kind)) << 8;
+        for (const mem::TxnStep &s : txn.path)
+            obsTrace_->record(
+                obs::TraceEventKind::kTxnStep, s.cycle, txn.id,
+                std::uint64_t(static_cast<unsigned>(s.event)) | kind_bits,
+                s.addr);
+    }
 }
 
 Cycle
@@ -155,6 +182,7 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
             txn.verifyDone = kCycleNever;
             txn.authSeq = kNoAuthSeq;
             txn.data.fill(0);
+            retire(txn);
             return txn;
         }
         Cycle gate_done = engine_.doneCycle(tag);
@@ -271,6 +299,7 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         txn.ready = kCycleNever;
 
     inflight_.push_back(txn.dataReady);
+    retire(txn);
     return txn;
 }
 
@@ -333,6 +362,7 @@ SecureMemCtrl::writebackLine(Addr line_addr, const std::uint8_t *data,
     txn.ready = complete;
     txn.dataReady = complete;
     txn.verifyDone = complete;
+    retire(txn);
     return txn;
 }
 

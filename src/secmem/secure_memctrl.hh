@@ -50,6 +50,11 @@
 #include "secmem/remap.hh"
 #include "sim/config.hh"
 
+namespace acp::obs
+{
+class PathProfiler;
+} // namespace acp::obs
+
 namespace acp::secmem
 {
 
@@ -98,6 +103,10 @@ class SecureMemCtrl
 
     /** Attach (or detach with nullptr) a passive event trace sink. */
     void setTrace(obs::TraceBuffer *trace) { obsTrace_ = trace; }
+
+    /** Attach (or detach with nullptr) a passive path-profiler sink:
+     *  every retired (non-warm) transaction is handed to it. */
+    void setProfiler(obs::PathProfiler *profiler) { profiler_ = profiler; }
 
     StatGroup &stats() { return stats_; }
 
@@ -151,6 +160,8 @@ class SecureMemCtrl
     /** One bus/bank transfer, charged to @p txn (trace at grant). */
     Cycle dramAccess(Addr addr, Cycle cycle, unsigned bytes, bool is_write,
                      mem::BusTxnKind kind, mem::Txn &txn);
+    /** Hand a completed transaction to the profiler / path trace. */
+    void retire(const mem::Txn &txn);
 
     const sim::SimConfig &cfg_;
     ExternalMemory ext_;
@@ -166,6 +177,7 @@ class SecureMemCtrl
     bool fetchGateDrain_ = false;
     unsigned lineTransferBytes_;
     obs::TraceBuffer *obsTrace_ = nullptr;
+    obs::PathProfiler *profiler_ = nullptr;
     /** Pairs fetch-gate begin/end span events (trace-only id). */
     std::uint64_t gateStallId_ = 0;
     /** Controller-assigned transaction ids (deterministic). */

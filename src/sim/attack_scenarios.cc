@@ -23,6 +23,10 @@ scenarioCfg(core::AuthPolicy policy)
     cfg.policy = policy;
     cfg.memoryBytes = 64ULL << 20;
     cfg.protectedBytes = cfg.memoryBytes;
+    // Every scenario runs with the path profiler attached, so results
+    // carry the machine-checked leak audit next to the per-exploit
+    // predicate verdict (and the System enables the bus trace).
+    cfg.profileEnabled = true;
     return cfg;
 }
 
@@ -72,6 +76,7 @@ finish(System &system, ScenarioResult result,
     result.leaked = report.leaked;
     result.firstLeakCycle = report.firstLeakCycle;
     result.leakCount = report.matchCount;
+    result.audit = system.pathProfile().audit;
     return result;
 }
 

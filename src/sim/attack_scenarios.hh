@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "core/auth_policy.hh"
+#include "obs/path_profiler.hh"
 
 namespace acp::sim
 {
@@ -52,6 +53,13 @@ struct ScenarioResult
     std::uint64_t taintedCommits = 0;
     std::uint64_t taintedStoreDrains = 0;
     Cycle cyclesRun = 0;
+    /**
+     * Path-profiler leak audit of the same run: the machine-checked
+     * generalisation of @ref leaked (no per-exploit predicate — any
+     * novel demand-fetch address first exposed while unverified
+     * tampered data was usable counts).
+     */
+    obs::LeakAudit audit;
 };
 
 /** Stage @p exploit under @p policy on a fresh system. */

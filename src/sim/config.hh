@@ -172,6 +172,9 @@ struct SimConfig
     std::uint32_t traceMask = 0;
     /** Interval-statistics period in cycles (0 = disabled). */
     std::uint64_t statsInterval = 0;
+    /** Transaction path profiler (PathProfiler sink + leak audit);
+     *  passive like tracing, so also digest-excluded. */
+    bool profileEnabled = false;
 
     /** Convenience: apply the paper's 1MB L2 configuration. */
     void

@@ -11,13 +11,14 @@ namespace acp::sim
 // field. Add it to serializeConfig() below (new fields invalidate
 // every cached experiment result, which is exactly the point) and
 // update the expected size. Exception: the observability fields
-// (traceMask, statsInterval) are deliberately NOT serialized —
-// tracing and interval stats are strictly passive, so a traced run
-// is bit-identical to (and shares its cached result with) the
-// untraced one. Runs with observability enabled are made uncacheable
-// at the exp::Point level instead.
+// (traceMask, statsInterval, profileEnabled) are deliberately NOT
+// serialized — tracing, interval stats and path profiling are
+// strictly passive, so an observed run is bit-identical to (and
+// shares its cached result with) the unobserved one. Runs with
+// observability enabled are made uncacheable at the exp::Point level
+// instead.
 #if defined(__x86_64__) && defined(__linux__)
-static_assert(sizeof(SimConfig) == 368,
+static_assert(sizeof(SimConfig) == 376,
               "SimConfig layout changed: update serializeConfig() in "
               "config_io.cc, then the expected size here");
 #endif

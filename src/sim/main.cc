@@ -27,6 +27,7 @@
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
 #include "obs/interval.hh"
+#include "obs/path_report.hh"
 #include "obs/trace.hh"
 #include "obs/trace_json.hh"
 #include "sim/system.hh"
@@ -73,6 +74,12 @@ usage()
         "  --stats       dump all component statistics\n"
         "  --stats-interval N  record IPC + stall breakdown every N\n"
         "                cycles; prints a table and lands in --json\n"
+        "  --profile[=FILE]  transaction path profiler: per-kind\n"
+        "                latency-segment tables, path-shape census,\n"
+        "                slowest transactions, stall join and leak\n"
+        "                audit; prints a report per point, lands in\n"
+        "                --json, and with =FILE also writes a\n"
+        "                standalone profile JSON\n"
         "  --trace FILE  write a Chrome trace-event JSON of the timed\n"
         "                window (Perfetto-loadable; single-point only)\n"
         "  --trace-commits N  print a commit trace of the first N\n"
@@ -188,6 +195,8 @@ main(int argc, char **argv)
     bool cosim = false;
     std::uint64_t trace_commits = 0;
     std::string trace_file;
+    bool profile = false;
+    std::string profile_file;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -240,6 +249,12 @@ main(int argc, char **argv)
             trace_commits = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--stats-interval") {
             cfg.statsInterval = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--profile" ||
+                   arg.rfind("--profile=", 0) == 0) {
+            profile = true;
+            cfg.profileEnabled = true;
+            if (arg.size() > std::strlen("--profile="))
+                profile_file = arg.substr(std::strlen("--profile="));
         } else {
             usage();
             acp_fatal("unknown option '%s'", arg.c_str());
@@ -339,6 +354,47 @@ main(int argc, char **argv)
                             points[i].workload.c_str(),
                             core::policyName(points[i].cfg.policy),
                             results[i].statsText.c_str());
+    }
+
+    if (profile) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!results[i].hasProfile)
+                continue;
+            if (points.size() > 1)
+                std::printf("\n===== %s / %s =====\n",
+                            points[i].workload.c_str(),
+                            core::policyName(points[i].cfg.policy));
+            else
+                std::printf("\n");
+            obs::writePathProfileText(stdout, results[i].profile);
+        }
+        if (!profile_file.empty()) {
+            std::FILE *f = std::fopen(profile_file.c_str(), "w");
+            if (!f)
+                acp_fatal("cannot write %s", profile_file.c_str());
+            std::fputs("{\n  \"version\": \"acp-profile-v1\",\n"
+                       "  \"points\": [",
+                       f);
+            bool first = true;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (!results[i].hasProfile)
+                    continue;
+                std::fprintf(f,
+                             "%s\n    {\n      \"workload\": \"%s\",\n"
+                             "      \"policy\": \"%s\",\n"
+                             "      \"profile\": ",
+                             first ? "" : ",",
+                             points[i].workload.c_str(),
+                             core::policyName(points[i].cfg.policy));
+                obs::writePathProfileJson(f, results[i].profile,
+                                          "      ");
+                std::fputs("\n    }", f);
+                first = false;
+            }
+            std::fputs("\n  ]\n}\n", f);
+            std::fclose(f);
+            std::fprintf(stderr, "wrote %s\n", profile_file.c_str());
+        }
     }
 
     if (!json_file.empty()) {

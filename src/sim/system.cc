@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "common/logging.hh"
+#include "core/auth_policy.hh"
 #include "isa/opcodes.hh"
 
 namespace acp::sim
@@ -23,6 +24,12 @@ System::System(const SimConfig &cfg, isa::Program prog)
     if (cfg_.statsInterval != 0)
         recorder_ = std::make_unique<obs::IntervalRecorder>(
             cfg_.statsInterval);
+    if (cfg_.profileEnabled) {
+        profiler_ = std::make_unique<obs::PathProfiler>();
+        hier_.setProfiler(profiler_.get());
+        // The leak audit reads the adversary-visible address stream.
+        hier_.ctrl().busTrace().enable(true);
+    }
 }
 
 std::uint64_t
@@ -87,6 +94,19 @@ System::measureTimed(std::uint64_t max_insts, std::uint64_t max_cycles)
     // cycle counts sum to the window length.
     timed_core.flushIntervals();
     return res;
+}
+
+obs::PathProfile
+System::pathProfile()
+{
+    if (!profiler_)
+        acp_fatal("pathProfile() requires cfg.profileEnabled");
+    obs::StallArray stalls{};
+    if (core_)
+        stalls = core_->stallCycles();
+    return profiler_->finalize(&hier_.ctrl().busTrace(),
+                               core_ ? &stalls : nullptr,
+                               core::policyName(cfg_.policy));
 }
 
 void

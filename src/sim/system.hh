@@ -25,6 +25,7 @@
 #include "cpu/ooo_core.hh"
 #include "isa/program.hh"
 #include "obs/interval.hh"
+#include "obs/path_profiler.hh"
 #include "obs/trace.hh"
 #include "secmem/mem_hierarchy.hh"
 #include "sim/config.hh"
@@ -80,6 +81,14 @@ class System
     /** Interval recorder (nullptr unless cfg.statsInterval != 0). */
     obs::IntervalRecorder *intervalRecorder() { return recorder_.get(); }
 
+    /** Path profiler (nullptr unless cfg.profileEnabled). */
+    obs::PathProfiler *pathProfiler() { return profiler_.get(); }
+
+    /** Finalized profile snapshot: leak audit over the live bus trace
+     *  plus the core's stall counters (if a timed core ran). Call only
+     *  when profiling is enabled. */
+    obs::PathProfile pathProfile();
+
   private:
     /** Visit every live component's stat group in dump order. */
     void forEachComponent(const std::function<void(StatGroup &)> &fn);
@@ -92,9 +101,10 @@ class System
     std::unique_ptr<cpu::OooCore> core_;
     bool cosim_ = false;
 
-    // Observability (passive; both optional)
+    // Observability (passive; all optional)
     std::unique_ptr<obs::TraceBuffer> trace_;
     std::unique_ptr<obs::IntervalRecorder> recorder_;
+    std::unique_ptr<obs::PathProfiler> profiler_;
 };
 
 } // namespace acp::sim

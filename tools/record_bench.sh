@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Record the performance-trajectory baseline: build, then run the
+# profiled fig7 workload x policy sweep (bench/baseline_ipc) and write
+# BENCH_baseline.json at the repo root.
+#
+# The committed BENCH_baseline.json is the reference point future
+# changes diff against - IPC per (workload, policy) plus the per-
+# segment demand-path means that say where the cycles went. Update
+# procedure after an intentional performance change:
+#
+#   tools/record_bench.sh
+#   git add BENCH_baseline.json
+#   git commit    # alongside the change that moved the numbers
+#
+# Profiled runs are uncacheable by design, so every number here is a
+# fresh measurement (the shared acp_bench_cache.txt is neither read
+# nor written). Honors ACP_JOBS and the usual scale knobs
+# (REPRO_MEASURE_INSTS, REPRO_WARMUP_INSTS, REPRO_WS_BYTES); the
+# committed baseline must be recorded at the default scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${ACP_JOBS:-$(nproc)}"
+export ACP_JOBS="$JOBS"
+
+GENERATOR=()
+if command -v ninja > /dev/null 2>&1; then
+    GENERATOR=(-G Ninja)
+fi
+
+cmake -B build "${GENERATOR[@]}"
+cmake --build build -j "$JOBS" --target baseline_ipc
+
+build/bench/baseline_ipc BENCH_baseline.json
+
+echo "recorded BENCH_baseline.json (jobs=$JOBS)"

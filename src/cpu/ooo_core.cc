@@ -28,11 +28,14 @@ stopReasonName(StopReason reason)
     return "?";
 }
 
+/** Cycles without a commit before the no-progress panic fires. */
+constexpr Cycle kProgressPanicCycles = 1000000;
+
 OooCore::OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
                  Addr entry)
-    : cfg_(cfg), hier_(hier), bpred_(cfg), regs_(32, 0),
-      regTainted_(32, false), fetchPc_(entry), ruu_(cfg.ruuSize),
-      renameMap_(32, -1), stats_("core")
+    : sim::Component("core"), cfg_(cfg), hier_(hier), bpred_(cfg),
+      regs_(32, 0), regTainted_(32, false), fetchPc_(entry),
+      ruu_(cfg.ruuSize), renameMap_(32, -1), stats_("core")
 {
     stats_.addCounter("committed", &committed_);
     stats_.addCounter("fetched", &fetched_);
@@ -65,7 +68,12 @@ OooCore::~OooCore() = default;
 unsigned
 OooCore::ruuIndex(unsigned pos) const
 {
-    return (ruuHead_ + pos) % cfg_.ruuSize;
+    // pos <= ruuCount_ <= ruuSize and ruuHead_ < ruuSize, so one
+    // conditional subtract replaces the modulo on this hot path.
+    unsigned idx = ruuHead_ + pos;
+    if (idx >= cfg_.ruuSize)
+        idx -= cfg_.ruuSize;
+    return idx;
 }
 
 OooCore::RuuEntry &
@@ -265,6 +273,7 @@ OooCore::stageComplete()
         if (!entry.issued || entry.completed || entry.readyAt > cycle_)
             continue;
         entry.completed = true;
+        progress_ = true;
 
         if (!entry.isControl)
             continue;
@@ -391,6 +400,7 @@ OooCore::stageCommit()
             ++taintedCommits_;
         ACP_TRACE(trace_, obs::TraceEventKind::kCommit, cycle_, entry.pc,
                   entry.seq);
+        progress_ = true;
         ++committed_;
         ++commitsThisCycle_;
         lastCommitCycle_ = cycle_;
@@ -402,7 +412,8 @@ OooCore::stageCommit()
             --lsqUsed_;
         bool halt = entry.isHalt;
         entry.valid = false;
-        ruuHead_ = (ruuHead_ + 1) % cfg_.ruuSize;
+        if (++ruuHead_ >= cfg_.ruuSize)
+            ruuHead_ = 0;
         --ruuCount_;
 
         if (halt) {
@@ -420,8 +431,10 @@ OooCore::stageStoreBufferDrain()
     StoreBufEntry &sb = storeBuffer_.front();
     if (gatesWrite(cfg_.policy) && !verifiedOk(sb.tag)) {
         ++storeReleaseStalls_;
+        drainBlocked_ = true;
         return;
     }
+    progress_ = true;
     if (sb.tainted)
         ++taintedStoreDrains_;
     if (sb.isOut) {
@@ -522,6 +535,7 @@ OooCore::stageIssue()
         }
 
         entry.issued = true;
+        progress_ = true;
         ACP_TRACE(trace_, obs::TraceEventKind::kIssue, cycle_, entry.pc,
                   entry.seq);
         ++issued_;
@@ -536,6 +550,7 @@ OooCore::stageDispatch()
          ++done) {
         if (ruuCount_ >= cfg_.ruuSize) {
             ++ruuFullStalls_;
+            dispatchBlock_ = DispatchBlock::kRuuFull;
             break;
         }
         FetchedInst &fetched_inst = fetchQueue_.front();
@@ -543,10 +558,11 @@ OooCore::stageDispatch()
         bool is_mem = oi.isLoad || oi.isStore;
         if (is_mem && lsqUsed_ >= cfg_.lsqSize) {
             ++lsqFullStalls_;
+            dispatchBlock_ = DispatchBlock::kLsqFull;
             break;
         }
 
-        unsigned slot = (ruuHead_ + ruuCount_) % cfg_.ruuSize;
+        unsigned slot = ruuIndex(ruuCount_);
         RuuEntry &entry = ruu_[slot];
         entry = RuuEntry{};
         entry.valid = true;
@@ -585,6 +601,7 @@ OooCore::stageDispatch()
             renameMap_[entry.inst.destReg()] = int(slot);
 
         ++ruuCount_;
+        progress_ = true;
         if (is_mem)
             ++lsqUsed_;
         fetchQueue_.pop_front();
@@ -602,6 +619,9 @@ OooCore::stageFetch()
     const Addr line_mask = cfg_.l1i.lineBytes - 1;
 
     while (budget > 0 && fetchQueue_.size() < queue_cap) {
+        // Even a stalling probe mutates the hierarchy (caches, MSHRs,
+        // bus, engine): every loop entry is progress.
+        progress_ = true;
         AuthSeq gate = gatesFetch(cfg_.policy)
                            ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
                            : kNoAuthSeq;
@@ -696,10 +716,15 @@ void
 OooCore::accountCycle()
 {
     ++statCycles_;
-    if (commitsThisCycle_ > 0)
+    if (commitsThisCycle_ > 0) {
         ++commitActiveCycles_;
-    else
-        ++stallCounters_[unsigned(classifyStall())];
+    } else {
+        // Latch the cause: if this tick turns out idle, the skipped
+        // window replays it (classification is constant between wake
+        // boundaries — every branch cycle-compare is in the wake set).
+        idleCause_ = classifyStall();
+        ++stallCounters_[unsigned(idleCause_)];
+    }
     ruuOccupancy_.sample(ruuCount_);
     sbOccupancy_.sample(storeBuffer_.size());
     if (recorder_)
@@ -730,6 +755,9 @@ OooCore::tick()
     if (checkEngineFailure())
         return false;
 
+    progress_ = false;
+    drainBlocked_ = false;
+    dispatchBlock_ = DispatchBlock::kNone;
     stageComplete();
     commitsThisCycle_ = 0;
     commitBlock_ = CommitBlock::kNone;
@@ -748,25 +776,205 @@ OooCore::tick()
     stageFetch();
     ++cycle_;
 
-    if (cycle_ - lastCommitCycle_ > 1000000)
+    if (cycle_ - lastCommitCycle_ > kProgressPanicCycles)
         acp_panic("no commit progress for 1M cycles (pc 0x%llx)",
                   (unsigned long long)fetchPc_);
     return true;
 }
 
-StopReason
-OooCore::run(std::uint64_t max_insts, std::uint64_t max_cycles)
+void
+OooCore::beginRun(std::uint64_t max_insts, std::uint64_t max_cycles)
 {
-    std::uint64_t inst_limit = instsCommitted() + max_insts;
-    Cycle cycle_limit = cycle_ + max_cycles;
+    runInstLimit_ = instsCommitted() + max_insts;
+    runCycleLimit_ = cycle_ + max_cycles;
+    runLimitHit_ = StopReason::kRunning;
+}
+
+StopReason
+OooCore::runReason() const
+{
+    // Limits end the window without setting stopReason_ — the core
+    // stays kRunning and a later window can continue.
+    return runLimitHit_ != StopReason::kRunning ? runLimitHit_
+                                                : stopReason_;
+}
+
+StopReason
+OooCore::runPolled()
+{
     while (stopReason_ == StopReason::kRunning) {
-        if (instsCommitted() >= inst_limit)
-            return StopReason::kInstLimit;
-        if (cycle_ >= cycle_limit)
-            return StopReason::kCycleLimit;
+        if (instsCommitted() >= runInstLimit_) {
+            runLimitHit_ = StopReason::kInstLimit;
+            break;
+        }
+        if (cycle_ >= runCycleLimit_) {
+            runLimitHit_ = StopReason::kCycleLimit;
+            break;
+        }
         tick();
     }
-    return stopReason_;
+    return runReason();
+}
+
+Cycle
+OooCore::nextWakeCycle() const
+{
+    // Only boundaries at or after cycle_ count: a compare whose cycle
+    // has already passed is settled and cannot flip again while the
+    // machine is frozen, so skipping past it is exactly what the
+    // polled loop does. A boundary at exactly cycle_ yields wake ==
+    // cycle_, i.e. "the very next tick is not idle — do not skip".
+    Cycle wake = kCycleNever;
+    auto consider = [&wake, this](Cycle c) {
+        if (c >= cycle_ && c < wake)
+            wake = c;
+    };
+
+    // The no-progress panic bounds every idle window: the tick at
+    // lastCommitCycle_ + 1M must really run so the panic fires on the
+    // same cycle as under the polled loop.
+    consider(lastCommitCycle_ + kProgressPanicCycles);
+
+    const secmem::AuthEngine &eng =
+        const_cast<secmem::MemHierarchy &>(hier_).ctrl().authEngine();
+
+    // Pending completions (also the head-commit / operand / issue
+    // unblock events).
+    for (unsigned pos = 0; pos < ruuCount_; ++pos) {
+        const RuuEntry &entry = ruu_[ruuIndex(pos)];
+        if (entry.issued && !entry.completed)
+            consider(entry.readyAt);
+    }
+
+    if (ruuCount_ > 0) {
+        const RuuEntry &head = ruu_[ruuIndex(0)];
+        if (head.issued && head.completed && gatesCommit(cfg_.policy)) {
+            // Commit gate: the verdict lands at the engine's done
+            // cycle (a failed tag never opens the gate, but then the
+            // engine-failure wake below ends the run).
+            AuthSeq gate = std::max(head.fetchSeq, head.dataSeq);
+            if (gate != kNoAuthSeq)
+                consider(eng.doneCycle(gate));
+        }
+        if (head.issued && !head.completed && head.isLoad) {
+            // Stall-attribution boundaries of an in-flight head load
+            // (classifyStall branches on these compares).
+            if (head.dataReadyAt != kCycleNever)
+                consider(head.dataReadyAt);
+            if (head.busReqAt != kCycleNever)
+                consider(head.busReqAt);
+            if (head.busGrantAt != kCycleNever)
+                consider(head.busGrantAt);
+        }
+    }
+
+    // Store-release gate on the buffer head.
+    if (!storeBuffer_.empty() && gatesWrite(cfg_.policy))
+        consider(eng.doneCycle(storeBuffer_.front().tag));
+
+    // Frontend restart + its attribution boundary (kMemFetch ->
+    // kAuthIssue split at data arrival). Stale values from a finished
+    // stall are in the past, which consider() filters.
+    consider(fetchStallUntil_);
+    consider(fetchDataReadyAt_);
+
+    // Unpipelined dividers (free-at == cycle_ means issuable now).
+    consider(intDivFreeAt_);
+    consider(fpDivFreeAt_);
+
+    // A posted verification failure raises the security exception the
+    // moment its verdict is due.
+    if (verifies(cfg_.policy) && eng.anyFailure())
+        consider(eng.firstFailureCycle());
+
+    // The panic bound always qualifies (cycle_ <= lastCommitCycle_ +
+    // 1M while running), so wake is never kCycleNever; the guard is
+    // belt-and-braces.
+    return wake == kCycleNever ? cycle_ : wake;
+}
+
+void
+OooCore::accountIdleCycles(std::uint64_t n)
+{
+    // Replays, for each of the n skipped cycles, exactly the counter
+    // and recorder side effects the polled loop's idle tick performs.
+    // Machine state is frozen across the window (no completion, no
+    // commit, no drain, no issue, no dispatch, no hierarchy access),
+    // so each cycle charges the same latched causes.
+    bool auth_commit = commitBlock_ == CommitBlock::kAuthGate;
+    bool sb_full = commitBlock_ == CommitBlock::kSbFull;
+    bool ruu_full = dispatchBlock_ == DispatchBlock::kRuuFull;
+    bool lsq_full = dispatchBlock_ == DispatchBlock::kLsqFull;
+
+    if (recorder_) {
+        // The recorder wants its cumulative feed once per cycle.
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (auth_commit)
+                ++authCommitStalls_;
+            else if (sb_full)
+                ++sbFullStalls_;
+            ++statCycles_;
+            ++stallCounters_[unsigned(idleCause_)];
+            ruuOccupancy_.sample(ruuCount_);
+            sbOccupancy_.sample(storeBuffer_.size());
+            recorder_->tick(cycle_ + i, committed_.value(), stallCycles());
+            if (drainBlocked_)
+                ++storeReleaseStalls_;
+            if (ruu_full)
+                ++ruuFullStalls_;
+            else if (lsq_full)
+                ++lsqFullStalls_;
+        }
+        return;
+    }
+
+    if (auth_commit)
+        authCommitStalls_ += n;
+    else if (sb_full)
+        sbFullStalls_ += n;
+    statCycles_ += n;
+    stallCounters_[unsigned(idleCause_)] += n;
+    ruuOccupancy_.sample(ruuCount_, n);
+    sbOccupancy_.sample(storeBuffer_.size(), n);
+    if (drainBlocked_)
+        storeReleaseStalls_ += n;
+    if (ruu_full)
+        ruuFullStalls_ += n;
+    else if (lsq_full)
+        lsqFullStalls_ += n;
+}
+
+Cycle
+OooCore::onWake(Cycle now)
+{
+    (void)now; // the core's clock is cycle_; now == cycle_ by contract
+    if (stopReason_ != StopReason::kRunning)
+        return kCycleNever;
+    if (instsCommitted() >= runInstLimit_) {
+        runLimitHit_ = StopReason::kInstLimit;
+        return kCycleNever;
+    }
+    if (cycle_ >= runCycleLimit_) {
+        runLimitHit_ = StopReason::kCycleLimit;
+        return kCycleNever;
+    }
+
+    tick();
+    if (stopReason_ != StopReason::kRunning)
+        return kCycleNever;
+    if (progress_)
+        return cycle_; // active: simulate the very next cycle
+
+    // Idle: nothing can change before the next wake boundary. Account
+    // the skipped window and jump.
+    Cycle wake = nextWakeCycle();
+    if (wake > runCycleLimit_)
+        wake = runCycleLimit_; // accounting stops at the limit
+    if (wake > cycle_) {
+        accountIdleCycles(wake - cycle_);
+        cycle_ = wake;
+    }
+    return cycle_;
 }
 
 void

@@ -39,6 +39,7 @@
 #include "obs/stall.hh"
 #include "obs/trace.hh"
 #include "secmem/mem_hierarchy.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 
 namespace acp::cpu
@@ -57,13 +58,13 @@ enum class StopReason
 /** Stable display name of a stop reason (shared by every sink). */
 const char *stopReasonName(StopReason reason);
 
-/** The out-of-order core. */
-class OooCore
+/** The out-of-order core: the one active component of the system. */
+class OooCore : public sim::Component
 {
   public:
     OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
             Addr entry);
-    ~OooCore();
+    ~OooCore() override;
 
     /**
      * Enable commit-time co-simulation against a functional shadow
@@ -73,14 +74,36 @@ class OooCore
      */
     void setCosimShadow(FuncExecutor *shadow) { shadow_ = shadow; }
 
-    /** Advance one cycle. Returns false once stopped. */
-    bool tick();
+    // ----- run control (System::measureTimed drives these) --------------
+    /**
+     * Arm a measurement window: run until @p max_insts commits,
+     * @p max_cycles elapse, HALT commits, or a security exception
+     * fires. The window executes either through the scheduler (seed
+     * with wakeAt(cycles()) and drain, the default) or through
+     * runPolled() (--legacy-tick); runReason() reports the outcome.
+     */
+    void beginRun(std::uint64_t max_insts, std::uint64_t max_cycles);
 
     /**
-     * Run until @p max_insts commits, @p max_cycles elapse, HALT
-     * commits, or a security exception fires.
+     * Legacy escape hatch (--legacy-tick): drive the armed window with
+     * the pre-scheduler per-cycle polled loop. Bit-identical to the
+     * scheduled run, at ~an order of magnitude more wall-clock on
+     * stall-dominated workloads.
      */
-    StopReason run(std::uint64_t max_insts, std::uint64_t max_cycles);
+    StopReason runPolled();
+
+    /** Outcome of the armed window: a limit, or why the core stopped. */
+    StopReason runReason() const;
+
+    // ----- sim::Component ------------------------------------------------
+    /**
+     * Simulate cycle @p now; on an idle outcome, batch-account the
+     * stall window analytically and jump to the next cycle anything
+     * can change (the event-driven fast path). Returns the next cycle
+     * to run, or kCycleNever once stopped / past a limit.
+     */
+    Cycle onWake(Cycle now) override;
+    void visitStats(sim::StatGroupVisitor &v) override { v.group(stats_); }
 
     // ----- results ------------------------------------------------------
     Cycle cycles() const { return cycle_; }
@@ -211,6 +234,30 @@ class OooCore
         std::uint64_t outPort = 0;
     };
 
+    // ----- the cycle ------------------------------------------------------
+    /** Advance one cycle (the legacy unit of work). Returns false once
+     *  stopped. Sets progress_ when any stage changed machine state. */
+    bool tick();
+
+    /**
+     * First cycle >= cycle_ at which any stage predicate can change
+     * while the machine is idle (the ready-set / oldest-unready index):
+     * pending completions, gate verdicts, frontend restart, divider
+     * availability, engine failures, and the no-progress panic bound.
+     * Waking at extra cycles is harmless (an idle tick is replayed);
+     * missing one would diverge from the polled loop.
+     */
+    Cycle nextWakeCycle() const;
+
+    /**
+     * Account @p n skipped idle cycles exactly as the polled loop
+     * would have: per-cycle stall/occupancy bookkeeping batched
+     * arithmetically, or walked per cycle when an interval recorder
+     * needs the per-cycle feed. Machine state is frozen across the
+     * window by construction, so this is bit-identical to ticking.
+     */
+    void accountIdleCycles(std::uint64_t n);
+
     // ----- stages ---------------------------------------------------------
     void stageComplete();
     void stageCommit();
@@ -275,6 +322,25 @@ class OooCore
     bool exceptionPrecise_ = false;
     Cycle exceptionCycle_ = 0;
     std::uint64_t lastCommitCycle_ = 0;
+
+    // Run-window bookkeeping (armed by beginRun)
+    std::uint64_t runInstLimit_ = 0;
+    Cycle runCycleLimit_ = 0;
+    /** kInstLimit/kCycleLimit when a limit ended the window; limits do
+     *  NOT set stopReason_ (the core can continue), matching the
+     *  legacy run() contract. */
+    StopReason runLimitHit_ = StopReason::kRunning;
+
+    // Idle-window detection (event-driven loop)
+    /** Did any stage change machine state this tick? */
+    bool progress_ = false;
+    /** Store-release drain blocked on its gate tag this tick. */
+    bool drainBlocked_ = false;
+    /** Which structure blocked dispatch this tick (for idle replay). */
+    enum class DispatchBlock : std::uint8_t { kNone, kRuuFull, kLsqFull };
+    DispatchBlock dispatchBlock_ = DispatchBlock::kNone;
+    /** Stall cause accountCycle charged to this zero-commit tick. */
+    obs::StallCause idleCause_ = obs::StallCause::kFrontend;
 
     // Co-simulation shadow (non-owning)
     FuncExecutor *shadow_ = nullptr;

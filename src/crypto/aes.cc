@@ -36,17 +36,18 @@ const std::uint8_t kSbox[256] = {
 };
 
 std::uint8_t kInvSbox[256];
-bool invSboxInited = false;
 
-void
-initInvSbox()
-{
-    if (invSboxInited)
-        return;
-    for (int i = 0; i < 256; ++i)
-        kInvSbox[kSbox[i]] = std::uint8_t(i);
-    invSboxInited = true;
-}
+/**
+ * Round tables: Te0[x] folds SubBytes + MixColumns for a row-0 byte
+ * into one 32-bit lookup (the other rows are byte rotations of the
+ * same table); Td0 is the InvSubBytes + InvMixColumns equivalent.
+ * Generated from the S-box at first use — the round transform is
+ * mathematically unchanged, block outputs are bit-identical to the
+ * byte-wise FIPS-197 formulation.
+ */
+std::uint32_t kTe0[256];
+std::uint32_t kTd0[256];
+bool tablesInited = false;
 
 std::uint8_t
 xtime(std::uint8_t x)
@@ -83,89 +84,72 @@ rotWord(std::uint32_t w)
     return (w << 8) | (w >> 24);
 }
 
-void
-addRoundKey(std::uint8_t state[16], const std::uint32_t *rk)
+std::uint32_t
+rotr(std::uint32_t w, int n)
 {
-    for (int c = 0; c < 4; ++c) {
-        std::uint32_t w = rk[c];
-        state[4 * c + 0] ^= std::uint8_t(w >> 24);
-        state[4 * c + 1] ^= std::uint8_t(w >> 16);
-        state[4 * c + 2] ^= std::uint8_t(w >> 8);
-        state[4 * c + 3] ^= std::uint8_t(w);
+    return (w >> n) | (w << (32 - n));
+}
+
+void
+initTables()
+{
+    if (tablesInited)
+        return;
+    for (int i = 0; i < 256; ++i)
+        kInvSbox[kSbox[i]] = std::uint8_t(i);
+    for (int i = 0; i < 256; ++i) {
+        std::uint8_t s = kSbox[i];
+        kTe0[i] = (std::uint32_t(gmul(s, 2)) << 24) |
+                  (std::uint32_t(s) << 16) | (std::uint32_t(s) << 8) |
+                  std::uint32_t(gmul(s, 3));
+        std::uint8_t t = kInvSbox[i];
+        kTd0[i] = (std::uint32_t(gmul(t, 14)) << 24) |
+                  (std::uint32_t(gmul(t, 9)) << 16) |
+                  (std::uint32_t(gmul(t, 13)) << 8) |
+                  std::uint32_t(gmul(t, 11));
     }
+    tablesInited = true;
+}
+
+/** InvMixColumns over one column word (top byte = row 0). */
+std::uint32_t
+imcWord(std::uint32_t w)
+{
+    std::uint8_t a0 = std::uint8_t(w >> 24), a1 = std::uint8_t(w >> 16);
+    std::uint8_t a2 = std::uint8_t(w >> 8), a3 = std::uint8_t(w);
+    std::uint8_t o0 =
+        std::uint8_t(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
+    std::uint8_t o1 =
+        std::uint8_t(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
+    std::uint8_t o2 =
+        std::uint8_t(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
+    std::uint8_t o3 =
+        std::uint8_t(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
+    return (std::uint32_t(o0) << 24) | (std::uint32_t(o1) << 16) |
+           (std::uint32_t(o2) << 8) | std::uint32_t(o3);
+}
+
+std::uint32_t
+load32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
 }
 
 void
-subBytes(std::uint8_t state[16])
+store32(std::uint8_t *p, std::uint32_t w)
 {
-    for (int i = 0; i < 16; ++i)
-        state[i] = kSbox[state[i]];
-}
-
-void
-invSubBytes(std::uint8_t state[16])
-{
-    for (int i = 0; i < 16; ++i)
-        state[i] = kInvSbox[state[i]];
-}
-
-void
-shiftRows(std::uint8_t s[16])
-{
-    std::uint8_t t[16];
-    // Row r of the state is bytes s[r], s[r+4], s[r+8], s[r+12];
-    // row r rotates left by r.
-    for (int r = 0; r < 4; ++r)
-        for (int c = 0; c < 4; ++c)
-            t[r + 4 * c] = s[r + 4 * ((c + r) & 3)];
-    std::memcpy(s, t, 16);
-}
-
-void
-invShiftRows(std::uint8_t s[16])
-{
-    std::uint8_t t[16];
-    for (int r = 0; r < 4; ++r)
-        for (int c = 0; c < 4; ++c)
-            t[r + 4 * ((c + r) & 3)] = s[r + 4 * c];
-    std::memcpy(s, t, 16);
-}
-
-void
-mixColumns(std::uint8_t s[16])
-{
-    for (int c = 0; c < 4; ++c) {
-        std::uint8_t *col = s + 4 * c;
-        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        col[0] = std::uint8_t(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
-        col[1] = std::uint8_t(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
-        col[2] = std::uint8_t(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
-        col[3] = std::uint8_t(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
-    }
-}
-
-void
-invMixColumns(std::uint8_t s[16])
-{
-    for (int c = 0; c < 4; ++c) {
-        std::uint8_t *col = s + 4 * c;
-        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        col[0] = std::uint8_t(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
-                              gmul(a3, 9));
-        col[1] = std::uint8_t(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
-                              gmul(a3, 13));
-        col[2] = std::uint8_t(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
-                              gmul(a3, 11));
-        col[3] = std::uint8_t(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
-                              gmul(a3, 14));
-    }
+    p[0] = std::uint8_t(w >> 24);
+    p[1] = std::uint8_t(w >> 16);
+    p[2] = std::uint8_t(w >> 8);
+    p[3] = std::uint8_t(w);
 }
 
 } // namespace
 
 Aes::Aes(const std::uint8_t *key, std::size_t key_bytes)
 {
-    initInvSbox();
+    initTables();
 
     unsigned nk; // key length in 32-bit words
     switch (key_bytes) {
@@ -207,46 +191,130 @@ Aes::Aes(const std::uint8_t *key, std::size_t key_bytes)
         }
         roundKeys_[i] = roundKeys_[i - nk] ^ temp;
     }
+
+    // Equivalent inverse cipher: reverse the round-key order and fold
+    // InvMixColumns into every inner round key, so decryption runs the
+    // same Td-table round shape as encryption runs with Te.
+    for (unsigned j = 0; j < 4; ++j) {
+        decKeys_[j] = roundKeys_[4 * rounds_ + j];
+        decKeys_[4 * rounds_ + j] = roundKeys_[j];
+    }
+    for (unsigned round = 1; round < rounds_; ++round)
+        for (unsigned j = 0; j < 4; ++j)
+            decKeys_[4 * round + j] =
+                imcWord(roundKeys_[4 * (rounds_ - round) + j]);
 }
 
 void
 Aes::encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
 {
-    std::uint8_t state[16];
-    std::memcpy(state, in, 16);
+    const std::uint32_t *rk = roundKeys_.data();
+    std::uint32_t s0 = load32(in) ^ rk[0];
+    std::uint32_t s1 = load32(in + 4) ^ rk[1];
+    std::uint32_t s2 = load32(in + 8) ^ rk[2];
+    std::uint32_t s3 = load32(in + 12) ^ rk[3];
 
-    addRoundKey(state, roundKeys_.data());
     for (unsigned round = 1; round < rounds_; ++round) {
-        subBytes(state);
-        shiftRows(state);
-        mixColumns(state);
-        addRoundKey(state, roundKeys_.data() + 4 * round);
+        rk += 4;
+        std::uint32_t t0 = kTe0[s0 >> 24] ^
+                           rotr(kTe0[(s1 >> 16) & 0xff], 8) ^
+                           rotr(kTe0[(s2 >> 8) & 0xff], 16) ^
+                           rotr(kTe0[s3 & 0xff], 24) ^ rk[0];
+        std::uint32_t t1 = kTe0[s1 >> 24] ^
+                           rotr(kTe0[(s2 >> 16) & 0xff], 8) ^
+                           rotr(kTe0[(s3 >> 8) & 0xff], 16) ^
+                           rotr(kTe0[s0 & 0xff], 24) ^ rk[1];
+        std::uint32_t t2 = kTe0[s2 >> 24] ^
+                           rotr(kTe0[(s3 >> 16) & 0xff], 8) ^
+                           rotr(kTe0[(s0 >> 8) & 0xff], 16) ^
+                           rotr(kTe0[s1 & 0xff], 24) ^ rk[2];
+        std::uint32_t t3 = kTe0[s3 >> 24] ^
+                           rotr(kTe0[(s0 >> 16) & 0xff], 8) ^
+                           rotr(kTe0[(s1 >> 8) & 0xff], 16) ^
+                           rotr(kTe0[s2 & 0xff], 24) ^ rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
-    subBytes(state);
-    shiftRows(state);
-    addRoundKey(state, roundKeys_.data() + 4 * rounds_);
 
-    std::memcpy(out, state, 16);
+    rk += 4;
+    store32(out, ((std::uint32_t(kSbox[s0 >> 24]) << 24) |
+                  (std::uint32_t(kSbox[(s1 >> 16) & 0xff]) << 16) |
+                  (std::uint32_t(kSbox[(s2 >> 8) & 0xff]) << 8) |
+                  std::uint32_t(kSbox[s3 & 0xff])) ^
+                     rk[0]);
+    store32(out + 4, ((std::uint32_t(kSbox[s1 >> 24]) << 24) |
+                      (std::uint32_t(kSbox[(s2 >> 16) & 0xff]) << 16) |
+                      (std::uint32_t(kSbox[(s3 >> 8) & 0xff]) << 8) |
+                      std::uint32_t(kSbox[s0 & 0xff])) ^
+                         rk[1]);
+    store32(out + 8, ((std::uint32_t(kSbox[s2 >> 24]) << 24) |
+                      (std::uint32_t(kSbox[(s3 >> 16) & 0xff]) << 16) |
+                      (std::uint32_t(kSbox[(s0 >> 8) & 0xff]) << 8) |
+                      std::uint32_t(kSbox[s1 & 0xff])) ^
+                         rk[2]);
+    store32(out + 12, ((std::uint32_t(kSbox[s3 >> 24]) << 24) |
+                       (std::uint32_t(kSbox[(s0 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(kSbox[(s1 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(kSbox[s2 & 0xff])) ^
+                          rk[3]);
 }
 
 void
 Aes::decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
 {
-    std::uint8_t state[16];
-    std::memcpy(state, in, 16);
+    const std::uint32_t *rk = decKeys_.data();
+    std::uint32_t s0 = load32(in) ^ rk[0];
+    std::uint32_t s1 = load32(in + 4) ^ rk[1];
+    std::uint32_t s2 = load32(in + 8) ^ rk[2];
+    std::uint32_t s3 = load32(in + 12) ^ rk[3];
 
-    addRoundKey(state, roundKeys_.data() + 4 * rounds_);
-    for (unsigned round = rounds_ - 1; round >= 1; --round) {
-        invShiftRows(state);
-        invSubBytes(state);
-        addRoundKey(state, roundKeys_.data() + 4 * round);
-        invMixColumns(state);
+    for (unsigned round = 1; round < rounds_; ++round) {
+        rk += 4;
+        std::uint32_t t0 = kTd0[s0 >> 24] ^
+                           rotr(kTd0[(s3 >> 16) & 0xff], 8) ^
+                           rotr(kTd0[(s2 >> 8) & 0xff], 16) ^
+                           rotr(kTd0[s1 & 0xff], 24) ^ rk[0];
+        std::uint32_t t1 = kTd0[s1 >> 24] ^
+                           rotr(kTd0[(s0 >> 16) & 0xff], 8) ^
+                           rotr(kTd0[(s3 >> 8) & 0xff], 16) ^
+                           rotr(kTd0[s2 & 0xff], 24) ^ rk[1];
+        std::uint32_t t2 = kTd0[s2 >> 24] ^
+                           rotr(kTd0[(s1 >> 16) & 0xff], 8) ^
+                           rotr(kTd0[(s0 >> 8) & 0xff], 16) ^
+                           rotr(kTd0[s3 & 0xff], 24) ^ rk[2];
+        std::uint32_t t3 = kTd0[s3 >> 24] ^
+                           rotr(kTd0[(s2 >> 16) & 0xff], 8) ^
+                           rotr(kTd0[(s1 >> 8) & 0xff], 16) ^
+                           rotr(kTd0[s0 & 0xff], 24) ^ rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
-    invShiftRows(state);
-    invSubBytes(state);
-    addRoundKey(state, roundKeys_.data());
 
-    std::memcpy(out, state, 16);
+    rk += 4;
+    store32(out, ((std::uint32_t(kInvSbox[s0 >> 24]) << 24) |
+                  (std::uint32_t(kInvSbox[(s3 >> 16) & 0xff]) << 16) |
+                  (std::uint32_t(kInvSbox[(s2 >> 8) & 0xff]) << 8) |
+                  std::uint32_t(kInvSbox[s1 & 0xff])) ^
+                     rk[0]);
+    store32(out + 4, ((std::uint32_t(kInvSbox[s1 >> 24]) << 24) |
+                      (std::uint32_t(kInvSbox[(s0 >> 16) & 0xff]) << 16) |
+                      (std::uint32_t(kInvSbox[(s3 >> 8) & 0xff]) << 8) |
+                      std::uint32_t(kInvSbox[s2 & 0xff])) ^
+                         rk[1]);
+    store32(out + 8, ((std::uint32_t(kInvSbox[s2 >> 24]) << 24) |
+                      (std::uint32_t(kInvSbox[(s1 >> 16) & 0xff]) << 16) |
+                      (std::uint32_t(kInvSbox[(s0 >> 8) & 0xff]) << 8) |
+                      std::uint32_t(kInvSbox[s3 & 0xff])) ^
+                         rk[2]);
+    store32(out + 12, ((std::uint32_t(kInvSbox[s3 >> 24]) << 24) |
+                       (std::uint32_t(kInvSbox[(s2 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(kInvSbox[(s1 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(kInvSbox[s0 & 0xff])) ^
+                          rk[3]);
 }
 
 } // namespace acp::crypto

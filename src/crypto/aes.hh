@@ -57,6 +57,9 @@ class Aes
     unsigned rounds_;
     /** Round keys, 4 words per round plus the initial whitening key. */
     std::array<std::uint32_t, 60> roundKeys_;
+    /** Equivalent-inverse-cipher round keys (InvMixColumns-folded),
+     *  so decryptBlock can use the same table-driven round shape. */
+    std::array<std::uint32_t, 60> decKeys_;
 };
 
 } // namespace acp::crypto

@@ -34,13 +34,20 @@ class LineMac
     compute(Addr addr, std::uint64_t counter, const std::uint8_t *plaintext,
             std::size_t line_bytes) const
     {
-        std::vector<std::uint8_t> buf(16 + line_bytes);
+        // Hot path: cache-line-sized inputs fit a stack buffer.
+        std::uint8_t stack_buf[16 + 256];
+        std::vector<std::uint8_t> heap_buf;
+        std::uint8_t *buf = stack_buf;
+        if (16 + line_bytes > sizeof(stack_buf)) {
+            heap_buf.resize(16 + line_bytes);
+            buf = heap_buf.data();
+        }
         for (int i = 0; i < 8; ++i) {
             buf[i] = std::uint8_t(addr >> (8 * i));
             buf[8 + i] = std::uint8_t(counter >> (8 * i));
         }
-        std::memcpy(buf.data() + 16, plaintext, line_bytes);
-        return hmac_.mac64(buf.data(), buf.size());
+        std::memcpy(buf + 16, plaintext, line_bytes);
+        return hmac_.mac64(buf, 16 + line_bytes);
     }
 
   private:

@@ -116,16 +116,14 @@ void
 Sha256::final(std::uint8_t digest[kSha256DigestBytes])
 {
     std::uint64_t bit_len = totalLen_ * 8;
-    std::uint8_t pad = 0x80;
-    update(&pad, 1);
-    std::uint8_t zero = 0;
-    while (bufferLen_ != 56)
-        update(&zero, 1);
-
-    std::uint8_t len_bytes[8];
+    // One padding block: 0x80, zeros to the next 56 (mod 64) boundary,
+    // then the 8-byte big-endian bit length.
+    std::uint8_t pad[72] = {0x80};
+    std::size_t pad_len =
+        (bufferLen_ < 56 ? 56 : 120) - bufferLen_; // bytes before length
     for (int i = 0; i < 8; ++i)
-        len_bytes[i] = std::uint8_t(bit_len >> (56 - 8 * i));
-    update(len_bytes, 8);
+        pad[pad_len + i] = std::uint8_t(bit_len >> (56 - 8 * i));
+    update(pad, pad_len + 8);
 
     for (int i = 0; i < 8; ++i) {
         digest[4 * i + 0] = std::uint8_t(state_[i] >> 24);

@@ -4,7 +4,7 @@ namespace acp::mem
 {
 
 BusArbiter::BusArbiter(const sim::SimConfig &cfg)
-    : cfg_(cfg), stats_("bus")
+    : sim::Component("bus"), cfg_(cfg), stats_("bus")
 {
     stats_.addCounter("grants", &grants_);
     stats_.addCounter("contended_grants", &contendedGrants_);

@@ -21,16 +21,22 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 
 namespace acp::mem
 {
 
 /** The arbiter. */
-class BusArbiter
+class BusArbiter : public sim::Component
 {
   public:
     explicit BusArbiter(const sim::SimConfig &cfg);
+
+    /** Passive latency oracle: grants are computed in reserve(). */
+    Cycle onWake(Cycle) override { return kCycleNever; }
+
+    void visitStats(sim::StatGroupVisitor &v) override { v.group(stats_); }
 
     /**
      * Reserve the bus for one transfer.

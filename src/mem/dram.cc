@@ -7,7 +7,8 @@ namespace acp::mem
 {
 
 Dram::Dram(const sim::SimConfig &cfg, BusArbiter &bus)
-    : cfg_(cfg), bus_(bus), banks_(cfg.dramBanks), stats_("dram")
+    : sim::Component("dram"), cfg_(cfg), bus_(bus), banks_(cfg.dramBanks),
+      stats_("dram")
 {
     if (!isPowerOfTwo(cfg.dramBanks) || !isPowerOfTwo(cfg.dramRowBytes))
         acp_fatal("DRAM banks and row size must be powers of two");

@@ -1,9 +1,116 @@
 #include "mem/txn.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <new>
 
 namespace acp::mem
 {
+
+// ----- timeline arena ----------------------------------------------------
+
+namespace
+{
+
+// Size classes are powers of two from 64 B to 64 KB; anything larger
+// (which a Txn timeline never reaches) falls through to operator new.
+constexpr unsigned kMinClassLog2 = 6;
+constexpr unsigned kMaxClassLog2 = 16;
+
+unsigned
+classLog2(std::size_t bytes)
+{
+    unsigned log2 = kMinClassLog2;
+    while ((std::size_t(1) << log2) < bytes)
+        ++log2;
+    return log2;
+}
+
+// Process-wide counters: blocks may be freed on a different thread
+// than they were allocated on (Result objects cross the Runner's
+// worker/main boundary), so the live count must be global.
+std::atomic<std::uint64_t> arenaAllocs{0};
+std::atomic<std::uint64_t> arenaPoolHits{0};
+std::atomic<std::uint64_t> arenaLive{0};
+
+struct ArenaPool
+{
+    std::vector<void *> free[kMaxClassLog2 + 1];
+
+    ~ArenaPool()
+    {
+        release();
+    }
+
+    void
+    release()
+    {
+        for (auto &list : free) {
+            for (void *block : list)
+                ::operator delete(block);
+            list.clear();
+        }
+    }
+};
+
+ArenaPool &
+pool()
+{
+    thread_local ArenaPool p;
+    return p;
+}
+
+} // namespace
+
+namespace detail
+{
+
+void *
+arenaAllocate(std::size_t bytes)
+{
+    arenaAllocs.fetch_add(1, std::memory_order_relaxed);
+    arenaLive.fetch_add(1, std::memory_order_relaxed);
+    if (bytes > (std::size_t(1) << kMaxClassLog2))
+        return ::operator new(bytes);
+    unsigned log2 = classLog2(bytes);
+    std::vector<void *> &list = pool().free[log2];
+    if (!list.empty()) {
+        arenaPoolHits.fetch_add(1, std::memory_order_relaxed);
+        void *block = list.back();
+        list.pop_back();
+        return block;
+    }
+    return ::operator new(std::size_t(1) << log2);
+}
+
+void
+arenaDeallocate(void *p, std::size_t bytes) noexcept
+{
+    arenaLive.fetch_sub(1, std::memory_order_relaxed);
+    if (bytes > (std::size_t(1) << kMaxClassLog2)) {
+        ::operator delete(p);
+        return;
+    }
+    pool().free[classLog2(bytes)].push_back(p);
+}
+
+} // namespace detail
+
+TxnArenaStats
+txnArenaStats()
+{
+    TxnArenaStats out;
+    out.allocs = arenaAllocs.load(std::memory_order_relaxed);
+    out.poolHits = arenaPoolHits.load(std::memory_order_relaxed);
+    out.live = arenaLive.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+txnArenaDrain()
+{
+    pool().release();
+}
 
 void
 Txn::note(PathEvent event, Cycle cycle, Addr at)

@@ -29,6 +29,7 @@
 #define ACP_MEM_TXN_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,81 @@
 
 namespace acp::mem
 {
+
+// ----- timeline arena ----------------------------------------------------
+//
+// Txn objects are created and destroyed on every timed access — the
+// hottest allocation site in the simulator. Their timeline storage is
+// drawn from a thread-local pooling arena: freed blocks are recycled
+// by power-of-two size class instead of returned to the system
+// allocator. The pool is per-thread (the exp::Runner runs points on a
+// thread pool) and frees all pooled blocks at thread exit, so the
+// sanitizer jobs see no leaks. Blocks may be freed on a different
+// thread than they were allocated on; they simply enter that thread's
+// pool.
+
+namespace detail
+{
+void *arenaAllocate(std::size_t bytes);
+void arenaDeallocate(void *p, std::size_t bytes) noexcept;
+} // namespace detail
+
+/** Arena observability (tests assert the pool never leaks). */
+struct TxnArenaStats
+{
+    /** Total block requests served (pool hits + fresh allocations). */
+    std::uint64_t allocs = 0;
+    /** Requests served by recycling a pooled block. */
+    std::uint64_t poolHits = 0;
+    /** Blocks currently handed out and not yet returned. */
+    std::uint64_t live = 0;
+};
+
+/** Snapshot of the (process-wide) arena counters. */
+TxnArenaStats txnArenaStats();
+
+/** Release every block pooled by the calling thread (also happens
+ *  automatically at thread exit). */
+void txnArenaDrain();
+
+/** Minimal allocator handle over the arena (stateless). */
+template <typename T>
+struct TxnAlloc
+{
+    using value_type = T;
+
+    TxnAlloc() noexcept = default;
+    template <typename U>
+    TxnAlloc(const TxnAlloc<U> &) noexcept
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(detail::arenaAllocate(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        detail::arenaDeallocate(p, n * sizeof(T));
+    }
+};
+
+template <typename A, typename B>
+bool
+operator==(const TxnAlloc<A> &, const TxnAlloc<B> &)
+{
+    return true;
+}
+
+template <typename A, typename B>
+bool
+operator!=(const TxnAlloc<A> &, const TxnAlloc<B> &)
+{
+    return false;
+}
 
 /** Steps an off-chip access can take through the resource model. */
 enum class PathEvent : std::uint8_t
@@ -135,7 +211,9 @@ struct Txn
     std::array<std::uint8_t, kExtLineBytes> data{};
 
     // ----- timeline ----------------------------------------------------
-    std::vector<TxnStep> path;
+    /** Arena-backed step storage (see TxnAlloc above). */
+    using Path = std::vector<TxnStep, TxnAlloc<TxnStep>>;
+    Path path;
 
     /** Record a path event, keeping the timeline sorted by cycle. */
     void note(PathEvent event, Cycle cycle, Addr at = 0);

@@ -92,7 +92,14 @@ void
 ExternalMemory::provisionLine(Addr line_addr, const std::uint8_t *plain)
 {
     line_addr = align(line_addr);
-    LineRec &rec = materialize(line_addr);
+    // A line seen for the first time is fully overwritten below, so
+    // the lazy zero-line encrypt+MAC of materialize() would be thrown
+    // away; create the record directly (same state: counter 0, cipher
+    // and MAC computed from @p plain).
+    auto it = lines_.find(line_addr);
+    if (it == lines_.end())
+        it = lines_.emplace(line_addr, LineRec{}).first;
+    LineRec &rec = it->second;
     ctr_.transcode(line_addr, rec.counter, plain, rec.cipher.data(),
                    kExtLineBytes);
     rec.mac = mac_.compute(line_addr, rec.counter, plain, kExtLineBytes);

@@ -10,7 +10,8 @@ namespace acp::secmem
 {
 
 MemHierarchy::MemHierarchy(const sim::SimConfig &cfg)
-    : cfg_(cfg), ctrl_(cfg, cfg.rngSeed), l1i_("l1i", cfg.l1i),
+    : sim::Component("hier"), cfg_(cfg), ctrl_(cfg, cfg.rngSeed),
+      l1i_("l1i", cfg.l1i),
       l1d_("l1d", cfg.l1d), l2_("l2", cfg.l2),
       itlb_("itlb", cfg.tlbEntries, cfg.tlbAssoc, cfg.pageBytes,
             cfg.tlbMissPenalty),
@@ -29,6 +30,18 @@ MemHierarchy::MemHierarchy(const sim::SimConfig &cfg)
 
     stats_.addCounter("translation_faults", &faults_);
     stats_.addCounter("cross_line_accesses", &crossLineAccesses_);
+}
+
+void
+MemHierarchy::visitStats(sim::StatGroupVisitor &v)
+{
+    v.group(stats_);
+    v.group(l1i_.stats());
+    v.group(l1d_.stats());
+    v.group(l2_.stats());
+    v.group(itlb_.stats());
+    v.group(dtlb_.stats());
+    ctrl_.visitStats(v);
 }
 
 Addr
@@ -394,11 +407,18 @@ MemHierarchy::loadProgram(const isa::Program &prog)
             std::size_t in_line =
                 std::min<std::size_t>(len - done,
                                       line_addr + kExtLineBytes - byte_addr);
-            FetchedLine cur = ctrl_.externalMemory().fetchLine(line_addr);
-            std::memcpy(cur.plain.data() + (byte_addr - line_addr),
-                        bytes + done, in_line);
-            ctrl_.externalMemory().provisionLine(line_addr,
-                                                 cur.plain.data());
+            if (in_line == kExtLineBytes) {
+                // Full line: no need to fetch-decrypt what is about to
+                // be overwritten wholesale.
+                ctrl_.externalMemory().provisionLine(line_addr,
+                                                     bytes + done);
+            } else {
+                FetchedLine cur = ctrl_.externalMemory().fetchLine(line_addr);
+                std::memcpy(cur.plain.data() + (byte_addr - line_addr),
+                            bytes + done, in_line);
+                ctrl_.externalMemory().provisionLine(line_addr,
+                                                     cur.plain.data());
+            }
             done += in_line;
         }
     };

@@ -10,7 +10,8 @@ namespace acp::secmem
 {
 
 SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
-    : cfg_(cfg), ext_(seed), bus_(cfg), dram_(cfg, bus_),
+    : sim::Component("memctrl"), cfg_(cfg), ext_(seed), bus_(cfg),
+      dram_(cfg, bus_),
       engine_(cfg.authLatency, cfg.authEngineInterval),
       counterCache_("counter_cache", cfg.counterCache), stats_("memctrl")
 {
@@ -36,6 +37,23 @@ SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
     stats_.addAverage("fill_latency", &fillLatency_);
     stats_.addDistribution("decrypt_verify_gap_hist", &decryptGapHist_);
     stats_.addDistribution("fill_latency_hist", &fillLatencyHist_);
+}
+
+void
+SecureMemCtrl::visitStats(sim::StatGroupVisitor &v)
+{
+    v.group(stats_);
+    v.group(engine_.stats());
+    bus_.visitStats(v);
+    dram_.visitStats(v);
+    v.group(counterCache_.stats());
+    v.group(ext_.stats());
+    if (tree_)
+        v.group(tree_->stats());
+    if (remap_)
+        v.group(remap_->stats());
+    if (predictor_)
+        v.group(predictor_->stats());
 }
 
 Addr

@@ -48,6 +48,7 @@
 #include "secmem/hash_tree.hh"
 #include "secmem/meta_port.hh"
 #include "secmem/remap.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 
 namespace acp::obs
@@ -59,10 +60,17 @@ namespace acp::secmem
 {
 
 /** The controller. */
-class SecureMemCtrl
+class SecureMemCtrl : public sim::Component
 {
   public:
     SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed);
+
+    /** Passive latency oracle: never wakes. */
+    Cycle onWake(Cycle) override { return kCycleNever; }
+
+    /** Own group, then engine / bus / dram / metadata sub-components
+     *  in legacy dump order. */
+    void visitStats(sim::StatGroupVisitor &v) override;
 
     /**
      * Fetch one line from external memory.

@@ -92,7 +92,7 @@ runPointerConversion(core::AuthPolicy policy, std::uint64_t seed)
     // secret with a single ciphertext XOR (CTR malleability).
     tamper64(system, victim.nullPtrAddr, victim.secretAddr);
 
-    system.core().run(~0ULL >> 1, kMaxCycles);
+    system.measureTimed(~0ULL >> 1, kMaxCycles);
 
     ScenarioResult result;
     result.policy = policy;
@@ -117,7 +117,7 @@ binarySearchProbe(core::AuthPolicy policy, std::uint64_t secret,
     // Known plaintext 0: XOR with the pivot sets the constant.
     tamper64(system, victim.constAddr, pivot);
 
-    system.core().run(~0ULL >> 1, kMaxCycles);
+    system.measureTimed(~0ULL >> 1, kMaxCycles);
 
     ScenarioResult result;
     result.policy = policy;
@@ -172,7 +172,7 @@ runDisclosingKernel(core::AuthPolicy policy, std::uint64_t seed,
                                                       victim.pageBase);
     tamperCode(system, victim.epilogueAddr, victim.epiloguePlain, kernel);
 
-    system.core().run(~0ULL >> 1, kMaxCycles);
+    system.measureTimed(~0ULL >> 1, kMaxCycles);
 
     ScenarioResult result;
     result.policy = policy;

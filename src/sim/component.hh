@@ -1,0 +1,91 @@
+/**
+ * @file
+ * First-class simulation component: the unit the sim::Scheduler wakes
+ * and the unit the statistics registry enumerates.
+ *
+ * The pre-scheduler API polled every model object every cycle
+ * (OooCore::tick() in a driver loop) and enumerated statistics through
+ * an ad-hoc std::function walk (System::forEachComponent). Both jobs
+ * now live here:
+ *
+ *  - wakeAt(cycle)  — request a wake no later than @p cycle (the
+ *    component-facing half of the scheduler contract);
+ *  - onWake(now)    — the scheduler-facing half: do this component's
+ *    work for cycle @p now and return the next cycle it wants to run,
+ *    or kCycleNever to go quiescent;
+ *  - visitStats(v)  — enumerate the component's StatGroups (and those
+ *    of sub-components it owns) in dump order.
+ *
+ * Passive latency-oracle components (the memory side of this
+ * simulator: MemHierarchy, SecureMemCtrl, BusArbiter, Dram) never ask
+ * for wakes — their timing is computed analytically at call time — but
+ * they still implement Component so the registry owns stat enumeration
+ * and so a future multi-core/queued-memory model can make them active
+ * without another API change.
+ */
+
+#ifndef ACP_SIM_COMPONENT_HH
+#define ACP_SIM_COMPONENT_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acp::sim
+{
+
+class Scheduler;
+
+/** Typed walk over a component's stat groups (cf. StatVisitor, which
+ *  walks the individual statistics inside one group). */
+class StatGroupVisitor
+{
+  public:
+    virtual ~StatGroupVisitor() = default;
+    virtual void group(StatGroup &g) = 0;
+};
+
+/** One schedulable, stat-bearing simulation component. */
+class Component
+{
+  public:
+    explicit Component(const char *name) : name_(name) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const char *componentName() const { return name_; }
+
+    /**
+     * Request a wake no later than @p cycle. Requires attachment to a
+     * Scheduler. Earlier requests win; a later request is absorbed by
+     * the already-pending earlier wake (onWake re-asks every time).
+     */
+    void wakeAt(Cycle cycle);
+
+    /**
+     * Scheduler callback: run this component's work for cycle @p now.
+     * @return the next cycle this component wants to run, or
+     *         kCycleNever to go quiescent until woken externally.
+     */
+    virtual Cycle onWake(Cycle now) = 0;
+
+    /** Enumerate this component's stat groups in dump order. */
+    virtual void visitStats(StatGroupVisitor &v) = 0;
+
+  private:
+    friend class Scheduler;
+
+    const char *name_;
+    Scheduler *sched_ = nullptr;
+    /** Tie-break for same-cycle wakes: attachment order. */
+    std::int64_t order_ = 0;
+    /** Earliest queued wake (kCycleNever = none pending). */
+    Cycle pendingWake_ = kCycleNever;
+};
+
+} // namespace acp::sim
+
+#endif // ACP_SIM_COMPONENT_HH

@@ -175,6 +175,15 @@ struct SimConfig
     /** Transaction path profiler (PathProfiler sink + leak audit);
      *  passive like tracing, so also digest-excluded. */
     bool profileEnabled = false;
+    /**
+     * Drive the timed window with the legacy per-cycle polled loop
+     * instead of the event-driven wake scheduler. The two loops are
+     * bit-identical by contract (CI diffs them), so this is a
+     * diffing/debugging back door only — and, like the observability
+     * fields, deliberately NOT part of serializeConfig()/pointDigest():
+     * both loops share one digest and one cached result.
+     */
+    bool legacyTick = false;
 
     /** Convenience: apply the paper's 1MB L2 configuration. */
     void

@@ -10,13 +10,16 @@ namespace acp::sim
 // Tripwire: if this fires you added/removed/resized a SimConfig
 // field. Add it to serializeConfig() below (new fields invalidate
 // every cached experiment result, which is exactly the point) and
-// update the expected size. Exception: the observability fields
+// update the expected size. Exceptions: the observability fields
 // (traceMask, statsInterval, profileEnabled) are deliberately NOT
 // serialized — tracing, interval stats and path profiling are
 // strictly passive, so an observed run is bit-identical to (and
 // shares its cached result with) the unobserved one. Runs with
 // observability enabled are made uncacheable at the exp::Point level
-// instead.
+// instead. legacyTick is likewise excluded: the polled and the
+// event-driven loop produce bit-identical results by contract
+// (tests/test_scheduler.cc and the CI loop-parity smoke enforce it),
+// so both loops share one digest and one cached result.
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(SimConfig) == 376,
               "SimConfig layout changed: update serializeConfig() in "

@@ -48,7 +48,7 @@ usage()
         "       acpsim --list\n\n"
         "workloads: any catalog name, comma-separated for a sweep, or\n"
         "           the groups 'int', 'fp', 'all'\n\n"
-        "options:\n"
+        "run options (simulated machine and measurement window):\n"
         "  --policy P[,P...]  baseline | issue | write | commit | fetch |\n"
         "                commit+fetch | obf        (default: baseline);\n"
         "                a comma-separated list sweeps every policy\n"
@@ -67,10 +67,15 @@ usage()
         "                layer randomness; independent of --seed so\n"
         "                data layout and simulator randomness can be\n"
         "                varied separately        (default: 12345)\n"
+        "  --legacy-tick  drive the window with the per-cycle polled\n"
+        "                loop instead of the wake scheduler; results\n"
+        "                are bit-identical, only wall-clock differs\n\n"
+        "sweep options (multi-point execution and output):\n"
         "  --jobs N      worker threads for sweeps (default: ACP_JOBS\n"
         "                env, else all cores)\n"
         "  --json FILE   write every point+result as JSON\n"
-        "  --cache       reuse/persist results in ./acp_bench_cache.txt\n"
+        "  --cache       reuse/persist results in ./acp_bench_cache.txt\n\n"
+        "observability options:\n"
         "  --stats       dump all component statistics\n"
         "  --stats-interval N  record IPC + stall breakdown every N\n"
         "                cycles; prints a table and lands in --json\n"
@@ -233,6 +238,8 @@ main(int argc, char **argv)
             params.seed = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--rng-seed") {
             cfg.rngSeed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--legacy-tick") {
+            cfg.legacyTick = true;
         } else if (arg == "--jobs") {
             jobs = unsigned(std::strtoul(next(), nullptr, 0));
         } else if (arg == "--json") {

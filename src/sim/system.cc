@@ -11,6 +11,7 @@ System::System(const SimConfig &cfg, isa::Program prog)
     : cfg_(cfg), prog_(std::move(prog)), hier_(cfg_),
       refMem_(cfg_.memoryBytes)
 {
+    sched_.attach(hier_);
     hier_.loadProgram(prog_);
     refMem_.loadProgram(prog_);
 
@@ -66,6 +67,9 @@ System::core()
             core_->setCosimShadow(refExec_.get());
         core_->setTrace(trace_.get());
         core_->setIntervalRecorder(recorder_.get());
+        // The core dumps (and, at equal cycles, wakes) ahead of the
+        // memory side, matching the legacy enumeration order.
+        sched_.attach(*core_, /*front=*/true);
     }
     return *core_;
 }
@@ -86,7 +90,14 @@ System::measureTimed(std::uint64_t max_insts, std::uint64_t max_cycles)
     Cycle cycles0 = timed_core.cycles();
 
     RunResult res;
-    res.reason = timed_core.run(max_insts, max_cycles);
+    timed_core.beginRun(max_insts, max_cycles);
+    if (cfg_.legacyTick) {
+        res.reason = timed_core.runPolled();
+    } else {
+        timed_core.wakeAt(timed_core.cycles());
+        sched_.run();
+        res.reason = timed_core.runReason();
+    }
     res.insts = timed_core.instsCommitted() - insts0;
     res.cycles = timed_core.cycles() - cycles0;
     res.ipc = res.cycles ? double(res.insts) / double(res.cycles) : 0.0;
@@ -109,43 +120,30 @@ System::pathProfile()
                                core::policyName(cfg_.policy));
 }
 
-void
-System::forEachComponent(const std::function<void(StatGroup &)> &fn)
-{
-    if (core_)
-        fn(core_->stats());
-    fn(hier_.stats());
-    fn(hier_.l1i().stats());
-    fn(hier_.l1d().stats());
-    fn(hier_.l2().stats());
-    fn(hier_.itlb().stats());
-    fn(hier_.dtlb().stats());
-    fn(hier_.ctrl().stats());
-    fn(hier_.ctrl().authEngine().stats());
-    fn(hier_.ctrl().busArbiter().stats());
-    fn(hier_.ctrl().dram().stats());
-    fn(hier_.ctrl().counterCache().stats());
-    fn(hier_.ctrl().externalMemory().stats());
-    if (hier_.ctrl().hashTree())
-        fn(hier_.ctrl().hashTree()->stats());
-    if (hier_.ctrl().remapLayer())
-        fn(hier_.ctrl().remapLayer()->stats());
-    if (hier_.ctrl().counterPredictor())
-        fn(hier_.ctrl().counterPredictor()->stats());
-}
-
 std::string
 System::dumpStats()
 {
-    std::string out;
-    forEachComponent([&out](StatGroup &g) { g.dump(out); });
-    return out;
+    struct Dumper final : StatGroupVisitor
+    {
+        std::string out;
+        void group(StatGroup &g) override { g.dump(out); }
+    } dumper;
+    for (Component *comp : sched_.components())
+        comp->visitStats(dumper);
+    return std::move(dumper.out);
 }
 
 void
 System::visitStats(StatVisitor &visitor)
 {
-    forEachComponent([&visitor](StatGroup &g) { g.visit(visitor); });
+    struct Walker final : StatGroupVisitor
+    {
+        StatVisitor &inner;
+        explicit Walker(StatVisitor &v) : inner(v) {}
+        void group(StatGroup &g) override { g.visit(inner); }
+    } walker(visitor);
+    for (Component *comp : sched_.components())
+        comp->visitStats(walker);
 }
 
 } // namespace acp::sim

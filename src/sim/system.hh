@@ -16,7 +16,6 @@
 #ifndef ACP_SIM_SYSTEM_HH
 #define ACP_SIM_SYSTEM_HH
 
-#include <functional>
 #include <memory>
 #include <string>
 
@@ -29,6 +28,7 @@
 #include "obs/trace.hh"
 #include "secmem/mem_hierarchy.hh"
 #include "sim/config.hh"
+#include "sim/scheduler.hh"
 
 namespace acp::sim
 {
@@ -69,6 +69,10 @@ class System
     const SimConfig &config() const { return cfg_; }
     const isa::Program &program() const { return prog_; }
 
+    /** Wake scheduler + component registry (dump order = attachment
+     *  order; the core attaches in front of the memory side). */
+    Scheduler &scheduler() { return sched_; }
+
     /** Dump all component statistics as text. */
     std::string dumpStats();
 
@@ -90,11 +94,9 @@ class System
     obs::PathProfile pathProfile();
 
   private:
-    /** Visit every live component's stat group in dump order. */
-    void forEachComponent(const std::function<void(StatGroup &)> &fn);
-
     SimConfig cfg_;
     isa::Program prog_;
+    Scheduler sched_;
     secmem::MemHierarchy hier_;
     cpu::FlatMem refMem_;
     std::unique_ptr<cpu::FuncExecutor> refExec_;

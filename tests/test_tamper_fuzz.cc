@@ -51,7 +51,7 @@ fuzzOne(AuthPolicy policy, std::uint64_t seed)
     }
 
     // No cosim (the shadow models the untampered program).
-    system.core().run(30000, 10'000'000);
+    system.measureTimed(30000, 10'000'000);
 
     FuzzOutcome out;
     out.exception = system.core().securityException();

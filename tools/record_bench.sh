@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
 # Record the performance-trajectory baseline: build, then run the
 # profiled fig7 workload x policy sweep (bench/baseline_ipc) and write
-# BENCH_baseline.json at the repo root.
+# BENCH_baseline.json at the repo root. An optional argument names a
+# different output file, e.g.
+#
+#   tools/record_bench.sh BENCH_event_loop.json
+#
+# records the same sweep under a snapshot name (used to commit the
+# event-driven scheduler's wall-clock numbers next to the polled-loop
+# baseline).
 #
 # The committed BENCH_baseline.json is the reference point future
 # changes diff against - IPC per (workload, policy) plus the per-
@@ -20,6 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+OUT="${1:-BENCH_baseline.json}"
 JOBS="${ACP_JOBS:-$(nproc)}"
 export ACP_JOBS="$JOBS"
 
@@ -31,6 +39,6 @@ fi
 cmake -B build "${GENERATOR[@]}"
 cmake --build build -j "$JOBS" --target baseline_ipc
 
-build/bench/baseline_ipc BENCH_baseline.json
+build/bench/baseline_ipc "$OUT"
 
-echo "recorded BENCH_baseline.json (jobs=$JOBS)"
+echo "recorded $OUT (jobs=$JOBS)"

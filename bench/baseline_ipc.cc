@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "obs/manifest.hh"
 #include "obs/path_profiler.hh"
 
 using namespace acp;
@@ -72,6 +73,12 @@ main(int argc, char **argv)
     }
 
     std::fprintf(out, "{\n  \"version\": \"acp-bench-baseline-v1\",\n");
+    // Provenance: which build/host recorded this baseline. Comparison
+    // tools (tools/bench_diff.py) ignore the manifest; it exists so a
+    // regression report can say what produced each side.
+    std::fputs("  \"manifest\": ", out);
+    obs::writeManifestJson(out, obs::manifest(), "  ");
+    std::fputs(",\n", out);
     std::fprintf(out, "  \"measureInsts\": %llu,\n",
                  (unsigned long long)bench::measureInsts());
     std::fprintf(out, "  \"warmupInsts\": %llu,\n",

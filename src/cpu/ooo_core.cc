@@ -729,6 +729,16 @@ OooCore::accountCycle()
     sbOccupancy_.sample(storeBuffer_.size());
     if (recorder_)
         recorder_->tick(cycle_, committed_.value(), stallCycles());
+    heartbeatSample(cycle_);
+}
+
+void
+OooCore::heartbeatSample(Cycle cycle)
+{
+    if (!heartbeat_ || cycle < heartbeat_->nextSampleCycle())
+        return;
+    heartbeat_->sample(cycle, committed_.value(), stallCycles(),
+                       hier_.txnsRetired());
 }
 
 obs::StallArray
@@ -925,6 +935,7 @@ OooCore::accountIdleCycles(std::uint64_t n)
             else if (lsq_full)
                 ++lsqFullStalls_;
         }
+        heartbeatSample(cycle_ + n);
         return;
     }
 
@@ -942,6 +953,7 @@ OooCore::accountIdleCycles(std::uint64_t n)
         ruuFullStalls_ += n;
     else if (lsq_full)
         lsqFullStalls_ += n;
+    heartbeatSample(cycle_ + n);
 }
 
 Cycle

@@ -35,6 +35,7 @@
 #include "cpu/flat_mem.hh"
 #include "cpu/func_executor.hh"
 #include "isa/instr.hh"
+#include "obs/heartbeat.hh"
 #include "obs/interval.hh"
 #include "obs/stall.hh"
 #include "obs/trace.hh"
@@ -146,6 +147,11 @@ class OooCore : public sim::Component
 
     /** Attach a passive interval-statistics recorder. */
     void setIntervalRecorder(obs::IntervalRecorder *rec) { recorder_ = rec; }
+
+    /** Attach a passive heartbeat feed (nullptr detaches). Like the
+     *  trace and recorder sinks, the heartbeat only reads statistics
+     *  the core maintains anyway — it never changes timing. */
+    void setHeartbeat(obs::HeartbeatRun *hb) { heartbeat_ = hb; }
 
     /** Cumulative per-cause stall cycles of the stats window. */
     obs::StallArray stallCycles() const;
@@ -289,6 +295,9 @@ class OooCore : public sim::Component
     void accountCycle();
     /** Pick the single cause of a zero-commit cycle. */
     obs::StallCause classifyStall();
+    /** Feed the heartbeat (no-op unless a period boundary passed; the
+     *  nextSampleCycle() guard keeps the hot path to one compare). */
+    void heartbeatSample(Cycle cycle);
 
     const sim::SimConfig &cfg_;
     secmem::MemHierarchy &hier_;
@@ -352,6 +361,7 @@ class OooCore : public sim::Component
     // Observability (passive: never feeds back into the model)
     obs::TraceBuffer *trace_ = nullptr;
     obs::IntervalRecorder *recorder_ = nullptr;
+    obs::HeartbeatRun *heartbeat_ = nullptr;
     unsigned commitsThisCycle_ = 0;
     CommitBlock commitBlock_ = CommitBlock::kNone;
     /** Gate tag the commit stage last stalled on (for the trace's

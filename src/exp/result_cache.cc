@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/manifest.hh"
+
 namespace acp::exp
 {
 
@@ -74,6 +76,9 @@ applyToken(Result &result, const std::string &token)
 
 ResultCache::ResultCache(std::string path) : path_(std::move(path))
 {
+    if (const char *env = std::getenv("ACP_CACHE_MAX_ENTRIES"))
+        maxEntries_ = std::strtoull(env, nullptr, 10);
+
     std::FILE *f = std::fopen(path_.c_str(), "r");
     if (!f)
         return;
@@ -96,6 +101,8 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path))
     fileIsVersioned_ = true;
 
     while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#')
+            continue; // provenance/comment line
         std::string digest;
         Result result;
         result.fromCache = true;
@@ -126,8 +133,11 @@ ResultCache::lookup(const std::string &digest, Result &out) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(digest);
-    if (it == entries_.end())
+    if (it == entries_.end()) {
+        ++stats_.misses;
         return false;
+    }
+    ++stats_.hits;
     out = it->second;
     out.fromCache = true;
     return true;
@@ -137,8 +147,25 @@ void
 ResultCache::store(const std::string &digest, const Result &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
     entries_[digest] = result;
     appendLine(digest, result);
+    evictLocked();
+}
+
+void
+ResultCache::evictLocked()
+{
+    if (maxEntries_ == 0 || entries_.size() <= maxEntries_)
+        return;
+    // Arbitrary victims (hash order): the in-memory map is a pure
+    // read-through cache of the append-only file, so dropping an
+    // entry only costs a re-simulation if it is needed again.
+    auto it = entries_.begin();
+    while (entries_.size() > maxEntries_ && it != entries_.end()) {
+        it = entries_.erase(it);
+        ++stats_.evictions;
+    }
 }
 
 std::size_t
@@ -146,6 +173,13 @@ ResultCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
 }
 
 void
@@ -158,6 +192,9 @@ ResultCache::appendLine(const std::string &digest, const Result &result)
         return;
     if (!fileIsVersioned_) {
         std::fprintf(f, "%s\n", kVersionHeader);
+        // Provenance comment: which build first wrote this file.
+        std::fprintf(f, "# %s\n",
+                     obs::manifestJsonLine(obs::manifest()).c_str());
         fileIsVersioned_ = true;
     }
     std::fprintf(f, "%s ipc=%.17g insts=%llu cycles=%llu reason=%u",

@@ -5,10 +5,17 @@
  * File format (./acp_bench_cache.txt by default):
  *
  *   acp-cache-v5
+ *   # {"schema": "acp-manifest-v1", ...}
  *   <64-hex-digest> ipc=<g17> insts=<u> cycles=<u> reason=<u> \
  *       [<group.stat>=<u> ...] \
  *       [avg:<group.stat>=<count>:<sum>:<min>:<max> ...] \
  *       [dist:<group.stat>=<count>:<sum>:<min>:<max>:<b0,b1,...> ...]
+ *
+ * Lines starting with '#' are comments: the file carries a provenance
+ * manifest (who wrote it, from which build) as a comment right after
+ * the version header. Comments never affect lookups and a manifest
+ * mismatch never invalidates entries — results are keyed on the
+ * config digest alone; the manifest is for humans doing archaeology.
  *
  * The digest is pointDigest(): SHA-256 over the *complete* serialized
  * SimConfig plus workload identity and window, so every configuration
@@ -97,6 +104,16 @@ class ResultCache
   public:
     static constexpr const char *kVersionHeader = "acp-cache-v5";
 
+    /** Lifetime telemetry of one cache instance (sim.host.cache /
+     *  sweep JSON "telemetry" block). Plain snapshot — not persisted. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t evictions = 0;
+    };
+
     /**
      * Bind to @p path and load existing entries. A missing file is an
      * empty cache; a file whose first line is not the version header
@@ -118,13 +135,22 @@ class ResultCache
 
     const std::string &path() const { return path_; }
 
+    /** Hit/miss/store/evict counters since construction. */
+    Stats stats() const;
+
   private:
     void appendLine(const std::string &digest, const Result &result);
+    /** Drop arbitrary in-memory entries down to maxEntries_ (the file
+     *  keeps every line; eviction only bounds resident memory). */
+    void evictLocked();
 
     std::string path_;
     bool fileIsVersioned_ = false;
     bool ignoredStale_ = false;
+    /** In-memory entry cap (ACP_CACHE_MAX_ENTRIES env; 0=unlimited). */
+    std::size_t maxEntries_ = 0;
     mutable std::mutex mutex_;
+    mutable Stats stats_;
     std::unordered_map<std::string, Result> entries_;
 };
 

@@ -9,6 +9,7 @@
 
 #include "cpu/ooo_core.hh"
 #include "crypto/sha256.hh"
+#include "obs/manifest.hh"
 #include "obs/path_report.hh"
 #include "sim/config_io.hh"
 #include "sim/system.hh"
@@ -211,9 +212,29 @@ Runner::simulate(const Point &point) const
     if (point.prepare)
         point.prepare(system);
 
+    // Live heartbeat feed (passive; the core samples it from its
+    // per-cycle accounting). Created after the warmup so the window's
+    // delta anchors are the timed core's zeroed statistics.
+    std::unique_ptr<obs::HeartbeatRun> hb_run;
+    if (opts_.heartbeat) {
+        hb_run = std::make_unique<obs::HeartbeatRun>(
+            *opts_.heartbeat, point.workload,
+            point.label.empty() ? core::policyName(point.cfg.policy)
+                                : point.label,
+            opts_.heartbeatPeriod);
+        system.setHeartbeat(hb_run.get());
+        hb_run->begin(system.core().cycles());
+    }
+
     Result result;
     result.run = system.measureTimed(point.measureInsts,
                                      point.maxCycles());
+    if (hb_run) {
+        hb_run->end(system.core().cycles(),
+                    system.core().instsCommitted(), result.run.ipc,
+                    cpu::stopReasonName(result.run.reason));
+        system.setHeartbeat(nullptr);
+    }
     if (point.finish)
         point.finish(system);
     CaptureVisitor capture(opts_.counters, result);
@@ -238,18 +259,30 @@ Runner::simulate(const Point &point) const
 
 void
 Runner::reportProgress(std::size_t done, std::size_t total,
+                       std::size_t cached, double eta_seconds,
                        const Point &point, const Result &result)
 {
+    const char *label = point.label.empty()
+                            ? core::policyName(point.cfg.policy)
+                            : point.label.c_str();
+    if (opts_.heartbeat)
+        opts_.heartbeat->point(done, total, cached, done - cached,
+                               point.workload, label, result.run.ipc,
+                               result.fromCache, eta_seconds);
     if (!opts_.progress)
         return;
     std::lock_guard<std::mutex> lock(progressMutex_);
     std::fprintf(stderr, "[%3zu/%zu] %-10s %-16s ipc=%.4f  %s",
-                 done, total, point.workload.c_str(),
-                 point.label.empty() ? core::policyName(point.cfg.policy)
-                                     : point.label.c_str(),
+                 done, total, point.workload.c_str(), label,
                  result.run.ipc, result.fromCache ? "(cached)" : "");
     if (!result.fromCache)
         std::fprintf(stderr, "(%.1fs)", result.wallSeconds);
+    // Sweep-level split + ETA: "| 12 cached, ETA 0:48".
+    std::fprintf(stderr, "  | %zu cached", cached);
+    if (eta_seconds >= 0.0) {
+        unsigned eta = unsigned(eta_seconds + 0.5);
+        std::fprintf(stderr, ", ETA %u:%02u", eta / 60, eta % 60);
+    }
     std::fputc('\n', stderr);
 }
 
@@ -263,6 +296,11 @@ Runner::run(const Point &point)
 std::vector<Result>
 Runner::run(const std::vector<Point> &points)
 {
+    auto sweep_start = std::chrono::steady_clock::now();
+    if (opts_.heartbeat)
+        opts_.heartbeat->sweepStart(points.size(), jobs_,
+                                    obs::manifest());
+
     std::vector<Result> results(points.size());
     std::vector<std::string> digests(points.size());
     std::vector<std::size_t> todo;
@@ -272,16 +310,22 @@ Runner::run(const std::vector<Point> &points)
         if (cache_ && points[i].cacheable()) {
             digests[i] = pointDigest(points[i]);
             if (cache_->lookup(digests[i], results[i])) {
-                reportProgress(++done, points.size(), points[i],
-                               results[i]);
+                // ETA unknown until a point has been simulated.
+                ++done;
+                reportProgress(done, points.size(), done, -1.0,
+                               points[i], results[i]);
                 continue;
             }
         }
         todo.push_back(i);
     }
+    // All cache hits resolve in the prepass, so the cached/simulated
+    // split is fixed from here on.
+    const std::size_t cached = done;
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{done};
+    std::atomic<std::size_t> sim_done{0};
     auto worker = [&]() {
         for (;;) {
             std::size_t t = next.fetch_add(1);
@@ -293,8 +337,21 @@ Runner::run(const std::vector<Point> &points)
             if (cache_ && points[i].cacheable())
                 cache_->store(digests[i], result);
             results[i] = std::move(result);
+            // ETA from mean wall time per simulated point so far,
+            // scaled by the points still outstanding and the worker
+            // parallelism actually in use.
+            std::size_t finished = sim_done.fetch_add(1) + 1;
+            double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 sweep_start)
+                                 .count();
+            std::size_t remaining = todo.size() - finished;
+            double eta = finished
+                             ? elapsed / double(finished) *
+                                   double(remaining)
+                             : -1.0;
             reportProgress(completed.fetch_add(1) + 1, points.size(),
-                           points[i], results[i]);
+                           cached, eta, points[i], results[i]);
         }
     };
 
@@ -309,15 +366,91 @@ Runner::run(const std::vector<Point> &points)
         for (std::thread &thread : pool)
             thread.join();
     }
+
+    // Sweep telemetry: wall-clock percentiles over simulated points.
+    telemetry_ = SweepTelemetry{};
+    telemetry_.total = points.size();
+    telemetry_.cached = cached;
+    telemetry_.simulated = todo.size();
+    telemetry_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    std::vector<double> walls;
+    walls.reserve(todo.size());
+    for (std::size_t i : todo)
+        walls.push_back(results[i].wallSeconds);
+    if (!walls.empty()) {
+        std::sort(walls.begin(), walls.end());
+        telemetry_.wallP50 = walls[(walls.size() - 1) / 2];
+        telemetry_.wallP90 = walls[(walls.size() - 1) * 9 / 10];
+        telemetry_.wallMax = walls.back();
+    }
+    if (cache_) {
+        telemetry_.hasCacheStats = true;
+        telemetry_.cacheStats = cache_->stats();
+    }
+
+    if (opts_.heartbeat) {
+        std::string cache_tail;
+        if (telemetry_.hasCacheStats) {
+            const ResultCache::Stats &cs = telemetry_.cacheStats;
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "\"cacheHits\":%llu,\"cacheMisses\":%llu,"
+                          "\"cacheStores\":%llu,\"cacheEvictions\":%llu,",
+                          (unsigned long long)cs.hits,
+                          (unsigned long long)cs.misses,
+                          (unsigned long long)cs.stores,
+                          (unsigned long long)cs.evictions);
+            cache_tail = buf;
+        }
+        opts_.heartbeat->sweepEnd(points.size(), cached, todo.size(),
+                                  telemetry_.wallSeconds, cache_tail);
+    }
     return results;
 }
 
 void
 Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
-                  const std::vector<Result> &results)
+                  const std::vector<Result> &results,
+                  const SweepTelemetry *telemetry)
 {
-    std::fprintf(out, "{\n  \"version\": \"acp-exp-v2\",\n"
-                      "  \"points\": [");
+    // v2 -> v3: a provenance "manifest" block (build + host identity,
+    // timestamps) and an optional "telemetry" block (cache split,
+    // host wall-time percentiles). Both describe the *run that wrote
+    // the file*, never the simulated machine: comparison tooling
+    // (tools/bench_diff.py, the CI loop-parity smoke) strips them
+    // before diffing.
+    std::fputs("{\n  \"version\": \"acp-exp-v3\",\n  \"manifest\": ",
+               out);
+    writeManifestJson(out, obs::manifest(), "  ");
+    if (telemetry) {
+        std::fprintf(
+            out,
+            ",\n  \"telemetry\": {\n"
+            "    \"total\": %zu,\n"
+            "    \"cached\": %zu,\n"
+            "    \"simulated\": %zu,\n"
+            "    \"wallSeconds\": %.3f,\n"
+            "    \"pointWallP50\": %.3f,\n"
+            "    \"pointWallP90\": %.3f,\n"
+            "    \"pointWallMax\": %.3f",
+            telemetry->total, telemetry->cached, telemetry->simulated,
+            telemetry->wallSeconds, telemetry->wallP50,
+            telemetry->wallP90, telemetry->wallMax);
+        if (telemetry->hasCacheStats)
+            std::fprintf(
+                out,
+                ",\n    \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"stores\": %llu, \"evictions\": %llu}",
+                (unsigned long long)telemetry->cacheStats.hits,
+                (unsigned long long)telemetry->cacheStats.misses,
+                (unsigned long long)telemetry->cacheStats.stores,
+                (unsigned long long)telemetry->cacheStats.evictions);
+        std::fputs("\n  }", out);
+    }
+    std::fputs(",\n  \"points\": [", out);
     for (std::size_t i = 0; i < points.size() && i < results.size();
          ++i) {
         const Point &p = points[i];
@@ -433,12 +566,13 @@ Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
 bool
 Runner::writeJson(const std::string &path,
                   const std::vector<Point> &points,
-                  const std::vector<Result> &results)
+                  const std::vector<Result> &results,
+                  const SweepTelemetry *telemetry)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
-    writeJson(f, points, results);
+    writeJson(f, points, results, telemetry);
     std::fclose(f);
     return true;
 }

@@ -27,6 +27,7 @@
 
 #include "exp/result_cache.hh"
 #include "exp/sweep.hh"
+#include "obs/heartbeat.hh"
 
 namespace acp::exp
 {
@@ -49,6 +50,39 @@ struct RunnerOptions
     std::vector<std::string> counters;
     /** Also keep the full dumpStats() text in Result::statsText. */
     bool captureStatsText = false;
+    /**
+     * Live heartbeat sink (JSONL; see obs/heartbeat.hh). When set,
+     * the Runner emits sweep_start/point/sweep_end records and each
+     * simulated point streams run_start/tick/run_end from the core.
+     * Strictly passive: a heartbeat run is bit-identical to a silent
+     * one, and heartbeat never affects digests or cacheability.
+     * Not owned; must outlive the Runner's run() calls.
+     */
+    obs::Heartbeat *heartbeat = nullptr;
+    /** Simulated cycles between heartbeat tick records. */
+    std::uint64_t heartbeatPeriod = 50000;
+};
+
+/**
+ * Host-side telemetry of one run(points) sweep: cache split, whole-
+ * sweep wall time and per-simulated-point wall-time percentiles.
+ * Reported in the sweep JSON "telemetry" block; never cached and
+ * never part of any digest.
+ */
+struct SweepTelemetry
+{
+    std::size_t total = 0;
+    std::size_t cached = 0;
+    std::size_t simulated = 0;
+    /** Whole-sweep wall time (includes cache lookups + threading). */
+    double wallSeconds = 0.0;
+    /** Percentiles over the simulated points' wallSeconds. */
+    double wallP50 = 0.0;
+    double wallP90 = 0.0;
+    double wallMax = 0.0;
+    /** Result-cache counters (valid when hasCacheStats). */
+    bool hasCacheStats = false;
+    ResultCache::Stats cacheStats;
 };
 
 /** The runner. One instance may execute many sweeps. */
@@ -79,24 +113,31 @@ class Runner
     /** The underlying cache (null when caching is disabled). */
     const ResultCache *cache() const { return cache_.get(); }
 
+    /** Telemetry of the most recent run(points) sweep. */
+    const SweepTelemetry &lastTelemetry() const { return telemetry_; }
+
     /**
      * Emit points+results as a JSON document (machine consumption):
+     * a provenance manifest, an optional sweep "telemetry" block, then
      * one record per point with identity, digest, the full config,
      * and the result including captured counters, averages,
      * distributions and — when statsInterval was set — the interval
      * time series.
      */
     static void writeJson(std::FILE *out, const std::vector<Point> &points,
-                          const std::vector<Result> &results);
+                          const std::vector<Result> &results,
+                          const SweepTelemetry *telemetry = nullptr);
 
     /** writeJson to @p path; returns false if the file can't be opened. */
     static bool writeJson(const std::string &path,
                           const std::vector<Point> &points,
-                          const std::vector<Result> &results);
+                          const std::vector<Result> &results,
+                          const SweepTelemetry *telemetry = nullptr);
 
   private:
     Result simulate(const Point &point) const;
     void reportProgress(std::size_t done, std::size_t total,
+                        std::size_t cached, double eta_seconds,
                         const Point &point, const Result &result);
 
     RunnerOptions opts_;
@@ -104,6 +145,7 @@ class Runner
     std::unique_ptr<ResultCache> cache_;
     std::atomic<std::uint64_t> simulated_{0};
     std::mutex progressMutex_;
+    SweepTelemetry telemetry_;
 };
 
 } // namespace acp::exp

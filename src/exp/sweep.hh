@@ -71,7 +71,8 @@ struct Point
     cacheable() const
     {
         return !prepare && !finish && cfg.traceMask == 0 &&
-               cfg.statsInterval == 0 && !cfg.profileEnabled;
+               cfg.statsInterval == 0 && !cfg.profileEnabled &&
+               !cfg.hostStats;
     }
 };
 

@@ -32,6 +32,7 @@ classLog2(std::size_t bytes)
 std::atomic<std::uint64_t> arenaAllocs{0};
 std::atomic<std::uint64_t> arenaPoolHits{0};
 std::atomic<std::uint64_t> arenaLive{0};
+std::atomic<std::uint64_t> arenaLiveHighWater{0};
 
 struct ArenaPool
 {
@@ -69,7 +70,15 @@ void *
 arenaAllocate(std::size_t bytes)
 {
     arenaAllocs.fetch_add(1, std::memory_order_relaxed);
-    arenaLive.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t live =
+        arenaLive.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Lock-free max: racing threads may each see a stale high water,
+    // but the CAS loop converges on the true maximum.
+    std::uint64_t hw = arenaLiveHighWater.load(std::memory_order_relaxed);
+    while (live > hw &&
+           !arenaLiveHighWater.compare_exchange_weak(
+               hw, live, std::memory_order_relaxed)) {
+    }
     if (bytes > (std::size_t(1) << kMaxClassLog2))
         return ::operator new(bytes);
     unsigned log2 = classLog2(bytes);
@@ -103,6 +112,8 @@ txnArenaStats()
     out.allocs = arenaAllocs.load(std::memory_order_relaxed);
     out.poolHits = arenaPoolHits.load(std::memory_order_relaxed);
     out.live = arenaLive.load(std::memory_order_relaxed);
+    out.liveHighWater =
+        arenaLiveHighWater.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -66,6 +66,9 @@ struct TxnArenaStats
     std::uint64_t poolHits = 0;
     /** Blocks currently handed out and not yet returned. */
     std::uint64_t live = 0;
+    /** High-water mark of @c live over the process lifetime (the
+     *  sim.host.arena telemetry reports it as allocation pressure). */
+    std::uint64_t liveHighWater = 0;
 };
 
 /** Snapshot of the (process-wide) arena counters. */

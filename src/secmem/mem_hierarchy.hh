@@ -72,6 +72,8 @@ class MemHierarchy : public sim::Component
     void flushCaches();
 
     SecureMemCtrl &ctrl() { return ctrl_; }
+    /** Off-chip transactions retired so far (heartbeat telemetry). */
+    std::uint64_t txnsRetired() const { return ctrl_.txnsRetired(); }
     cache::Cache &l1i() { return l1i_; }
     cache::Cache &l1d() { return l1d_; }
     cache::Cache &l2() { return l2_; }

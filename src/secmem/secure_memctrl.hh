@@ -118,6 +118,13 @@ class SecureMemCtrl : public sim::Component
 
     StatGroup &stats() { return stats_; }
 
+    /** Cumulative off-chip transactions retired (fetches +
+     *  writebacks); the heartbeat stream samples this. */
+    std::uint64_t txnsRetired() const
+    {
+        return fetches_.value() + writebacks_.value();
+    }
+
   private:
     /**
      * Metadata port bound to one transaction: tree-node, remap-entry

@@ -75,6 +75,16 @@ class Component
     /** Enumerate this component's stat groups in dump order. */
     virtual void visitStats(StatGroupVisitor &v) = 0;
 
+    // ----- sim.host.* telemetry (maintained by the Scheduler when
+    // host stats are enabled; strictly host-side observability, never
+    // part of simulation results) --------------------------------------
+    /** Times the scheduler dispatched this component's onWake.
+     *  Non-const so System can register it into a sim.host StatGroup. */
+    StatCounter &hostWakes() { return hostWakes_; }
+    /** Simulated-cycle distance between consecutive wakes (the
+     *  event-loop "jump length"; count == wakes - 1). */
+    StatDistribution &hostJumpHist() { return hostJumpHist_; }
+
   private:
     friend class Scheduler;
 
@@ -84,6 +94,11 @@ class Component
     std::int64_t order_ = 0;
     /** Earliest queued wake (kCycleNever = none pending). */
     Cycle pendingWake_ = kCycleNever;
+
+    // Host telemetry (see accessors above)
+    StatCounter hostWakes_;
+    StatDistribution hostJumpHist_;
+    Cycle lastWakeCycle_ = kCycleNever;
 };
 
 } // namespace acp::sim

@@ -184,6 +184,14 @@ struct SimConfig
      * both loops share one digest and one cached result.
      */
     bool legacyTick = false;
+    /**
+     * Collect sim.host.* self-metrics (scheduler wake counts and
+     * jump-length histograms per component, txn-arena high-water
+     * marks). These measure the *simulator*, not the simulated
+     * machine; passive like tracing, so also digest-excluded and
+     * uncacheable at the exp::Point level.
+     */
+    bool hostStats = false;
 
     /** Convenience: apply the paper's 1MB L2 configuration. */
     void

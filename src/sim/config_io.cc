@@ -11,7 +11,8 @@ namespace acp::sim
 // field. Add it to serializeConfig() below (new fields invalidate
 // every cached experiment result, which is exactly the point) and
 // update the expected size. Exceptions: the observability fields
-// (traceMask, statsInterval, profileEnabled) are deliberately NOT
+// (traceMask, statsInterval, profileEnabled, hostStats) are
+// deliberately NOT
 // serialized — tracing, interval stats and path profiling are
 // strictly passive, so an observed run is bit-identical to (and
 // shares its cached result with) the unobserved one. Runs with
@@ -19,7 +20,9 @@ namespace acp::sim
 // instead. legacyTick is likewise excluded: the polled and the
 // event-driven loop produce bit-identical results by contract
 // (tests/test_scheduler.cc and the CI loop-parity smoke enforce it),
-// so both loops share one digest and one cached result.
+// so both loops share one digest and one cached result. hostStats is
+// excluded for the same reason as the trace fields: sim.host.*
+// self-metrics measure the simulator, never the simulated machine.
 #if defined(__x86_64__) && defined(__linux__)
 static_assert(sizeof(SimConfig) == 376,
               "SimConfig layout changed: update serializeConfig() in "

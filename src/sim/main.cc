@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,9 @@
 #include "cpu/ooo_core.hh"
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
+#include "obs/heartbeat.hh"
 #include "obs/interval.hh"
+#include "obs/manifest.hh"
 #include "obs/path_report.hh"
 #include "obs/trace.hh"
 #include "obs/trace_json.hh"
@@ -77,6 +80,15 @@ usage()
         "  --cache       reuse/persist results in ./acp_bench_cache.txt\n\n"
         "observability options:\n"
         "  --stats       dump all component statistics\n"
+        "  --host-stats  collect sim.host.* simulator self-metrics\n"
+        "                (scheduler wakes + jump histogram per\n"
+        "                component, txn-arena pressure); shown with\n"
+        "                --stats and captured into --json\n"
+        "  --heartbeat[=SPEC]  stream live JSONL progress records\n"
+        "                (sweep/run/tick); SPEC is a file path, fd:N,\n"
+        "                or '-' for stderr  (default: stderr)\n"
+        "  --heartbeat-interval N  simulated cycles between tick\n"
+        "                records                  (default: 50000)\n"
         "  --stats-interval N  record IPC + stall breakdown every N\n"
         "                cycles; prints a table and lands in --json\n"
         "  --profile[=FILE]  transaction path profiler: per-kind\n"
@@ -90,7 +102,9 @@ usage()
         "  --trace-commits N  print a commit trace of the first N\n"
         "                insts (single-point runs only)\n"
         "  --cosim       co-simulate against the functional reference\n"
-        "                (single-point runs only)\n");
+        "                (single-point runs only)\n\n"
+        "  --version     print the build manifest (git SHA, build\n"
+        "                type, compiler, sanitizers) and exit\n");
 }
 
 std::uint64_t
@@ -184,6 +198,10 @@ main(int argc, char **argv)
         usage();
         return 0;
     }
+    if (std::strcmp(argv[1], "--version") == 0) {
+        std::fputs(obs::manifestText(obs::manifest()).c_str(), stdout);
+        return 0;
+    }
 
     std::vector<std::string> names = expandWorkloads(argv[1]);
     std::vector<core::AuthPolicy> policies = {core::AuthPolicy::kBaseline};
@@ -202,6 +220,9 @@ main(int argc, char **argv)
     std::string trace_file;
     bool profile = false;
     std::string profile_file;
+    bool heartbeat = false;
+    std::string heartbeat_spec;
+    std::uint64_t heartbeat_interval = 50000;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -256,6 +277,15 @@ main(int argc, char **argv)
             trace_commits = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--stats-interval") {
             cfg.statsInterval = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--host-stats") {
+            cfg.hostStats = true;
+        } else if (arg == "--heartbeat" ||
+                   arg.rfind("--heartbeat=", 0) == 0) {
+            heartbeat = true;
+            if (arg.size() > std::strlen("--heartbeat="))
+                heartbeat_spec = arg.substr(std::strlen("--heartbeat="));
+        } else if (arg == "--heartbeat-interval") {
+            heartbeat_interval = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--profile" ||
                    arg.rfind("--profile=", 0) == 0) {
             profile = true;
@@ -313,6 +343,15 @@ main(int argc, char **argv)
     if (!use_cache)
         opts.cacheFile.clear();
     opts.captureStatsText = dump_stats;
+    std::unique_ptr<obs::Heartbeat> hb_sink;
+    if (heartbeat) {
+        hb_sink = obs::Heartbeat::open(heartbeat_spec);
+        if (!hb_sink)
+            acp_fatal("cannot open heartbeat sink '%s'",
+                      heartbeat_spec.c_str());
+        opts.heartbeat = hb_sink.get();
+        opts.heartbeatPeriod = heartbeat_interval;
+    }
     exp::Runner runner(opts);
     std::vector<exp::Result> results = runner.run(points);
 
@@ -405,7 +444,8 @@ main(int argc, char **argv)
     }
 
     if (!json_file.empty()) {
-        if (!exp::Runner::writeJson(json_file, points, results))
+        if (!exp::Runner::writeJson(json_file, points, results,
+                                    &runner.lastTelemetry()))
             acp_fatal("cannot write %s", json_file.c_str());
         std::fprintf(stderr, "wrote %s\n", json_file.c_str());
     }

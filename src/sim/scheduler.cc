@@ -62,6 +62,13 @@ Scheduler::run()
         if (top.comp->pendingWake_ != top.cycle)
             continue;
         top.comp->pendingWake_ = kCycleNever;
+        if (hostStats_) {
+            ++top.comp->hostWakes_;
+            if (top.comp->lastWakeCycle_ != kCycleNever)
+                top.comp->hostJumpHist_.sample(top.cycle -
+                                               top.comp->lastWakeCycle_);
+            top.comp->lastWakeCycle_ = top.cycle;
+        }
         Cycle next = top.comp->onWake(top.cycle);
         if (next == kCycleNever)
             continue;

@@ -57,6 +57,16 @@ class Scheduler
     /** Wakes currently queued (stale entries excluded). */
     std::size_t pendingWakes() const;
 
+    /**
+     * Enable sim.host.* self-metrics: per-component wake counts and a
+     * jump-length histogram (simulated cycles between consecutive
+     * wakes), maintained in Component::hostWakes()/hostJumpHist().
+     * Host-side observability only — measures the simulator, never the
+     * simulated machine — and fully off the hot path when disabled.
+     */
+    void enableHostStats(bool on) { hostStats_ = on; }
+    bool hostStatsEnabled() const { return hostStats_; }
+
   private:
     friend class Component;
 
@@ -82,6 +92,7 @@ class Scheduler
     std::vector<WakeEntry> heap_;         // std::push_heap/pop_heap
     std::int64_t nextBackOrder_ = 0;
     std::int64_t nextFrontOrder_ = -1;
+    bool hostStats_ = false;
 };
 
 } // namespace acp::sim

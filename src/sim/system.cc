@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "core/auth_policy.hh"
 #include "isa/opcodes.hh"
+#include "mem/txn.hh"
 
 namespace acp::sim
 {
@@ -11,6 +12,7 @@ System::System(const SimConfig &cfg, isa::Program prog)
     : cfg_(cfg), prog_(std::move(prog)), hier_(cfg_),
       refMem_(cfg_.memoryBytes)
 {
+    sched_.enableHostStats(cfg_.hostStats);
     sched_.attach(hier_);
     hier_.loadProgram(prog_);
     refMem_.loadProgram(prog_);
@@ -120,6 +122,37 @@ System::pathProfile()
                                core::policyName(cfg_.policy));
 }
 
+void
+System::visitHostStatGroups(StatGroupVisitor &v)
+{
+    // Groups are rebuilt on every call: component registration can
+    // grow between dumps (the timed core attaches lazily) and the
+    // arena counters are process-wide snapshots. The temporaries are
+    // consumed synchronously by v.group(), so pointer registration
+    // into them is safe.
+    StatGroup sched_group("sim.host.sched");
+    for (Component *comp : sched_.components()) {
+        std::string base = comp->componentName();
+        sched_group.addCounter(base + ".wakes", &comp->hostWakes());
+        sched_group.addDistribution(base + ".jump",
+                                    &comp->hostJumpHist());
+    }
+    v.group(sched_group);
+
+    mem::TxnArenaStats arena = mem::txnArenaStats();
+    StatCounter allocs, pool_hits, live, high_water;
+    allocs += arena.allocs;
+    pool_hits += arena.poolHits;
+    live += arena.live;
+    high_water += arena.liveHighWater;
+    StatGroup arena_group("sim.host.arena");
+    arena_group.addCounter("allocs", &allocs);
+    arena_group.addCounter("pool_hits", &pool_hits);
+    arena_group.addCounter("live", &live);
+    arena_group.addCounter("live_high_water", &high_water);
+    v.group(arena_group);
+}
+
 std::string
 System::dumpStats()
 {
@@ -130,6 +163,8 @@ System::dumpStats()
     } dumper;
     for (Component *comp : sched_.components())
         comp->visitStats(dumper);
+    if (cfg_.hostStats)
+        visitHostStatGroups(dumper);
     return std::move(dumper.out);
 }
 
@@ -144,6 +179,8 @@ System::visitStats(StatVisitor &visitor)
     } walker(visitor);
     for (Component *comp : sched_.components())
         comp->visitStats(walker);
+    if (cfg_.hostStats)
+        visitHostStatGroups(walker);
 }
 
 } // namespace acp::sim

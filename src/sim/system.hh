@@ -88,12 +88,20 @@ class System
     /** Path profiler (nullptr unless cfg.profileEnabled). */
     obs::PathProfiler *pathProfiler() { return profiler_.get(); }
 
+    /** Attach a passive heartbeat feed to the timed core (creates the
+     *  core if needed; call after fastForward, nullptr detaches). */
+    void setHeartbeat(obs::HeartbeatRun *hb) { core().setHeartbeat(hb); }
+
     /** Finalized profile snapshot: leak audit over the live bus trace
      *  plus the core's stall counters (if a timed core ran). Call only
      *  when profiling is enabled. */
     obs::PathProfile pathProfile();
 
   private:
+    /** Emit the sim.host.* groups (scheduler wakes/jumps per
+     *  component, txn-arena pressure) when cfg.hostStats is set. */
+    void visitHostStatGroups(StatGroupVisitor &v);
+
     SimConfig cfg_;
     isa::Program prog_;
     Scheduler sched_;

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for the acp::obs telemetry layer: provenance manifests are
+ * deterministic (identical minus timestamps), the heartbeat stream is
+ * well-formed JSONL and strictly passive (a heartbeat run is
+ * bit-identical to a silent one; a run shorter than one interval
+ * emits only run_start/run_end), the sim.host.* self-metrics satisfy
+ * their partition invariants, the result cache counts hits/misses and
+ * carries a provenance comment, and the sweep JSON gains the v3
+ * manifest + telemetry blocks without perturbing any result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "mem/txn.hh"
+#include "obs/heartbeat.hh"
+#include "obs/manifest.hh"
+#include "sim/system.hh"
+#include "workloads/workloads.hh"
+
+using namespace acp;
+
+namespace
+{
+
+sim::SimConfig
+smallConfig()
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 16ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+    return cfg;
+}
+
+exp::Point
+smallPoint(const char *workload = "mcf")
+{
+    exp::Point point;
+    point.workload = workload;
+    point.cfg = smallConfig();
+    point.params.workingSetBytes = 128 * 1024;
+    point.warmupInsts = 2000;
+    point.measureInsts = 3000;
+    return point;
+}
+
+exp::RunnerOptions
+quietOptions(unsigned jobs = 1)
+{
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.cacheFile.clear();
+    opts.progress = false;
+    return opts;
+}
+
+/** RAII scratch file. */
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const char *name) : path_(name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~ScratchFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+    std::string
+    contents() const
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "rb");
+        if (!f)
+            return {};
+        std::string text;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        return text;
+    }
+
+  private:
+    std::string path_;
+};
+
+/** Count occurrences of a record-type tag in a JSONL stream. */
+std::size_t
+countRecords(const std::string &text, const std::string &type)
+{
+    std::string needle = "{\"t\":\"" + type + "\"";
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1))
+        ++count;
+    return count;
+}
+
+// ----- manifest ----------------------------------------------------------
+
+TEST(Manifest, DeterministicMinusTimestamps)
+{
+    obs::Manifest a = obs::manifest();
+    obs::Manifest b = obs::manifest();
+    EXPECT_EQ(a.schema, "acp-manifest-v1");
+    EXPECT_EQ(a.gitSha, b.gitSha);
+    EXPECT_EQ(a.gitDirty, b.gitDirty);
+    EXPECT_EQ(a.buildType, b.buildType);
+    EXPECT_EQ(a.compiler, b.compiler);
+    EXPECT_EQ(a.cxxFlags, b.cxxFlags);
+    EXPECT_EQ(a.sanitize, b.sanitize);
+    EXPECT_EQ(a.hostname, b.hostname);
+    // Timestamps are populated (never compared for identity).
+    EXPECT_FALSE(a.timestampUtc.empty());
+    EXPECT_GT(a.unixTime, 0u);
+}
+
+TEST(Manifest, JsonLineAndTextCarryTheSha)
+{
+    obs::Manifest m = obs::manifest();
+    std::string line = obs::manifestJsonLine(m);
+    EXPECT_NE(line.find("\"schema\": \"acp-manifest-v1\""),
+              std::string::npos);
+    EXPECT_NE(line.find(m.gitSha), std::string::npos);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    std::string text = obs::manifestText(m);
+    EXPECT_NE(text.find(m.gitSha), std::string::npos);
+    EXPECT_NE(text.find(m.buildType), std::string::npos);
+}
+
+// ----- heartbeat ---------------------------------------------------------
+
+TEST(Heartbeat, StreamIsWellFormedAndPassive)
+{
+    exp::Point point = smallPoint();
+
+    // Silent reference run.
+    exp::Runner silent(quietOptions());
+    exp::Result ref = silent.run(point);
+
+    // Heartbeat run: period far below the window so ticks fire.
+    ScratchFile jsonl("test_heartbeat_stream.jsonl");
+    {
+        auto sink = obs::Heartbeat::open(jsonl.path());
+        ASSERT_NE(sink, nullptr);
+        exp::RunnerOptions opts = quietOptions();
+        opts.heartbeat = sink.get();
+        opts.heartbeatPeriod = 500;
+        exp::Runner runner(opts);
+        exp::Result res = runner.run(point);
+
+        // Passive contract: final stats equal the silent run, bit for
+        // bit, down to every captured counter.
+        EXPECT_EQ(res.run.insts, ref.run.insts);
+        EXPECT_EQ(res.run.cycles, ref.run.cycles);
+        EXPECT_EQ(res.run.ipc, ref.run.ipc);
+        EXPECT_EQ(res.counters, ref.counters);
+    }
+
+    std::string text = jsonl.contents();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(countRecords(text, "sweep_start"), 1u);
+    EXPECT_EQ(countRecords(text, "run_start"), 1u);
+    EXPECT_EQ(countRecords(text, "run_end"), 1u);
+    EXPECT_EQ(countRecords(text, "point"), 1u);
+    EXPECT_EQ(countRecords(text, "sweep_end"), 1u);
+    EXPECT_GT(countRecords(text, "tick"), 0u);
+    // Schema + manifest ride on sweep_start.
+    EXPECT_NE(text.find("\"schema\":\"acp-heartbeat-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"manifest\":{"), std::string::npos);
+    // One record per line, every line an object.
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Heartbeat, TickCyclesAreMonotone)
+{
+    ScratchFile jsonl("test_heartbeat_monotone.jsonl");
+    {
+        auto sink = obs::Heartbeat::open(jsonl.path());
+        ASSERT_NE(sink, nullptr);
+        exp::RunnerOptions opts = quietOptions();
+        opts.heartbeat = sink.get();
+        opts.heartbeatPeriod = 300;
+        exp::Runner runner(opts);
+        runner.run(smallPoint());
+    }
+    // Walk the "cycle": fields of tick records in stream order.
+    std::string text = jsonl.contents();
+    std::uint64_t last = 0;
+    std::size_t ticks = 0;
+    for (std::size_t pos = text.find("{\"t\":\"tick\"");
+         pos != std::string::npos;
+         pos = text.find("{\"t\":\"tick\"", pos + 1)) {
+        std::size_t at = text.find("\"cycle\":", pos);
+        ASSERT_NE(at, std::string::npos);
+        std::uint64_t cycle =
+            std::strtoull(text.c_str() + at + 8, nullptr, 10);
+        EXPECT_GT(cycle, last) << "tick cycles must strictly advance";
+        last = cycle;
+        ++ticks;
+    }
+    EXPECT_GT(ticks, 1u);
+}
+
+TEST(Heartbeat, RunShorterThanOneIntervalEmitsNoTicks)
+{
+    ScratchFile jsonl("test_heartbeat_short.jsonl");
+    {
+        auto sink = obs::Heartbeat::open(jsonl.path());
+        ASSERT_NE(sink, nullptr);
+        exp::RunnerOptions opts = quietOptions();
+        opts.heartbeat = sink.get();
+        // Period far beyond the whole window: no boundary is crossed.
+        opts.heartbeatPeriod = 1ULL << 40;
+        exp::Runner runner(opts);
+        exp::Result res = runner.run(smallPoint());
+        EXPECT_GT(res.run.insts, 0u);
+    }
+    std::string text = jsonl.contents();
+    EXPECT_EQ(countRecords(text, "tick"), 0u);
+    EXPECT_EQ(countRecords(text, "run_start"), 1u);
+    EXPECT_EQ(countRecords(text, "run_end"), 1u);
+    EXPECT_EQ(countRecords(text, "sweep_end"), 1u);
+}
+
+TEST(Heartbeat, PointsAndCacheSplitAccumulate)
+{
+    // 2-point sweep through a cache: second run is fully cached, and
+    // the sweep_end must say so.
+    ScratchFile cache("test_heartbeat_cache.txt");
+    ScratchFile jsonl("test_heartbeat_sweep.jsonl");
+    std::vector<exp::Point> points = {smallPoint("mcf"),
+                                      smallPoint("swim")};
+    {
+        auto sink = obs::Heartbeat::open(jsonl.path());
+        exp::RunnerOptions opts = quietOptions();
+        opts.cacheFile = cache.path();
+        opts.heartbeat = sink.get();
+        exp::Runner runner(opts);
+        runner.run(points);
+        runner.run(points); // all hits
+    }
+    std::string text = jsonl.contents();
+    EXPECT_EQ(countRecords(text, "sweep_start"), 2u);
+    EXPECT_EQ(countRecords(text, "point"), 4u);
+    EXPECT_EQ(countRecords(text, "sweep_end"), 2u);
+    // The second sweep simulated nothing.
+    EXPECT_NE(text.find("\"total\":2,\"cached\":2,\"simulated\":0"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"cacheHits\":"), std::string::npos);
+}
+
+// ----- sim.host.* self-metrics -------------------------------------------
+
+TEST(HostStats, PartitionSanity)
+{
+    sim::SimConfig cfg = smallConfig();
+    cfg.hostStats = true;
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 128 * 1024;
+    sim::System system(cfg, workloads::build("mcf", params));
+    system.fastForward(2000);
+    system.measureTimed(3000, 3000 * 400);
+
+    struct Capture : StatVisitor
+    {
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, std::uint64_t> distCounts;
+        void
+        onCounter(const std::string &name, std::uint64_t v) override
+        {
+            counters[name] = v;
+        }
+        void
+        onDistribution(const std::string &name,
+                       const StatDistribution &d) override
+        {
+            distCounts[name] = d.count();
+        }
+    } cap;
+    system.visitStats(cap);
+
+    // The core woke at least once; the jump histogram records exactly
+    // the gaps between consecutive wakes.
+    ASSERT_TRUE(cap.counters.count("sim.host.sched.core.wakes"));
+    std::uint64_t wakes = cap.counters["sim.host.sched.core.wakes"];
+    EXPECT_GE(wakes, 1u);
+    ASSERT_TRUE(cap.distCounts.count("sim.host.sched.core.jump"));
+    EXPECT_EQ(cap.distCounts["sim.host.sched.core.jump"], wakes - 1);
+
+    // Arena pressure: live <= high water <= allocs.
+    std::uint64_t allocs = cap.counters["sim.host.arena.allocs"];
+    std::uint64_t live = cap.counters["sim.host.arena.live"];
+    std::uint64_t hw = cap.counters["sim.host.arena.live_high_water"];
+    EXPECT_LE(live, hw);
+    EXPECT_LE(hw, allocs);
+    EXPECT_GT(allocs, 0u);
+}
+
+TEST(HostStats, OffByDefaultAndDigestExcluded)
+{
+    // Off: no sim.host.* groups in the dump.
+    sim::SimConfig cfg = smallConfig();
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 128 * 1024;
+    {
+        sim::System system(cfg, workloads::build("mcf", params));
+        system.fastForward(500);
+        system.measureTimed(500, 500 * 400);
+        EXPECT_EQ(system.dumpStats().find("sim.host."),
+                  std::string::npos);
+    }
+
+    // Digest-excluded (like traceMask), but uncacheable.
+    exp::Point plain = smallPoint();
+    exp::Point host = smallPoint();
+    host.cfg.hostStats = true;
+    EXPECT_EQ(exp::pointDigest(plain), exp::pointDigest(host));
+    EXPECT_TRUE(plain.cacheable());
+    EXPECT_FALSE(host.cacheable());
+}
+
+TEST(HostStats, ArenaHighWaterIsMonotone)
+{
+    mem::TxnArenaStats before = mem::txnArenaStats();
+    {
+        mem::Txn txn;
+        txn.note(mem::PathEvent::kRequest, 1);
+        txn.note(mem::PathEvent::kBusGrant, 2);
+    }
+    mem::TxnArenaStats after = mem::txnArenaStats();
+    EXPECT_GE(after.liveHighWater, before.liveHighWater);
+    EXPECT_GE(after.liveHighWater, 1u);
+    EXPECT_LE(after.live, after.liveHighWater);
+}
+
+// ----- result cache telemetry --------------------------------------------
+
+TEST(CacheTelemetry, CountsHitsMissesAndWritesProvenance)
+{
+    ScratchFile cache("test_cache_telemetry.txt");
+    exp::RunnerOptions opts = quietOptions();
+    opts.cacheFile = cache.path();
+    exp::Runner runner(opts);
+    exp::Point point = smallPoint();
+
+    runner.run(point); // miss + store
+    runner.run(point); // hit
+    ASSERT_NE(runner.cache(), nullptr);
+    exp::ResultCache::Stats stats = runner.cache()->stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+
+    // The file leads with the version header, then the provenance
+    // comment — and a fresh cache still loads it cleanly.
+    std::string text = cache.contents();
+    EXPECT_EQ(text.rfind("acp-cache-v5\n", 0), 0u);
+    EXPECT_NE(text.find("\n# {\"schema\": \"acp-manifest-v1\""),
+              std::string::npos);
+    exp::ResultCache reload(cache.path());
+    EXPECT_EQ(reload.size(), 1u);
+}
+
+TEST(CacheTelemetry, EvictionCapBoundsResidentEntries)
+{
+    ScratchFile cache("test_cache_evict.txt");
+    setenv("ACP_CACHE_MAX_ENTRIES", "1", 1);
+    exp::ResultCache store(cache.path());
+    unsetenv("ACP_CACHE_MAX_ENTRIES");
+
+    exp::Result result;
+    result.run.insts = 1;
+    store.store(std::string(64, 'a'), result);
+    store.store(std::string(64, 'b'), result);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().evictions, 1u);
+
+    // The file keeps every line: a fresh, uncapped cache sees both.
+    exp::ResultCache reload(cache.path());
+    EXPECT_EQ(reload.size(), 2u);
+}
+
+// ----- sweep JSON v3 -----------------------------------------------------
+
+TEST(SweepJson, CarriesManifestAndTelemetry)
+{
+    ScratchFile json("test_sweep_v3.json");
+    exp::Runner runner(quietOptions());
+    std::vector<exp::Point> points = {smallPoint()};
+    std::vector<exp::Result> results = runner.run(points);
+
+    const exp::SweepTelemetry &tel = runner.lastTelemetry();
+    EXPECT_EQ(tel.total, 1u);
+    EXPECT_EQ(tel.cached, 0u);
+    EXPECT_EQ(tel.simulated, 1u);
+    EXPECT_GT(tel.wallMax, 0.0);
+    EXPECT_GE(tel.wallP90, tel.wallP50);
+
+    ASSERT_TRUE(
+        exp::Runner::writeJson(json.path(), points, results, &tel));
+    std::string text = json.contents();
+    EXPECT_NE(text.find("\"version\": \"acp-exp-v3\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"manifest\": {"), std::string::npos);
+    EXPECT_NE(text.find("\"schema\": \"acp-manifest-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"telemetry\": {"), std::string::npos);
+    EXPECT_NE(text.find("\"pointWallP50\":"), std::string::npos);
+
+    // Without a telemetry block the manifest still rides along.
+    ScratchFile plain("test_sweep_v3_plain.json");
+    ASSERT_TRUE(exp::Runner::writeJson(plain.path(), points, results));
+    std::string plain_text = plain.contents();
+    EXPECT_NE(plain_text.find("\"manifest\": {"), std::string::npos);
+    EXPECT_EQ(plain_text.find("\"telemetry\""), std::string::npos);
+}
+
+} // namespace

@@ -24,12 +24,33 @@
 # nor written). Honors ACP_JOBS and the usual scale knobs
 # (REPRO_MEASURE_INSTS, REPRO_WARMUP_INSTS, REPRO_WS_BYTES); the
 # committed baseline must be recorded at the default scale.
+#
+# The written JSON embeds a provenance manifest (git SHA, build type,
+# compiler, host) so a committed baseline says what produced it.
+# An existing output file is never overwritten without --force:
+# committed baselines are reference points, and clobbering one by
+# accident silently moves the goalposts for every future diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_baseline.json}"
+FORCE=0
+ARGS=()
+for arg in "$@"; do
+    case "$arg" in
+        --force) FORCE=1 ;;
+        *) ARGS+=("$arg") ;;
+    esac
+done
+
+OUT="${ARGS[0]:-BENCH_baseline.json}"
 JOBS="${ACP_JOBS:-$(nproc)}"
 export ACP_JOBS="$JOBS"
+
+if [[ -e "$OUT" && "$FORCE" -ne 1 ]]; then
+    echo "error: $OUT already exists; re-run with --force to replace it" >&2
+    echo "       (e.g. tools/record_bench.sh $OUT --force)" >&2
+    exit 1
+fi
 
 GENERATOR=()
 if command -v ninja > /dev/null 2>&1; then

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-core scaling recorder: runs memory-bound kernels at 1, 2 and
+ * 4 cores (identical workload per core, shared secure memory
+ * controller) under the baseline and authen-then-commit policies and
+ * writes BENCH_multicore.json at the repo root.
+ *
+ * The interesting number is the aggregate-IPC scaling ratio: N cores
+ * through one bus, one DRAM and one authentication engine commit less
+ * than N× the single-core rate, and the gap *between* the baseline
+ * and commit columns says how much of the loss is the auth engine's
+ * shared verify bandwidth rather than plain bus/DRAM contention —
+ * the beyond-the-paper question DESIGN.md §9 poses.
+ *
+ * Regenerate with:
+ *
+ *   tools/record_bench.sh BENCH_multicore.json --bench=multicore_scaling
+ *
+ * Profiled points are uncacheable by design, so every run here is a
+ * fresh measurement.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "obs/manifest.hh"
+
+using namespace acp;
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_multicore.json";
+
+    const std::vector<std::string> names = {"mcf", "gcc", "twolf"};
+    const std::vector<unsigned> core_counts = {1, 2, 4};
+
+    std::printf("Recording multi-core scaling (profiled)\n");
+    std::printf("(window: %llu measured instructions per core, %llu "
+                "warmup, %lluKB working set per array)\n",
+                (unsigned long long)bench::measureInsts(),
+                (unsigned long long)bench::warmupInsts(),
+                (unsigned long long)bench::workingSetBytes() / 1024);
+
+    sim::SimConfig cfg = bench::paperConfig();
+    cfg.profileEnabled = true;
+
+    exp::Sweep sweep = bench::paperSweep(cfg);
+    sweep.workloads(names);
+    sweep.variant("baseline", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kBaseline;
+    });
+    sweep.variant("commit", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kAuthThenCommit;
+    });
+    sweep.cores(core_counts);
+
+    std::vector<exp::Point> points = sweep.build();
+    std::vector<exp::Result> results = bench::runner().run(points);
+
+    std::FILE *out = std::fopen(out_path, "wb");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+        return 1;
+    }
+
+    // Same schema as BENCH_baseline.json so tools/bench_diff.py can
+    // diff two multicore recordings; the "policy" key is the point
+    // label ("commit@2c"), which keeps (workload, policy) unique
+    // across core counts.
+    std::fprintf(out, "{\n  \"version\": \"acp-bench-baseline-v1\",\n");
+    std::fputs("  \"manifest\": ", out);
+    obs::writeManifestJson(out, obs::manifest(), "  ");
+    std::fputs(",\n", out);
+    std::fprintf(out, "  \"measureInsts\": %llu,\n",
+                 (unsigned long long)bench::measureInsts());
+    std::fprintf(out, "  \"warmupInsts\": %llu,\n",
+                 (unsigned long long)bench::warmupInsts());
+    std::fprintf(out, "  \"workingSetBytes\": %llu,\n",
+                 (unsigned long long)bench::workingSetBytes());
+    std::fprintf(out, "  \"points\": [");
+
+    double wall_total = 0.0;
+    std::uint64_t cycles_total = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const exp::Point &point = points[i];
+        const exp::Result &r = results[i];
+        wall_total += r.wallSeconds;
+        cycles_total += r.run.cycles;
+
+        std::fprintf(out, "%s\n    {\"workload\": \"%s\", "
+                     "\"policy\": \"%s\", \"cores\": %u,\n",
+                     i ? "," : "", point.workload.c_str(),
+                     point.label.c_str(), point.cfg.numCores);
+        std::fprintf(out, "     \"ipc\": %.6f, \"cycles\": %llu, "
+                     "\"insts\": %llu, \"wallSeconds\": %.3f}",
+                     r.run.ipc, (unsigned long long)r.run.cycles,
+                     (unsigned long long)r.run.insts, r.wallSeconds);
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+
+    // Console summary: aggregate-IPC scaling vs the 1-core run of the
+    // same (workload, policy) column. Point layout:
+    // ((w * variants) + v) * coreCounts + c.
+    const std::size_t n_var = 2, n_cores = core_counts.size();
+    std::printf("\n%-10s %-10s", "workload", "policy");
+    for (unsigned n : core_counts)
+        std::printf("  ipc@%uc  scale", n);
+    std::printf("\n");
+    bench::rule('-', 66);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        for (std::size_t v = 0; v < n_var; ++v) {
+            std::size_t base = (w * n_var + v) * n_cores;
+            std::printf("%-10s %-10s", names[w].c_str(),
+                        v == 0 ? "baseline" : "commit");
+            double one = results[base].run.ipc;
+            for (std::size_t c = 0; c < n_cores; ++c) {
+                double ipc = results[base + c].run.ipc;
+                std::printf(" %6.3f  %4.2fx", ipc,
+                            one > 0 ? ipc / one : 0.0);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\nwrote %s (%zu points, %.1fs simulated wall time)\n",
+                out_path, results.size(), wall_total);
+    std::printf("throughput: %.0f simulated cycles per wall second "
+                "(%llu cycles / %.1fs)\n",
+                wall_total > 0 ? double(cycles_total) / wall_total : 0.0,
+                (unsigned long long)cycles_total, wall_total);
+    return 0;
+}

@@ -32,10 +32,11 @@ stopReasonName(StopReason reason)
 constexpr Cycle kProgressPanicCycles = 1000000;
 
 OooCore::OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
-                 Addr entry)
-    : sim::Component("core"), cfg_(cfg), hier_(hier), bpred_(cfg),
-      regs_(32, 0), regTainted_(32, false), fetchPc_(entry),
-      ruu_(cfg.ruuSize), renameMap_(32, -1), stats_("core")
+                 Addr entry, unsigned client, const std::string &name)
+    : sim::Component(name), cfg_(cfg), hier_(hier), client_(client),
+      policy_(hier.ctrl().policyFor(client)), bpred_(cfg), regs_(32, 0),
+      regTainted_(32, false), fetchPc_(entry), ruu_(cfg.ruuSize),
+      renameMap_(32, -1), stats_(name)
 {
     stats_.addCounter("committed", &committed_);
     stats_.addCounter("fetched", &fetched_);
@@ -89,7 +90,10 @@ OooCore::verifiedOk(AuthSeq seq) const
         const_cast<secmem::MemHierarchy &>(hier_).ctrl().authEngine();
     if (seq == kNoAuthSeq)
         return true;
-    if (eng.anyFailure() && seq >= eng.firstFailedSeq())
+    // Only this core's own failed requests poison its gates: a
+    // neighbour core fetching a tampered line raises *its* exception,
+    // not ours (per-client failure view).
+    if (eng.anyFailure(client_) && seq >= eng.firstFailedSeq(client_))
         return false; // a failed (or later) request never verifies
     return eng.verifiedBy(seq, cycle_);
 }
@@ -105,13 +109,12 @@ OooCore::raiseSecurityException(bool precise)
 bool
 OooCore::checkEngineFailure()
 {
-    if (!verifies(cfg_.policy))
+    if (!verifies(policy_))
         return false;
     const secmem::AuthEngine &eng = hier_.ctrl().authEngine();
-    if (!eng.anyFailure() || cycle_ < eng.firstFailureCycle())
+    if (!eng.anyFailure(client_) || cycle_ < eng.firstFailureCycle(client_))
         return false;
-    raiseSecurityException(gatesCommit(cfg_.policy) ||
-                           gatesIssue(cfg_.policy));
+    raiseSecurityException(gatesCommit(policy_) || gatesIssue(policy_));
     return true;
 }
 
@@ -247,12 +250,13 @@ OooCore::tryIssueMemOp(RuuEntry &entry, unsigned pos)
 
     // Real memory access: this is where a speculative load's address
     // reaches the front-side bus (the side channel).
-    AuthSeq gate = gatesFetch(cfg_.policy)
-                       ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
-                       : kNoAuthSeq;
+    AuthSeq gate =
+        gatesFetch(policy_)
+            ? hier_.ctrl().authEngine().lastArrivedBy(cycle_, client_)
+            : kNoAuthSeq;
     std::uint64_t raw = 0;
-    mem::Txn access =
-        hier_.readTimed(addr, bytes, cycle_ + 1, gate, raw, entry.seq);
+    mem::Txn access = hier_.readTimed(addr, bytes, cycle_ + 1, gate, raw,
+                                      entry.seq, client_);
     entry.result = isa::adjustLoadValue(entry.inst.op, raw);
     entry.readyAt = access.ready;
     entry.dataReadyAt = access.dataReady;
@@ -308,7 +312,7 @@ OooCore::stageCommit()
         if (!entry.issued || !entry.completed || entry.readyAt > cycle_)
             break;
 
-        if (gatesCommit(cfg_.policy)) {
+        if (gatesCommit(policy_)) {
             AuthSeq gate = std::max(entry.fetchSeq, entry.dataSeq);
             if (!verifiedOk(gate)) {
                 ++authCommitStalls_;
@@ -429,7 +433,7 @@ OooCore::stageStoreBufferDrain()
     if (storeBuffer_.empty())
         return;
     StoreBufEntry &sb = storeBuffer_.front();
-    if (gatesWrite(cfg_.policy) && !verifiedOk(sb.tag)) {
+    if (gatesWrite(policy_) && !verifiedOk(sb.tag)) {
         ++storeReleaseStalls_;
         drainBlocked_ = true;
         return;
@@ -440,12 +444,14 @@ OooCore::stageStoreBufferDrain()
     if (sb.isOut) {
         // Value leaves the chip through an output port: observable.
         hier_.ctrl().busTrace().record(cycle_, sb.value,
-                                       mem::BusTxnKind::kIoOut);
+                                       mem::BusTxnKind::kIoOut, client_);
     } else {
-        AuthSeq gate = gatesFetch(cfg_.policy)
-                           ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
-                           : kNoAuthSeq;
-        hier_.writeTimed(sb.addr, sb.bytes, sb.value, cycle_, gate);
+        AuthSeq gate =
+            gatesFetch(policy_)
+                ? hier_.ctrl().authEngine().lastArrivedBy(cycle_, client_)
+                : kNoAuthSeq;
+        hier_.writeTimed(sb.addr, sb.bytes, sb.value, cycle_, gate,
+                         /*origin=*/0, client_);
     }
     storeBuffer_.pop_front();
 }
@@ -509,9 +515,11 @@ OooCore::stageIssue()
 
         // Sample the LastRequest register at issue: the tag consulted
         // by the write gate and the fetch gate (Section 4.2.2/4.2.4).
-        entry.issueTag = verifies(cfg_.policy)
-                             ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
-                             : kNoAuthSeq;
+        // Per-client: only requests this core posted move its tag.
+        entry.issueTag =
+            verifies(policy_)
+                ? hier_.ctrl().authEngine().lastArrivedBy(cycle_, client_)
+                : kNoAuthSeq;
 
         if (oi.fu == isa::FuClass::kMemPort) {
             if (!tryIssueMemOp(entry, pos))
@@ -622,11 +630,13 @@ OooCore::stageFetch()
         // Even a stalling probe mutates the hierarchy (caches, MSHRs,
         // bus, engine): every loop entry is progress.
         progress_ = true;
-        AuthSeq gate = gatesFetch(cfg_.policy)
-                           ? hier_.ctrl().authEngine().lastArrivedBy(cycle_)
-                           : kNoAuthSeq;
+        AuthSeq gate =
+            gatesFetch(policy_)
+                ? hier_.ctrl().authEngine().lastArrivedBy(cycle_, client_)
+                : kNoAuthSeq;
         std::uint32_t word = 0;
-        mem::Txn access = hier_.fetchTimed(fetchPc_, cycle_, gate, word);
+        mem::Txn access =
+            hier_.fetchTimed(fetchPc_, cycle_, gate, word, client_);
         // L1I hits are pipelined: data arriving within the hit latency
         // feeds this cycle's fetch group; anything slower stalls.
         if (access.ready > cycle_ + cfg_.l1i.hitLatency) {
@@ -786,9 +796,25 @@ OooCore::tick()
     stageFetch();
     ++cycle_;
 
-    if (cycle_ - lastCommitCycle_ > kProgressPanicCycles)
-        acp_panic("no commit progress for 1M cycles (pc 0x%llx)",
-                  (unsigned long long)fetchPc_);
+    if (cycle_ - lastCommitCycle_ > kProgressPanicCycles) {
+        const RuuEntry *head = ruuCount_ ? &entryAt(0) : nullptr;
+        acp_panic("%s: no commit progress for 1M cycles "
+                  "(pc 0x%llx cycle %llu ruu %u commit-block %u "
+                  "dispatch-block %u head{valid %d seq %llu pc 0x%llx "
+                  "issued %d done %d readyAt %llu load %d store %d "
+                  "v1 %d v2 %d prod1 %d prod2 %d})",
+                  componentName(), (unsigned long long)fetchPc_,
+                  (unsigned long long)cycle_, ruuCount_,
+                  unsigned(commitBlock_), unsigned(dispatchBlock_),
+                  head ? head->valid : 0,
+                  head ? (unsigned long long)head->seq : 0ull,
+                  head ? (unsigned long long)head->pc : 0ull,
+                  head ? head->issued : 0, head ? head->completed : 0,
+                  head ? (unsigned long long)head->readyAt : 0ull,
+                  head ? head->isLoad : 0, head ? head->isStore : 0,
+                  head ? head->v1Ready : 0, head ? head->v2Ready : 0,
+                  head ? head->prod1 : -2, head ? head->prod2 : -2);
+    }
     return true;
 }
 
@@ -807,23 +833,6 @@ OooCore::runReason() const
     // stays kRunning and a later window can continue.
     return runLimitHit_ != StopReason::kRunning ? runLimitHit_
                                                 : stopReason_;
-}
-
-StopReason
-OooCore::runPolled()
-{
-    while (stopReason_ == StopReason::kRunning) {
-        if (instsCommitted() >= runInstLimit_) {
-            runLimitHit_ = StopReason::kInstLimit;
-            break;
-        }
-        if (cycle_ >= runCycleLimit_) {
-            runLimitHit_ = StopReason::kCycleLimit;
-            break;
-        }
-        tick();
-    }
-    return runReason();
 }
 
 Cycle
@@ -858,7 +867,7 @@ OooCore::nextWakeCycle() const
 
     if (ruuCount_ > 0) {
         const RuuEntry &head = ruu_[ruuIndex(0)];
-        if (head.issued && head.completed && gatesCommit(cfg_.policy)) {
+        if (head.issued && head.completed && gatesCommit(policy_)) {
             // Commit gate: the verdict lands at the engine's done
             // cycle (a failed tag never opens the gate, but then the
             // engine-failure wake below ends the run).
@@ -879,7 +888,7 @@ OooCore::nextWakeCycle() const
     }
 
     // Store-release gate on the buffer head.
-    if (!storeBuffer_.empty() && gatesWrite(cfg_.policy))
+    if (!storeBuffer_.empty() && gatesWrite(policy_))
         consider(eng.doneCycle(storeBuffer_.front().tag));
 
     // Frontend restart + its attribution boundary (kMemFetch ->
@@ -893,9 +902,9 @@ OooCore::nextWakeCycle() const
     consider(fpDivFreeAt_);
 
     // A posted verification failure raises the security exception the
-    // moment its verdict is due.
-    if (verifies(cfg_.policy) && eng.anyFailure())
-        consider(eng.firstFailureCycle());
+    // moment its verdict is due (only this core's own failures).
+    if (verifies(policy_) && eng.anyFailure(client_))
+        consider(eng.firstFailureCycle(client_));
 
     // The panic bound always qualifies (cycle_ <= lastCommitCycle_ +
     // 1M while running), so wake is never kCycleNever; the guard is

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -59,12 +60,24 @@ enum class StopReason
 /** Stable display name of a stop reason (shared by every sink). */
 const char *stopReasonName(StopReason reason);
 
-/** The out-of-order core: the one active component of the system. */
+/** The out-of-order core: an active component of the system. A
+ *  single-core system has one; a multi-core system has numCores of
+ *  them registered as clients of one shared MemHierarchy. */
 class OooCore : public sim::Component
 {
   public:
+    /**
+     * @p client is the hierarchy client id this core issues memory
+     * traffic as (from MemHierarchy::registerClient); @p name is the
+     * stat-group / component name — exactly "core" for a single-core
+     * system (bit-identical stat surface), "cpuN.core" otherwise.
+     * The core runs the per-client policy the shared controller
+     * resolved (SecureMemCtrl::policyFor), not necessarily the global
+     * cfg.policy.
+     */
     OooCore(const sim::SimConfig &cfg, secmem::MemHierarchy &hier,
-            Addr entry);
+            Addr entry, unsigned client = 0,
+            const std::string &name = "core");
     ~OooCore() override;
 
     /**
@@ -79,19 +92,10 @@ class OooCore : public sim::Component
     /**
      * Arm a measurement window: run until @p max_insts commits,
      * @p max_cycles elapse, HALT commits, or a security exception
-     * fires. The window executes either through the scheduler (seed
-     * with wakeAt(cycles()) and drain, the default) or through
-     * runPolled() (--legacy-tick); runReason() reports the outcome.
+     * fires. The window executes through the scheduler (seed with
+     * wakeAt(cycles()) and drain); runReason() reports the outcome.
      */
     void beginRun(std::uint64_t max_insts, std::uint64_t max_cycles);
-
-    /**
-     * Legacy escape hatch (--legacy-tick): drive the armed window with
-     * the pre-scheduler per-cycle polled loop. Bit-identical to the
-     * scheduled run, at ~an order of magnitude more wall-clock on
-     * stall-dominated workloads.
-     */
-    StopReason runPolled();
 
     /** Outcome of the armed window: a limit, or why the core stopped. */
     StopReason runReason() const;
@@ -301,6 +305,11 @@ class OooCore : public sim::Component
 
     const sim::SimConfig &cfg_;
     secmem::MemHierarchy &hier_;
+    /** Hierarchy client id all of this core's memory traffic carries. */
+    unsigned client_ = 0;
+    /** This core's resolved authen policy (cfg.corePolicies[client_]
+     *  when present, else cfg.policy). */
+    core::AuthPolicy policy_;
     BranchPredictor bpred_;
 
     // Architectural state

@@ -4,7 +4,7 @@
  *
  * File format (./acp_bench_cache.txt by default):
  *
- *   acp-cache-v5
+ *   acp-cache-v6
  *   # {"schema": "acp-manifest-v1", ...}
  *   <64-hex-digest> ipc=<g17> insts=<u> cycles=<u> reason=<u> \
  *       [<group.stat>=<u> ...] \
@@ -27,7 +27,13 @@
  * the bus stat group, so pre-refactor numbers are not comparable.
  * v4 -> v5: the stall taxonomy gained core.stall.bus_wait, split out
  * of mem_data; v4 entries carry stall breakdowns that violate the
- * new 11-cause partition, so they must not be served.)
+ * new 11-cause partition, so they must not be served.
+ * v5 -> v6: the multi-core refactor grew SimConfig (numCores,
+ * corePolicies, coreWorkloads) and therefore serializeConfig(): every
+ * digest changed, so v5 entries could never be *served* — but they
+ * could also never be evicted, and the --legacy-tick removal means a
+ * v5 file may have been written by a build whose results can no
+ * longer be reproduced for comparison. Clean break.)
  * Interval series and path profiles are never cached: points with
  * statsInterval != 0 or profileEnabled are uncacheable by design.
  */
@@ -102,7 +108,7 @@ struct Result
 class ResultCache
 {
   public:
-    static constexpr const char *kVersionHeader = "acp-cache-v5";
+    static constexpr const char *kVersionHeader = "acp-cache-v6";
 
     /** Lifetime telemetry of one cache instance (sim.host.cache /
      *  sweep JSON "telemetry" block). Plain snapshot — not persisted. */

@@ -206,34 +206,55 @@ Runner::simulate(const Point &point) const
 {
     auto start = std::chrono::steady_clock::now();
 
-    sim::System system(point.cfg,
-                       workloads::build(point.workload, point.params));
+    // One program per core: cfg.coreWorkloads names them (a core with
+    // no entry falls back to the point's workload), so heterogeneous
+    // mixes like "mcf next to sha" are one point.
+    const unsigned n_cores = std::max(1u, point.cfg.numCores);
+    std::vector<isa::Program> progs;
+    progs.reserve(n_cores);
+    for (unsigned i = 0; i < n_cores; ++i) {
+        const std::string &name =
+            i < point.cfg.coreWorkloads.size() &&
+                    !point.cfg.coreWorkloads[i].empty()
+                ? point.cfg.coreWorkloads[i]
+                : point.workload;
+        progs.push_back(workloads::build(name, point.params));
+    }
+    sim::System system(point.cfg, std::move(progs));
     system.fastForward(point.warmupInsts);
     if (point.prepare)
         point.prepare(system);
 
-    // Live heartbeat feed (passive; the core samples it from its
-    // per-cycle accounting). Created after the warmup so the window's
-    // delta anchors are the timed core's zeroed statistics.
-    std::unique_ptr<obs::HeartbeatRun> hb_run;
+    // Live heartbeat feeds (passive; each core samples its own from
+    // its per-cycle accounting). Created after the warmup so the
+    // window's delta anchors are the timed cores' zeroed statistics.
+    // Multi-core labels get a "#cpuN" suffix; single-core is the
+    // classic unsuffixed stream.
+    std::vector<std::unique_ptr<obs::HeartbeatRun>> hb_runs;
     if (opts_.heartbeat) {
-        hb_run = std::make_unique<obs::HeartbeatRun>(
-            *opts_.heartbeat, point.workload,
+        const std::string base_label =
             point.label.empty() ? core::policyName(point.cfg.policy)
-                                : point.label,
-            opts_.heartbeatPeriod);
-        system.setHeartbeat(hb_run.get());
-        hb_run->begin(system.core().cycles());
+                                : point.label;
+        for (unsigned i = 0; i < n_cores; ++i) {
+            std::string label =
+                n_cores == 1 ? base_label
+                             : base_label + "#cpu" + std::to_string(i);
+            hb_runs.push_back(std::make_unique<obs::HeartbeatRun>(
+                *opts_.heartbeat, point.workload, label,
+                opts_.heartbeatPeriod));
+            system.setHeartbeat(hb_runs.back().get(), i);
+            hb_runs.back()->begin(system.core(i).cycles());
+        }
     }
 
     Result result;
     result.run = system.measureTimed(point.measureInsts,
                                      point.maxCycles());
-    if (hb_run) {
-        hb_run->end(system.core().cycles(),
-                    system.core().instsCommitted(), result.run.ipc,
-                    cpu::stopReasonName(result.run.reason));
-        system.setHeartbeat(nullptr);
+    for (unsigned i = 0; i < hb_runs.size(); ++i) {
+        hb_runs[i]->end(system.core(i).cycles(),
+                        system.core(i).instsCommitted(), result.run.ipc,
+                        cpu::stopReasonName(result.run.reason));
+        system.setHeartbeat(nullptr, i);
     }
     if (point.finish)
         point.finish(system);
@@ -420,7 +441,7 @@ Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
     // timestamps) and an optional "telemetry" block (cache split,
     // host wall-time percentiles). Both describe the *run that wrote
     // the file*, never the simulated machine: comparison tooling
-    // (tools/bench_diff.py, the CI loop-parity smoke) strips them
+    // (tools/bench_diff.py, the CI multi-core smoke) strips them
     // before diffing.
     std::fputs("{\n  \"version\": \"acp-exp-v3\",\n  \"manifest\": ",
                out);

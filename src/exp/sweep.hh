@@ -150,6 +150,33 @@ class Sweep
         return *this;
     }
 
+    /**
+     * Sweep axis over core counts: the cross product gains a third,
+     * innermost dimension and each point's label a "@Nc" suffix
+     * (points land at ((w * variantCount()) + v) * coreCount() + c).
+     * Empty (the default) leaves the base numCores and the labels
+     * untouched — existing two-axis sweeps build bit-identically.
+     */
+    Sweep &
+    cores(const std::vector<unsigned> &counts)
+    {
+        coresAxis_ = counts;
+        return *this;
+    }
+
+    /**
+     * Per-core workload mix applied to every built point
+     * (cfg.coreWorkloads, serialized into the digest). Cores beyond
+     * the mix — or with an empty entry — run the point's own
+     * workload (Runner's fallback rule).
+     */
+    Sweep &
+    mix(const std::vector<std::string> &names)
+    {
+        mix_ = names;
+        return *this;
+    }
+
     /** Append a fully custom point after the cross product. */
     Sweep &
     point(Point p)
@@ -165,19 +192,27 @@ class Sweep
         return variants_.empty() ? 1 : variants_.size();
     }
 
+    /** Core counts per variant (1 when no cores axis was declared). */
+    std::size_t
+    coreCount() const
+    {
+        return coresAxis_.empty() ? 1 : coresAxis_.size();
+    }
+
     /** Materialize the cross product (workload-major) + extra points. */
     std::vector<Point>
     build() const
     {
         std::vector<Point> points;
-        points.reserve(workloads_.size() * variantCount() + extra_.size());
+        points.reserve(workloads_.size() * variantCount() * coreCount() +
+                       extra_.size());
         for (const std::string &name : workloads_) {
             if (variants_.empty()) {
-                points.push_back(makePoint(name, name, nullptr));
+                appendCorePoints(points, name, name, nullptr);
                 continue;
             }
             for (const auto &[label, mutate] : variants_)
-                points.push_back(makePoint(name, label, mutate));
+                appendCorePoints(points, name, label, mutate);
         }
         points.insert(points.end(), extra_.begin(), extra_.end());
         return points;
@@ -193,12 +228,32 @@ class Sweep
         p.label = label;
         p.params = params_;
         p.cfg = base_;
+        if (!mix_.empty())
+            p.cfg.coreWorkloads = mix_;
         p.warmupInsts = warmup_;
         p.measureInsts = measure_;
         p.cyclesPerInst = cyclesPerInst_;
         if (mutate)
             mutate(p.cfg);
         return p;
+    }
+
+    /** One point per cores-axis entry (or just one without the axis). */
+    void
+    appendCorePoints(std::vector<Point> &points, const std::string &name,
+                     const std::string &label,
+                     const ConfigMutator &mutate) const
+    {
+        if (coresAxis_.empty()) {
+            points.push_back(makePoint(name, label, mutate));
+            return;
+        }
+        for (unsigned n : coresAxis_) {
+            Point p = makePoint(name, label, mutate);
+            p.cfg.numCores = n;
+            p.label += "@" + std::to_string(n) + "c";
+            points.push_back(std::move(p));
+        }
     }
 
     sim::SimConfig base_;
@@ -208,6 +263,8 @@ class Sweep
     std::uint64_t cyclesPerInst_ = 400;
     std::vector<std::string> workloads_;
     std::vector<std::pair<std::string, ConfigMutator>> variants_;
+    std::vector<unsigned> coresAxis_;
+    std::vector<std::string> mix_;
     std::vector<Point> extra_;
 };
 

@@ -19,6 +19,9 @@
 #ifndef ACP_MEM_BUS_HH
 #define ACP_MEM_BUS_HH
 
+#include <memory>
+#include <vector>
+
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/component.hh"
@@ -39,14 +42,31 @@ class BusArbiter : public sim::Component
     void visitStats(sim::StatGroupVisitor &v) override { v.group(stats_); }
 
     /**
+     * Declare the bus multi-client: @p n cores will present requests.
+     * Registers per-client grant/wait stats (cpu<i>_grants,
+     * cpu<i>_contended_grants, cpu<i>_grant_wait) plus the cross-
+     * client contention counter. A single-core system never calls
+     * this, so its stat surface is byte-identical to the classic one.
+     */
+    void registerClients(unsigned n);
+
+    /**
      * Reserve the bus for one transfer.
+     *
+     * The grant policy is first-come-first-served in arrival order:
+     * the scheduler pops core wakes in (cycle, attach-order) order, so
+     * same-cycle requests from different clients are granted in a
+     * fixed, deterministic core order — the fair round-robin-free
+     * arbiter of paper Section 4.3, with determinism by construction.
+     *
      * @param earliest first cycle the requester could drive the bus
      *        (bank ready, gate released, translation resolved)
      * @param beats transfer length in bus beats
+     * @param client requesting core id (0 in single-core systems)
      * @return the grant cycle (>= earliest; the transfer occupies the
      *         bus until grant + beats * busClockRatio)
      */
-    Cycle reserve(Cycle earliest, unsigned beats);
+    Cycle reserve(Cycle earliest, unsigned beats, unsigned client = 0);
 
     /** Cycle at which the bus becomes free. */
     Cycle freeAt() const { return freeAt_; }
@@ -61,16 +81,33 @@ class BusArbiter : public sim::Component
     {
         return contendedGrants_.value();
     }
+    /** Contended grants whose previous bus owner was another client. */
+    std::uint64_t crossClientContended() const
+    {
+        return crossClientContended_.value();
+    }
 
   private:
+    /** Per-client attribution, live only after registerClients(). */
+    struct ClientStats
+    {
+        StatCounter grants;
+        StatCounter contendedGrants;
+        StatAverage grantWait;
+    };
+
     const sim::SimConfig &cfg_;
     Cycle freeAt_ = 0;
+    /** Client granted the bus most recently (cross-client detection). */
+    unsigned lastOwner_ = 0;
 
     StatGroup stats_;
     StatCounter grants_;
     StatCounter contendedGrants_;
     StatCounter beats_;
     StatAverage grantWait_;
+    StatCounter crossClientContended_;
+    std::vector<std::unique_ptr<ClientStats>> clients_;
 };
 
 } // namespace acp::mem

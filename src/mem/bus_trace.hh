@@ -53,6 +53,10 @@ struct BusTxn
     Cycle cycle = 0;
     Addr addr = 0;
     BusTxnKind kind = BusTxnKind::kDataFetch;
+    /** Requesting client (core) id; the adversary can tell requests
+     *  apart by which core's traffic stream they ride on, and the
+     *  leak audit needs it to window exposure per victim core. */
+    unsigned client = 0;
 };
 
 /**
@@ -66,10 +70,10 @@ class BusTrace
     bool enabled() const { return enabled_; }
 
     void
-    record(Cycle cycle, Addr addr, BusTxnKind kind)
+    record(Cycle cycle, Addr addr, BusTxnKind kind, unsigned client = 0)
     {
         if (enabled_)
-            txns_.push_back({cycle, addr, kind});
+            txns_.push_back({cycle, addr, kind, client});
     }
 
     void clear() { txns_.clear(); }

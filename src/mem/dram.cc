@@ -30,7 +30,8 @@ Dram::resetTiming()
 }
 
 DramResult
-Dram::access(Addr addr, Cycle req_cycle, unsigned bytes, bool is_write)
+Dram::access(Addr addr, Cycle req_cycle, unsigned bytes, bool is_write,
+             unsigned client)
 {
     ++accesses_;
     if (is_write)
@@ -66,7 +67,7 @@ Dram::access(Addr addr, Cycle req_cycle, unsigned bytes, bool is_write)
     if (beats == 0)
         beats = 1;
     Cycle bank_ready = start + access_lat;
-    Cycle data_start = bus_.reserve(bank_ready, beats);
+    Cycle data_start = bus_.reserve(bank_ready, beats, client);
     Cycle complete = data_start + Cycle(beats) * ratio;
 
     // The bank frees after its own row cycle + burst readout; bus

@@ -58,9 +58,10 @@ class Dram : public sim::Component
      * @param req_cycle cycle the request reaches the memory controller
      * @param bytes transfer size (row activation covers the line)
      * @param is_write writes occupy bank+bus but CAS is write latency
+     * @param client requesting core id, forwarded to the bus arbiter
      */
     DramResult access(Addr addr, Cycle req_cycle, unsigned bytes,
-                      bool is_write);
+                      bool is_write, unsigned client = 0);
 
     /** Reset bank timing state (banks closed) but keep stats. The
      *  shared BusArbiter is reset by its owner. */

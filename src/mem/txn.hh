@@ -184,6 +184,10 @@ struct Txn
     Cycle reqCycle = 0;
     /** Originating RUU context: dynamic instruction number (0=none). */
     std::uint64_t origin = 0;
+    /** Requesting client (core) id; 0 in single-core systems. The id
+     *  rides the whole timeline — metadata traffic a fill drags along
+     *  is attributed to the demand client that caused it. */
+    unsigned client = 0;
 
     // ----- outcome -----------------------------------------------------
     /** Cycle the data is usable by the pipeline (the control point's

@@ -95,6 +95,9 @@ PathProfiler::record(const mem::Txn &txn)
         firstBadUsable_ = txn.dataReady;
         firstBadVerdict_ = txn.verifyDone;
     }
+    if (!txn.macOk && !firstBadByClient_.count(txn.client))
+        firstBadByClient_[txn.client] =
+            BadWindow{txn.reqCycle, txn.dataReady, txn.verifyDone};
 
     if (topN_ == 0)
         return;
@@ -176,6 +179,41 @@ PathProfiler::auditLeaks(const mem::BusTrace &trace) const
             ++audit.novelExposuresInGap;
     }
     audit.leakWindowOpen = audit.novelExposuresInGap > 0;
+
+    // Per-victim windows: the same novelty scan, restricted to the
+    // victim's own demand traffic and its own earliest bad fill.
+    for (const auto &[client, win] : firstBadByClient_) {
+        LeakAudit::CoreWindow cw;
+        cw.core = client;
+        cw.firstBadReq = win.req;
+        cw.firstBadUsable = win.usable;
+        cw.firstBadVerdict = win.verdict;
+        const bool window = win.usable != kCycleNever &&
+                            win.verdict != kCycleNever &&
+                            win.usable < win.verdict;
+        std::set<Addr> core_seen;
+        for (const mem::BusTxn &txn : txns) {
+            if (txn.client != client)
+                continue;
+            if (txn.kind != mem::BusTxnKind::kInstrFetch &&
+                txn.kind != mem::BusTxnKind::kDataFetch)
+                continue;
+            ++cw.demandFetches;
+            if (win.verdict != kCycleNever && txn.cycle >= win.verdict)
+                ++cw.exposuresAfterVerdict;
+            Addr line = txn.addr & ~Addr(kExtLineBytes - 1);
+            if (!window || txn.cycle < win.usable) {
+                core_seen.insert(line);
+                continue;
+            }
+            if (txn.cycle >= win.verdict)
+                continue;
+            if (core_seen.insert(line).second)
+                ++cw.novelExposuresInGap;
+        }
+        cw.leakWindowOpen = cw.novelExposuresInGap > 0;
+        audit.cores.push_back(cw);
+    }
     return audit;
 }
 

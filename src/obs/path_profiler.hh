@@ -189,6 +189,30 @@ struct LeakAudit
     /** The machine-checked classification: secret-derived addresses
      *  escaped while unverified tampered data was usable. */
     bool leakWindowOpen = false;
+
+    /**
+     * Per-victim-core exposure window (one entry per client that saw
+     * a MAC-fail transaction, ascending core id). Each window is
+     * scoped to the victim's OWN bus traffic: cross-core contention
+     * can shift the window's boundaries, but a neighbour core's
+     * fetches are never counted against it — contention must not
+     * silently widen the leak accounting. The global fields above are
+     * computed exactly as in the single-core profiler (earliest bad
+     * transaction system-wide, all demand traffic), so a single-core
+     * audit is bit-identical.
+     */
+    struct CoreWindow
+    {
+        unsigned core = 0;
+        Cycle firstBadReq = kCycleNever;
+        Cycle firstBadUsable = kCycleNever;
+        Cycle firstBadVerdict = kCycleNever;
+        std::uint64_t demandFetches = 0; // this core's demand traffic
+        std::uint64_t novelExposuresInGap = 0;
+        std::uint64_t exposuresAfterVerdict = 0;
+        bool leakWindowOpen = false;
+    };
+    std::vector<CoreWindow> cores;
 };
 
 /** Plain-data aggregate snapshot of a profiled run. */
@@ -280,6 +304,15 @@ class PathProfiler
     Cycle firstBadReq_ = kCycleNever;
     Cycle firstBadUsable_ = kCycleNever;
     Cycle firstBadVerdict_ = kCycleNever;
+    /** Earliest bad transaction per requesting client (the per-victim
+     *  windows; ordered map keeps the report deterministic). */
+    struct BadWindow
+    {
+        Cycle req = kCycleNever;
+        Cycle usable = kCycleNever;
+        Cycle verdict = kCycleNever;
+    };
+    std::map<unsigned, BadWindow> firstBadByClient_;
 };
 
 } // namespace acp::obs

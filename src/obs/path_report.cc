@@ -163,6 +163,26 @@ writePathProfileText(std::FILE *out, const PathProfile &profile)
                              ? "LEAKED before exception (Table 2 \"leak\")"
                              : "no leak before exception");
         }
+        for (const LeakAudit::CoreWindow &cw : a.cores) {
+            std::fprintf(out,
+                         "victim cpu%u: usable ", cw.core);
+            if (cw.firstBadUsable == kCycleNever)
+                std::fputs("-", out);
+            else
+                std::fprintf(out, "%" PRIu64, cw.firstBadUsable);
+            std::fputs("  verdict ", out);
+            if (cw.firstBadVerdict == kCycleNever)
+                std::fputs("-", out);
+            else
+                std::fprintf(out, "%" PRIu64, cw.firstBadVerdict);
+            std::fprintf(out,
+                         "  own fetches %" PRIu64
+                         "  novel in window %" PRIu64
+                         "  after verdict %" PRIu64 "  %s\n",
+                         cw.demandFetches, cw.novelExposuresInGap,
+                         cw.exposuresAfterVerdict,
+                         cw.leakWindowOpen ? "LEAKED" : "no leak");
+        }
     }
     std::fputc('\n', out);
 }
@@ -289,10 +309,36 @@ writePathProfileJson(std::FILE *out, const PathProfile &profile,
         std::fprintf(out,
                      ",\n%s    \"novelExposuresInGap\": %" PRIu64
                      ",\n%s    \"exposuresAfterVerdict\": %" PRIu64
-                     ",\n%s    \"leakWindowOpen\": %s\n%s  }",
+                     ",\n%s    \"leakWindowOpen\": %s",
                      indent, a.novelExposuresInGap, indent,
                      a.exposuresAfterVerdict, indent,
-                     a.leakWindowOpen ? "true" : "false", indent);
+                     a.leakWindowOpen ? "true" : "false");
+        if (!a.cores.empty()) {
+            std::fprintf(out, ",\n%s    \"cores\": [", indent);
+            bool first_core = true;
+            for (const LeakAudit::CoreWindow &cw : a.cores) {
+                std::fprintf(out,
+                             "%s\n%s      {\"core\": %u, "
+                             "\"firstBadReq\": ",
+                             first_core ? "" : ",", indent, cw.core);
+                jsonCycle(out, cw.firstBadReq);
+                std::fputs(", \"firstBadUsable\": ", out);
+                jsonCycle(out, cw.firstBadUsable);
+                std::fputs(", \"firstBadVerdict\": ", out);
+                jsonCycle(out, cw.firstBadVerdict);
+                std::fprintf(out,
+                             ", \"demandFetches\": %" PRIu64
+                             ", \"novelExposuresInGap\": %" PRIu64
+                             ", \"exposuresAfterVerdict\": %" PRIu64
+                             ", \"leakWindowOpen\": %s}",
+                             cw.demandFetches, cw.novelExposuresInGap,
+                             cw.exposuresAfterVerdict,
+                             cw.leakWindowOpen ? "true" : "false");
+                first_core = false;
+            }
+            std::fprintf(out, "\n%s    ]", indent);
+        }
+        std::fprintf(out, "\n%s  }", indent);
     }
     std::fprintf(out, "\n%s}", indent);
 }

@@ -1,5 +1,6 @@
 #include "secmem/auth_engine.hh"
 #include <algorithm>
+#include <string>
 
 namespace acp::secmem
 {
@@ -21,8 +22,24 @@ AuthEngine::AuthEngine(unsigned latency, unsigned occupancy)
     stats_.addDistribution("queue_depth", &queueDepth_);
 }
 
+void
+AuthEngine::registerClients(unsigned n)
+{
+    if (n <= 1 || !clients_.empty())
+        return;
+    for (unsigned i = 0; i < n; ++i) {
+        auto cs = std::make_unique<ClientState>();
+        const std::string prefix = "cpu" + std::to_string(i) + "_";
+        stats_.addCounter(prefix + "requests", &cs->requests);
+        stats_.addCounter(prefix + "failures", &cs->failures);
+        stats_.addAverage(prefix + "queue_delay", &cs->queueDelay);
+        clients_.push_back(std::move(cs));
+    }
+}
+
 AuthSeq
-AuthEngine::post(Cycle ready_at, Cycle extra_latency, bool mac_ok)
+AuthEngine::post(Cycle ready_at, Cycle extra_latency, bool mac_ok,
+                 unsigned client)
 {
     ++requests_;
     Cycle start = ready_at > engineFreeAt_ ? ready_at : engineFreeAt_;
@@ -53,6 +70,17 @@ AuthEngine::post(Cycle ready_at, Cycle extra_latency, bool mac_ok)
         arrival = arrivals_.back(); // monotonicize for binary search
     arrivals_.push_back(arrival);
     failed_.push_back(!mac_ok);
+
+    if (client < clients_.size()) {
+        ClientState &cs = *clients_[client];
+        ++cs.requests;
+        cs.queueDelay.sample(double(start - ready_at));
+        Cycle client_arrival = ready_at;
+        if (!cs.arrivals.empty() && cs.arrivals.back() > client_arrival)
+            client_arrival = cs.arrivals.back();
+        cs.arrivals.push_back(client_arrival);
+        cs.seqs.push_back(lastRequest_);
+    }
     prune();
 
     if (!mac_ok) {
@@ -60,6 +88,14 @@ AuthEngine::post(Cycle ready_at, Cycle extra_latency, bool mac_ok)
         if (firstFailedSeq_ == kNoAuthSeq) {
             firstFailedSeq_ = lastRequest_;
             firstFailureCycle_ = done;
+        }
+        if (client < clients_.size()) {
+            ClientState &cs = *clients_[client];
+            ++cs.failures;
+            if (cs.firstFailedSeq == kNoAuthSeq) {
+                cs.firstFailedSeq = lastRequest_;
+                cs.firstFailureCycle = done;
+            }
         }
     }
     return lastRequest_;
@@ -88,6 +124,41 @@ AuthEngine::lastArrivedBy(Cycle cycle) const
     return baseSeq_ + AuthSeq(it - arrivals_.begin()) - 1;
 }
 
+AuthSeq
+AuthEngine::lastArrivedBy(Cycle cycle, unsigned client) const
+{
+    if (client >= clients_.size())
+        return lastArrivedBy(cycle);
+    const ClientState &cs = *clients_[client];
+    auto it =
+        std::upper_bound(cs.arrivals.begin(), cs.arrivals.end(), cycle);
+    if (it == cs.arrivals.begin())
+        return cs.lastPruned; // kNoAuthSeq before the first request
+    return cs.seqs[std::size_t(it - cs.arrivals.begin()) - 1];
+}
+
+bool
+AuthEngine::anyFailure(unsigned client) const
+{
+    return firstFailedSeq(client) != kNoAuthSeq;
+}
+
+AuthSeq
+AuthEngine::firstFailedSeq(unsigned client) const
+{
+    if (client >= clients_.size())
+        return firstFailedSeq_;
+    return clients_[client]->firstFailedSeq;
+}
+
+Cycle
+AuthEngine::firstFailureCycle(unsigned client) const
+{
+    if (client >= clients_.size())
+        return firstFailureCycle_;
+    return clients_[client]->firstFailureCycle;
+}
+
 bool
 AuthEngine::requestFailed(AuthSeq seq) const
 {
@@ -99,11 +170,22 @@ AuthEngine::requestFailed(AuthSeq seq) const
 void
 AuthEngine::prune()
 {
+    bool pruned = false;
     while (doneCycles_.size() > kHistoryWindow) {
         doneCycles_.pop_front();
         arrivals_.pop_front();
         failed_.pop_front();
         ++baseSeq_;
+        pruned = true;
+    }
+    if (!pruned)
+        return;
+    for (auto &cs : clients_) {
+        while (!cs->seqs.empty() && cs->seqs.front() < baseSeq_) {
+            cs->lastPruned = cs->seqs.front();
+            cs->seqs.pop_front();
+            cs->arrivals.pop_front();
+        }
     }
 }
 

@@ -15,6 +15,8 @@
 #define ACP_SECMEM_AUTH_ENGINE_HH
 
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -35,14 +37,31 @@ class AuthEngine
     AuthEngine(unsigned latency, unsigned occupancy);
 
     /**
+     * Declare the engine multi-client: @p n cores will post requests.
+     * Allocates per-client pending queues (arrival/sequence tracking,
+     * failure latches) and registers per-client attribution stats
+     * (cpu<i>_requests, cpu<i>_failures, cpu<i>_queue_delay). A
+     * single-core system never calls this; every per-client query
+     * then falls back to the global state, bit-identically.
+     */
+    void registerClients(unsigned n);
+
+    /**
      * Post a verification request.
      * @param ready_at cycle the decrypted line and its MAC are on-chip
      * @param extra_latency additional per-request cycles (hash-tree
      *        path verification beyond the base MAC check)
      * @param mac_ok functional verdict (false == tampered line)
+     * @param client requesting core id (0 in single-core systems)
      * @return the request's sequence number (new LastRequest value)
+     *
+     * Sequence numbers, engine occupancy and the completion order stay
+     * global — the shared engine serializes every core's requests
+     * through one LastRequest register, which is exactly the shared-
+     * bandwidth effect the multi-core experiments measure.
      */
-    AuthSeq post(Cycle ready_at, Cycle extra_latency, bool mac_ok);
+    AuthSeq post(Cycle ready_at, Cycle extra_latency, bool mac_ok,
+                 unsigned client = 0);
 
     /** Value of the LastRequest register (0 before any request). */
     AuthSeq lastRequest() const { return lastRequest_; }
@@ -56,6 +75,16 @@ class AuthEngine
      * on a new gated fetch (Section 4.2.4).
      */
     AuthSeq lastArrivedBy(Cycle cycle) const;
+
+    /**
+     * Per-client LastRequest view: the most recent of *client*'s own
+     * requests arrived by @p cycle. Cores gate on their own fetch
+     * stream (base-offset isolation means no core ever consumes a
+     * line another core fetched), so tagging with the global register
+     * would over-serialize. Falls back to the global view when
+     * registerClients was never called.
+     */
+    AuthSeq lastArrivedBy(Cycle cycle, unsigned client) const;
 
     /**
      * Cycle at which request @p seq completes verification.
@@ -81,6 +110,14 @@ class AuthEngine
     /** Completion cycle of the first failing request. */
     Cycle firstFailureCycle() const { return firstFailureCycle_; }
 
+    /** Per-client failure views: a core squashes and raises only on
+     *  failures of its *own* requests — a tampered line fetched by a
+     *  neighbour core must not fault this one. All three fall back to
+     *  the global latch when registerClients was never called. */
+    bool anyFailure(unsigned client) const;
+    AuthSeq firstFailedSeq(unsigned client) const;
+    Cycle firstFailureCycle(unsigned client) const;
+
     /** Cycle the engine frees up (for occupancy/backlog analysis). */
     Cycle engineFreeAt() const { return engineFreeAt_; }
 
@@ -90,6 +127,23 @@ class AuthEngine
     StatGroup &stats() { return stats_; }
 
   private:
+    /** One client's pending-queue view, live after registerClients(). */
+    struct ClientState
+    {
+        /** Monotonic running max of this client's arrival cycles. */
+        std::deque<Cycle> arrivals;
+        /** Global sequence number of each entry (same indexing). */
+        std::deque<AuthSeq> seqs;
+        /** Most recently pruned sequence (kNoAuthSeq when none):
+         *  the "verified in the distant past" fallback. */
+        AuthSeq lastPruned = kNoAuthSeq;
+        AuthSeq firstFailedSeq = kNoAuthSeq;
+        Cycle firstFailureCycle = 0;
+        StatCounter requests;
+        StatCounter failures;
+        StatAverage queueDelay;
+    };
+
     void prune();
 
     unsigned latency_;
@@ -107,6 +161,8 @@ class AuthEngine
 
     AuthSeq firstFailedSeq_ = kNoAuthSeq;
     Cycle firstFailureCycle_ = 0;
+
+    std::vector<std::unique_ptr<ClientState>> clients_;
 
     StatGroup stats_;
     StatCounter requests_;

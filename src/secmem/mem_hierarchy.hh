@@ -1,9 +1,10 @@
 /**
  * @file
- * Full memory hierarchy of the secure processor: split L1 I/D caches,
- * unified write-back L2, TLBs, and the secure memory controller at the
- * L2/external boundary. On-chip lines hold plaintext; external memory
- * holds ciphertext (paper Section 2).
+ * Full memory hierarchy of the secure processor: per-core private
+ * stacks (split L1 I/D caches, unified write-back L2, TLBs) in front
+ * of one shared secure memory controller at the L2/external boundary.
+ * On-chip lines hold plaintext; external memory holds ciphertext
+ * (paper Section 2).
  *
  * The hierarchy is a latency oracle in the SimpleScalar tradition:
  * timed accesses return a mem::Txn whose ready cycle is when data
@@ -19,6 +20,9 @@
 #define ACP_SECMEM_MEM_HIERARCHY_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
@@ -46,27 +50,51 @@ class MemHierarchy : public sim::Component
     /** Own groups (hier, caches, TLBs), then the controller's. */
     void visitStats(sim::StatGroupVisitor &v) override;
 
+    // ----- client registration (mgsim RegisterClient shape) -------------
+    /**
+     * Register one core against the shared backend and return its
+     * client id (0, 1, ...). The hierarchy carves the simulated
+     * address space into per-client slices of clientStride() bytes:
+     * every access a client makes is offset by id * stride before
+     * translation, so the 18 kernels (whose programs embed absolute
+     * pointers) run unmodified side by side without aliasing. Client
+     * 0's base is 0, so a single-core system is bit-identical to the
+     * pre-multi-core hierarchy. Call at most cfg.numCores times.
+     */
+    unsigned registerClient();
+
+    /** Base address of @p client's slice (id * clientStride()). */
+    Addr clientBase(unsigned client) const
+    {
+        return Addr(client) * stride_;
+    }
+
+    /** Per-client address-space slice; memoryBytes for one client. */
+    Addr clientStride() const { return stride_; }
+
     // ----- timed paths (move data AND compute latency) -----------------
     /** Data read of @p bytes (1/4/8), may cross line boundaries. */
     mem::Txn readTimed(Addr addr, unsigned bytes, Cycle cycle,
                        AuthSeq gate_tag, std::uint64_t &value,
-                       std::uint64_t origin = 0);
+                       std::uint64_t origin = 0, unsigned client = 0);
     /** Data write (store release). */
     mem::Txn writeTimed(Addr addr, unsigned bytes, std::uint64_t value,
                         Cycle cycle, AuthSeq gate_tag,
-                        std::uint64_t origin = 0);
+                        std::uint64_t origin = 0, unsigned client = 0);
     /** Instruction fetch of one word. */
     mem::Txn fetchTimed(Addr pc, Cycle cycle, AuthSeq gate_tag,
-                        std::uint32_t &word);
+                        std::uint32_t &word, unsigned client = 0);
 
     // ----- functional paths (no timing; optional tag warmup) -----------
-    std::uint64_t funcRead(Addr addr, unsigned bytes, bool warm_tags);
+    std::uint64_t funcRead(Addr addr, unsigned bytes, bool warm_tags,
+                           unsigned client = 0);
     void funcWrite(Addr addr, unsigned bytes, std::uint64_t value,
-                   bool warm_tags);
-    std::uint32_t funcFetch(Addr pc, bool warm_tags);
+                   bool warm_tags, unsigned client = 0);
+    std::uint32_t funcFetch(Addr pc, bool warm_tags, unsigned client = 0);
 
-    /** Load a program image into external memory (trusted provision). */
-    void loadProgram(const isa::Program &prog);
+    /** Load a program image into external memory (trusted provision),
+     *  shifted into the slice starting at @p base. */
+    void loadProgram(const isa::Program &prog, Addr base = 0);
 
     /** Flush all cache levels back to external memory (functional). */
     void flushCaches();
@@ -74,11 +102,11 @@ class MemHierarchy : public sim::Component
     SecureMemCtrl &ctrl() { return ctrl_; }
     /** Off-chip transactions retired so far (heartbeat telemetry). */
     std::uint64_t txnsRetired() const { return ctrl_.txnsRetired(); }
-    cache::Cache &l1i() { return l1i_; }
-    cache::Cache &l1d() { return l1d_; }
-    cache::Cache &l2() { return l2_; }
-    cache::Tlb &itlb() { return itlb_; }
-    cache::Tlb &dtlb() { return dtlb_; }
+    cache::Cache &l1i(unsigned client = 0) { return cores_[client]->l1i; }
+    cache::Cache &l1d(unsigned client = 0) { return cores_[client]->l1d; }
+    cache::Cache &l2(unsigned client = 0) { return cores_[client]->l2; }
+    cache::Tlb &itlb(unsigned client = 0) { return cores_[client]->itlb; }
+    cache::Tlb &dtlb(unsigned client = 0) { return cores_[client]->dtlb; }
     std::uint64_t translationFaults() const { return faults_.value(); }
     StatGroup &stats() { return stats_; }
 
@@ -89,34 +117,61 @@ class MemHierarchy : public sim::Component
     void setProfiler(obs::PathProfiler *p) { ctrl_.setProfiler(p); }
 
   private:
+    /**
+     * One client's private cache stack: split L1 I/D, unified
+     * write-back L2, and TLBs. Everything *behind* the stack — the
+     * secure memory controller, bus, DRAM, auth engine, and the
+     * metadata caches (counters, hash-tree nodes, remap table) — is
+     * shared by all clients; the private stacks themselves need no
+     * coherence protocol because the per-client address slices are
+     * disjoint by construction. A single-core system has exactly one
+     * stack with the classic stat-group names ("l1i", "l1d", "l2",
+     * "itlb", "dtlb"); multi-core stacks are prefixed "cpuN.".
+     */
+    struct CoreCaches
+    {
+        CoreCaches(const sim::SimConfig &cfg, const std::string &prefix);
+        cache::Cache l1i;
+        cache::Cache l1d;
+        cache::Cache l2;
+        cache::Tlb itlb;
+        cache::Tlb dtlb;
+    };
+    CoreCaches &cc(unsigned client) { return *cores_[client]; }
+
     /** Clamp to the simulated address space, counting faults. */
     Addr translate(Addr addr);
     /** Fold a cache hit's line timing into the access transaction. */
     static void foldLine(mem::Txn &acc, Cycle lookup_done,
                          const cache::CacheLine &line);
-    /** Ensure the line is in L2 (filling on miss). Timed; the fill's
-     *  transaction merges into @p acc. */
-    cache::CacheLine *ensureL2(Addr line_addr, Cycle cycle,
+    /** Ensure the line is in @p c's L2 (filling on miss). Timed; the
+     *  fill's transaction merges into @p acc. */
+    cache::CacheLine *ensureL2(CoreCaches &c, Addr line_addr, Cycle cycle,
                                AuthSeq gate_tag, mem::BusTxnKind kind,
                                mem::Txn &acc);
-    /** Ensure the line is in an L1 (filling from L2 on miss). Timed. */
-    cache::CacheLine *ensureL1(cache::Cache &l1, Addr line_addr,
+    /** Ensure the line is in @p c's L1 (filling from its L2 on miss). */
+    cache::CacheLine *ensureL1(CoreCaches &c, Addr line_addr,
                                Cycle cycle, AuthSeq gate_tag,
                                bool is_instr, mem::Txn &acc);
     /** Functional equivalents. */
-    cache::CacheLine *funcEnsureL2(Addr line_addr, bool warm_tags);
-    cache::CacheLine *funcEnsureL1(cache::Cache &l1, Addr line_addr,
+    cache::CacheLine *funcEnsureL2(CoreCaches &c, Addr line_addr,
+                                   bool warm_tags);
+    cache::CacheLine *funcEnsureL1(CoreCaches &c, Addr line_addr,
                                    bool warm_tags, bool is_instr);
-    /** Evict an L2 victim: back-invalidate L1s, write back if dirty. */
-    void handleL2Eviction(cache::Eviction &evicted, Cycle cycle, bool warm);
+    /** Evict an L2 victim from @p c's stack: back-invalidate its L1s,
+     *  write back if dirty. The writeback is charged to @p client (the
+     *  access that caused the eviction). */
+    void handleL2Eviction(CoreCaches &c, cache::Eviction &evicted,
+                          Cycle cycle, bool warm, unsigned client = 0);
 
     const sim::SimConfig &cfg_;
     SecureMemCtrl ctrl_;
-    cache::Cache l1i_;
-    cache::Cache l1d_;
-    cache::Cache l2_;
-    cache::Tlb itlb_;
-    cache::Tlb dtlb_;
+    /** Private cache stacks, one per client (max(1, numCores)). */
+    std::vector<std::unique_ptr<CoreCaches>> cores_;
+    /** Per-client slice size (== memoryBytes for a single client). */
+    Addr stride_ = 0;
+    /** Next client id registerClient() hands out. */
+    unsigned nextClient_ = 0;
 
     StatGroup stats_;
     StatCounter faults_;

@@ -16,9 +16,26 @@ SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
       counterCache_("counter_cache", cfg.counterCache), stats_("memctrl")
 {
     fetchGateDrain_ = cfg.fetchGateDrain;
-    if (core::verifies(cfg.policy) && cfg.hashTreeEnabled)
+    // Metadata structures exist when ANY configured client needs them:
+    // with heterogeneous per-core policies one obfuscating core is
+    // enough to instantiate the remap layer, and a verifying core is
+    // enough for the tree. Single-core systems have an empty
+    // corePolicies vector, so this reduces to the classic cfg.policy
+    // checks exactly.
+    bool any_verifies = false;
+    bool any_obfuscates = false;
+    if (cfg.corePolicies.empty()) {
+        any_verifies = core::verifies(cfg.policy);
+        any_obfuscates = core::obfuscates(cfg.policy);
+    } else {
+        for (core::AuthPolicy p : cfg.corePolicies) {
+            any_verifies = any_verifies || core::verifies(p);
+            any_obfuscates = any_obfuscates || core::obfuscates(p);
+        }
+    }
+    if (any_verifies && cfg.hashTreeEnabled)
         tree_ = std::make_unique<HashTree>(cfg, ext_);
-    if (core::obfuscates(cfg.policy))
+    if (any_obfuscates)
         remap_ = std::make_unique<RemapLayer>(cfg);
     if (cfg.counterPrediction &&
         cfg.encryptionMode == sim::EncryptionMode::kCounterMode)
@@ -37,6 +54,21 @@ SecureMemCtrl::SecureMemCtrl(const sim::SimConfig &cfg, std::uint64_t seed)
     stats_.addAverage("fill_latency", &fillLatency_);
     stats_.addDistribution("decrypt_verify_gap_hist", &decryptGapHist_);
     stats_.addDistribution("fill_latency_hist", &fillLatencyHist_);
+}
+
+void
+SecureMemCtrl::registerClients(unsigned n)
+{
+    bus_.registerClients(n);
+    engine_.registerClients(n);
+}
+
+core::AuthPolicy
+SecureMemCtrl::policyFor(unsigned client) const
+{
+    if (client < cfg_.corePolicies.size())
+        return cfg_.corePolicies[client];
+    return cfg_.policy;
 }
 
 void
@@ -70,7 +102,8 @@ SecureMemCtrl::dramAccess(Addr addr, Cycle cycle, unsigned bytes,
                           bool is_write, mem::BusTxnKind kind,
                           mem::Txn &txn)
 {
-    mem::DramResult res = dram_.access(addr, cycle, bytes, is_write);
+    mem::DramResult res = dram_.access(addr, cycle, bytes, is_write,
+                                       txn.client);
     // Latch the bus-queueing window of the transaction's *primary*
     // transfer (its own line, not metadata); first transfer wins so
     // cross-line merges keep the first line's wait.
@@ -82,7 +115,7 @@ SecureMemCtrl::dramAccess(Addr addr, Cycle cycle, unsigned bytes,
     // the off-chip queue (conservative — an attacker on the DIMM
     // interface sees it before the bank/bus grant it waits for). The
     // Txn timeline separately records the actual grant cycle.
-    trace_.record(cycle, addr, kind);
+    trace_.record(cycle, addr, kind, txn.client);
     txn.note(mem::PathEvent::kBusGrant, res.busGrant, addr);
     txn.note(mem::PathEvent::kDramFirstBeat, res.firstBeat, addr);
     txn.note(mem::PathEvent::kDramComplete, res.complete, addr);
@@ -151,7 +184,7 @@ SecureMemCtrl::touchCounter(Addr line_addr, Cycle cycle, bool make_dirty,
 mem::Txn
 SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
                          mem::BusTxnKind kind, bool warm,
-                         std::uint64_t origin)
+                         std::uint64_t origin, unsigned client)
 {
     ++fetches_;
     mem::Txn txn;
@@ -161,13 +194,14 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
     txn.gateTag = gate_tag;
     txn.reqCycle = req_cycle;
     txn.origin = origin;
+    txn.client = client;
 
     // Functional transfer first (always happens).
     FetchedLine fetched = ext_.fetchLine(line_addr);
     txn.data = fetched.plain;
     txn.macOk = fetched.macOk;
 
-    const core::AuthPolicy policy = cfg_.policy;
+    const core::AuthPolicy policy = policyFor(client);
     bool verify = core::verifies(policy);
 
     if (warm) {
@@ -193,8 +227,10 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
         // A fetch whose gate tag covers a *failed* verification is
         // never granted: the security exception squashes it. Return a
         // never-ready fill without touching the bus (no address leak).
-        if (engine_.anyFailure() && tag != kNoAuthSeq &&
-            tag >= engine_.firstFailedSeq()) {
+        // The failure view is the requesting client's own: a tampered
+        // line on a neighbour core does not squash this core's fetch.
+        if (engine_.anyFailure(client) && tag != kNoAuthSeq &&
+            tag >= engine_.firstFailedSeq(client)) {
             txn.ready = kCycleNever;
             txn.dataReady = kCycleNever;
             txn.verifyDone = kCycleNever;
@@ -289,7 +325,8 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
                 tt.readyAt - txn.dataReady > extra)
                 extra = tt.readyAt - txn.dataReady;
         }
-        txn.authSeq = engine_.post(txn.dataReady, extra, txn.macOk);
+        txn.authSeq = engine_.post(txn.dataReady, extra, txn.macOk,
+                                   client);
         txn.verifyDone = engine_.doneCycle(txn.authSeq);
         txn.note(mem::PathEvent::kVerifyPosted, txn.dataReady, line_addr);
         txn.note(mem::PathEvent::kVerifyDone, txn.verifyDone, line_addr);
@@ -323,7 +360,8 @@ SecureMemCtrl::fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
 
 mem::Txn
 SecureMemCtrl::writebackLine(Addr line_addr, const std::uint8_t *data,
-                             Cycle cycle, bool warm, std::uint64_t origin)
+                             Cycle cycle, bool warm, std::uint64_t origin,
+                             unsigned client)
 {
     ++writebacks_;
     mem::Txn txn;
@@ -332,6 +370,7 @@ SecureMemCtrl::writebackLine(Addr line_addr, const std::uint8_t *data,
     txn.kind = mem::BusTxnKind::kWriteback;
     txn.reqCycle = cycle;
     txn.origin = origin;
+    txn.client = client;
 
     // Functional: counter bump, re-encrypt, MAC refresh.
     ext_.storeLine(line_addr, data);

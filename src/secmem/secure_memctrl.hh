@@ -73,6 +73,19 @@ class SecureMemCtrl : public sim::Component
     void visitStats(sim::StatGroupVisitor &v) override;
 
     /**
+     * Declare the controller multi-client (mgsim RegisterClient
+     * shape): @p n cores share this backend. Fans out to the bus
+     * arbiter and the auth engine so grants, waits and verify queues
+     * attribute per client. Never called by single-core systems.
+     */
+    void registerClients(unsigned n);
+
+    /** Effective authen policy of @p client: the per-core override
+     *  from SimConfig::corePolicies when present, else the global
+     *  SimConfig::policy (always the case for single-core). */
+    core::AuthPolicy policyFor(unsigned client) const;
+
+    /**
      * Fetch one line from external memory.
      * @param line_addr logical line address (L2-line aligned)
      * @param req_cycle cycle the request leaves the L2
@@ -82,19 +95,21 @@ class SecureMemCtrl : public sim::Component
      * @param warm functional-only (cache warmup): no timing updates
      * @param origin dynamic instruction number of the triggering RUU
      *        entry (0 = none, e.g. instruction fetch or warmup)
+     * @param client requesting core id (0 in single-core systems)
      * @return the completed transaction; txn.ready already reflects
-     *         the active policy's usability decision (verification
-     *         under authen-then-issue, decrypt completion otherwise;
-     *         kCycleNever for gate-squashed or failed fills)
+     *         the requesting client's policy's usability decision
+     *         (verification under authen-then-issue, decrypt
+     *         completion otherwise; kCycleNever for gate-squashed or
+     *         failed fills)
      */
     mem::Txn fetchLine(Addr line_addr, Cycle req_cycle, AuthSeq gate_tag,
                        mem::BusTxnKind kind, bool warm = false,
-                       std::uint64_t origin = 0);
+                       std::uint64_t origin = 0, unsigned client = 0);
 
     /** Write back one dirty line; txn.ready is the DRAM completion. */
     mem::Txn writebackLine(Addr line_addr, const std::uint8_t *data,
                            Cycle cycle, bool warm = false,
-                           std::uint64_t origin = 0);
+                           std::uint64_t origin = 0, unsigned client = 0);
 
     ExternalMemory &externalMemory() { return ext_; }
     AuthEngine &authEngine() { return engine_; }

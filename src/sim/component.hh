@@ -28,6 +28,8 @@
 #define ACP_SIM_COMPONENT_HH
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -50,13 +52,15 @@ class StatGroupVisitor
 class Component
 {
   public:
-    explicit Component(const char *name) : name_(name) {}
+    /** Owned name: multi-core instances are named dynamically
+     *  ("cpu0.core", ...), so the string cannot be a borrowed literal. */
+    explicit Component(std::string name) : name_(std::move(name)) {}
     virtual ~Component() = default;
 
     Component(const Component &) = delete;
     Component &operator=(const Component &) = delete;
 
-    const char *componentName() const { return name_; }
+    const char *componentName() const { return name_.c_str(); }
 
     /**
      * Request a wake no later than @p cycle. Requires attachment to a
@@ -88,7 +92,7 @@ class Component
   private:
     friend class Scheduler;
 
-    const char *name_;
+    std::string name_;
     Scheduler *sched_ = nullptr;
     /** Tie-break for same-cycle wakes: attachment order. */
     std::int64_t order_ = 0;

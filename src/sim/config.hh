@@ -10,6 +10,8 @@
 #define ACP_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "core/auth_policy.hh"
@@ -161,6 +163,30 @@ struct SimConfig
     std::uint64_t memoryBytes = 256ULL * 1024 * 1024;
     std::uint64_t rngSeed = 12345;
 
+    // ----- multi-core ------------------------------------------------------
+    /**
+     * Cores registered against the one shared SecureMemCtrl /
+     * MemHierarchy / BusArbiter / Dram backend. Each core gets a
+     * power-of-two slice of the address space (MemHierarchy::
+     * clientStride), its own OooCore pipeline and stall taxonomy, and
+     * contends with its neighbours for the bus, the MAC engine and
+     * the shared metadata caches. 1 = the classic single-core system.
+     */
+    unsigned numCores = 1;
+    /**
+     * Per-core authen-policy overrides, indexed by core id. Empty =
+     * every core runs @ref policy (always the case for single-core).
+     * Heterogeneous mixes are the point: an authen-then-issue core
+     * next to a baseline core shares one verify queue.
+     */
+    std::vector<core::AuthPolicy> corePolicies;
+    /**
+     * Per-core workload names, indexed by core id. Empty = every core
+     * runs the harness-selected workload. Serialized into the config
+     * digest so multi-core points cache correctly.
+     */
+    std::vector<std::string> coreWorkloads;
+
     // ----- observability ---------------------------------------------------
     /**
      * Structured-trace category mask (bits of obs::TraceCat; 0 = no
@@ -175,15 +201,6 @@ struct SimConfig
     /** Transaction path profiler (PathProfiler sink + leak audit);
      *  passive like tracing, so also digest-excluded. */
     bool profileEnabled = false;
-    /**
-     * Drive the timed window with the legacy per-cycle polled loop
-     * instead of the event-driven wake scheduler. The two loops are
-     * bit-identical by contract (CI diffs them), so this is a
-     * diffing/debugging back door only — and, like the observability
-     * fields, deliberately NOT part of serializeConfig()/pointDigest():
-     * both loops share one digest and one cached result.
-     */
-    bool legacyTick = false;
     /**
      * Collect sim.host.* self-metrics (scheduler wake counts and
      * jump-length histograms per component, txn-arena high-water

@@ -12,19 +12,15 @@ namespace acp::sim
 // every cached experiment result, which is exactly the point) and
 // update the expected size. Exceptions: the observability fields
 // (traceMask, statsInterval, profileEnabled, hostStats) are
-// deliberately NOT
-// serialized — tracing, interval stats and path profiling are
-// strictly passive, so an observed run is bit-identical to (and
-// shares its cached result with) the unobserved one. Runs with
-// observability enabled are made uncacheable at the exp::Point level
-// instead. legacyTick is likewise excluded: the polled and the
-// event-driven loop produce bit-identical results by contract
-// (tests/test_scheduler.cc and the CI loop-parity smoke enforce it),
-// so both loops share one digest and one cached result. hostStats is
-// excluded for the same reason as the trace fields: sim.host.*
-// self-metrics measure the simulator, never the simulated machine.
+// deliberately NOT serialized — tracing, interval stats and path
+// profiling are strictly passive, so an observed run is bit-identical
+// to (and shares its cached result with) the unobserved one. Runs
+// with observability enabled are made uncacheable at the exp::Point
+// level instead. hostStats is excluded for the same reason as the
+// trace fields: sim.host.* self-metrics measure the simulator, never
+// the simulated machine.
 #if defined(__x86_64__) && defined(__linux__)
-static_assert(sizeof(SimConfig) == 376,
+static_assert(sizeof(SimConfig) == 432,
               "SimConfig layout changed: update serializeConfig() in "
               "config_io.cc, then the expected size here");
 #endif
@@ -153,6 +149,25 @@ serializeConfig(const SimConfig &cfg)
     emit(out, "fetchGateDrain", cfg.fetchGateDrain ? 1 : 0);
     emit(out, "memoryBytes", cfg.memoryBytes);
     emit(out, "rngSeed", cfg.rngSeed);
+
+    // multi-core
+    emit(out, "numCores", cfg.numCores);
+    {
+        std::string policies;
+        for (core::AuthPolicy p : cfg.corePolicies) {
+            if (!policies.empty())
+                policies += ',';
+            policies += core::policyName(p);
+        }
+        emit(out, "corePolicies", policies.c_str());
+        std::string workloads;
+        for (const std::string &w : cfg.coreWorkloads) {
+            if (!workloads.empty())
+                workloads += ',';
+            workloads += w;
+        }
+        emit(out, "coreWorkloads", workloads.c_str());
+    }
 
     return out;
 }

@@ -50,11 +50,18 @@ usage()
         "usage: acpsim <workload>[,<workload>...] [options]\n"
         "       acpsim --list\n\n"
         "workloads: any catalog name, comma-separated for a sweep, or\n"
-        "           the groups 'int', 'fp', 'all'\n\n"
+        "           the groups 'int', 'fp', 'all'; a '+'-joined mix\n"
+        "           (e.g. mcf+sha) runs one workload per core\n\n"
         "run options (simulated machine and measurement window):\n"
         "  --policy P[,P...]  baseline | issue | write | commit | fetch |\n"
         "                commit+fetch | obf        (default: baseline);\n"
-        "                a comma-separated list sweeps every policy\n"
+        "                a comma-separated list sweeps every policy; a\n"
+        "                '+'-joined mix (e.g. commit+baseline) runs one\n"
+        "                policy per core — spell commit+fetch 'cf'\n"
+        "                inside a mix\n"
+        "  --cores N     out-of-order cores sharing one secure memory\n"
+        "                controller, bus and auth engine (default: 1);\n"
+        "                stats appear per core as cpu0.core.*, ...\n"
         "  --l2 SIZE     L2 size, e.g. 256K or 1M  (default: 256K)\n"
         "  --ruu N       RUU entries               (default: 128)\n"
         "  --tree        enable the CHTree integrity tree\n"
@@ -69,10 +76,7 @@ usage()
         "  --rng-seed N  simulator RNG seed: external-memory and remap\n"
         "                layer randomness; independent of --seed so\n"
         "                data layout and simulator randomness can be\n"
-        "                varied separately        (default: 12345)\n"
-        "  --legacy-tick  drive the window with the per-cycle polled\n"
-        "                loop instead of the wake scheduler; results\n"
-        "                are bit-identical, only wall-clock differs\n\n"
+        "                varied separately        (default: 12345)\n\n"
         "sweep options (multi-point execution and output):\n"
         "  --jobs N      worker threads for sweeps (default: ACP_JOBS\n"
         "                env, else all cores)\n"
@@ -139,19 +143,41 @@ parsePolicy(const std::string &name)
 }
 
 std::vector<std::string>
-splitCommas(const std::string &text)
+splitOn(const std::string &text, char sep)
 {
     std::vector<std::string> parts;
     std::size_t pos = 0;
     while (pos <= text.size()) {
-        std::size_t comma = text.find(',', pos);
-        if (comma == std::string::npos)
-            comma = text.size();
-        if (comma > pos)
-            parts.push_back(text.substr(pos, comma - pos));
-        pos = comma + 1;
+        std::size_t cut = text.find(sep, pos);
+        if (cut == std::string::npos)
+            cut = text.size();
+        if (cut > pos)
+            parts.push_back(text.substr(pos, cut - pos));
+        pos = cut + 1;
     }
     return parts;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    return splitOn(text, ',');
+}
+
+/**
+ * One policy, or a '+'-joined per-core mix. The literal policy name
+ * "commit+fetch" wins over mix splitting (it predates multi-core);
+ * inside a mix, spell it with its alias "cf" (e.g. "cf+baseline").
+ */
+std::vector<core::AuthPolicy>
+parsePolicyMix(const std::string &token)
+{
+    if (token == "commit+fetch" || token.find('+') == std::string::npos)
+        return {parsePolicy(token)};
+    std::vector<core::AuthPolicy> mix;
+    for (const std::string &part : splitOn(token, '+'))
+        mix.push_back(parsePolicy(part));
+    return mix;
 }
 
 std::vector<std::string>
@@ -204,7 +230,7 @@ main(int argc, char **argv)
     }
 
     std::vector<std::string> names = expandWorkloads(argv[1]);
-    std::vector<core::AuthPolicy> policies = {core::AuthPolicy::kBaseline};
+    std::vector<std::string> policy_tokens = {"baseline"};
     sim::SimConfig cfg;
     cfg.memoryBytes = 256ULL << 20;
     cfg.protectedBytes = cfg.memoryBytes;
@@ -232,9 +258,13 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--policy") {
-            policies.clear();
-            for (const std::string &p : splitCommas(next()))
-                policies.push_back(parsePolicy(p));
+            policy_tokens = splitCommas(next());
+            if (policy_tokens.empty())
+                acp_fatal("--policy needs at least one policy name");
+        } else if (arg == "--cores") {
+            cfg.numCores = unsigned(std::strtoul(next(), nullptr, 0));
+            if (cfg.numCores == 0)
+                acp_fatal("--cores needs at least 1");
         } else if (arg == "--l2") {
             cfg.l2.sizeBytes = parseSize(next());
             cfg.l2.hitLatency = cfg.l2.sizeBytes >= (1 << 20) ? 8 : 4;
@@ -259,8 +289,6 @@ main(int argc, char **argv)
             params.seed = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--rng-seed") {
             cfg.rngSeed = std::strtoull(next(), nullptr, 0);
-        } else if (arg == "--legacy-tick") {
-            cfg.legacyTick = true;
         } else if (arg == "--jobs") {
             jobs = unsigned(std::strtoul(next(), nullptr, 0));
         } else if (arg == "--json") {
@@ -304,10 +332,40 @@ main(int argc, char **argv)
     exp::Sweep sweep;
     sweep.base(cfg).params(params).window(warmup, insts, 1000);
     sweep.workloads(names);
-    for (core::AuthPolicy policy : policies)
-        sweep.variant(core::policyName(policy),
-                      [policy](sim::SimConfig &c) { c.policy = policy; });
+    for (const std::string &token : policy_tokens) {
+        std::vector<core::AuthPolicy> mix = parsePolicyMix(token);
+        if (mix.size() == 1) {
+            core::AuthPolicy policy = mix[0];
+            sweep.variant(core::policyName(policy),
+                          [policy](sim::SimConfig &c) { c.policy = policy; });
+        } else {
+            // Per-core policy mix: cpu0 runs mix[0], cpu1 mix[1], ...
+            // (cores beyond the mix fall back to cfg.policy = mix[0]).
+            sweep.variant(token, [mix](sim::SimConfig &c) {
+                c.corePolicies = mix;
+                c.policy = mix[0];
+                if (c.numCores < mix.size())
+                    c.numCores = unsigned(mix.size());
+            });
+        }
+    }
     std::vector<exp::Point> points = sweep.build();
+
+    // Per-core workload mixes ("mcf+sha"): widen numCores to cover the
+    // mix and give every core an explicit workload name (cycling
+    // through the mix) so the '+' string itself is never looked up in
+    // the workload catalog.
+    for (exp::Point &p : points) {
+        std::vector<std::string> wl_mix = splitOn(p.workload, '+');
+        if (wl_mix.size() <= 1)
+            continue;
+        if (p.cfg.numCores < wl_mix.size())
+            p.cfg.numCores = unsigned(wl_mix.size());
+        p.cfg.coreWorkloads = wl_mix;
+        while (p.cfg.coreWorkloads.size() < p.cfg.numCores)
+            p.cfg.coreWorkloads.push_back(
+                wl_mix[p.cfg.coreWorkloads.size() % wl_mix.size()]);
+    }
 
     if ((trace_commits > 0 || cosim || !trace_file.empty()) &&
         points.size() > 1)
@@ -358,8 +416,9 @@ main(int argc, char **argv)
     if (points.size() == 1) {
         const exp::Result &res = results[0];
         std::printf("workload   %s\n", points[0].workload.c_str());
-        std::printf("policy     %s\n",
-                    core::policyName(points[0].cfg.policy));
+        std::printf("policy     %s\n", points[0].label.c_str());
+        if (points[0].cfg.numCores > 1)
+            std::printf("cores      %u\n", points[0].cfg.numCores);
         std::printf("insts      %llu\n",
                     (unsigned long long)res.run.insts);
         std::printf("cycles     %llu\n",
@@ -380,7 +439,7 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < points.size(); ++i)
             std::printf("%-10s %-20s %10.4f %12llu %12llu %10s\n",
                         points[i].workload.c_str(),
-                        core::policyName(points[i].cfg.policy),
+                        points[i].label.c_str(),
                         results[i].run.ipc,
                         (unsigned long long)results[i].run.insts,
                         (unsigned long long)results[i].run.cycles,
@@ -390,7 +449,7 @@ main(int argc, char **argv)
                 !results[i].intervals.empty()) {
                 std::printf("\n%s / %s intervals (every %llu cycles):\n",
                             points[i].workload.c_str(),
-                            core::policyName(points[i].cfg.policy),
+                            points[i].label.c_str(),
                             (unsigned long long)results[i].intervalPeriod);
                 obs::printIntervalTable(results[i].intervals, stdout);
             }
@@ -398,7 +457,7 @@ main(int argc, char **argv)
             for (std::size_t i = 0; i < points.size(); ++i)
                 std::printf("\n===== %s / %s =====\n%s",
                             points[i].workload.c_str(),
-                            core::policyName(points[i].cfg.policy),
+                            points[i].label.c_str(),
                             results[i].statsText.c_str());
     }
 
@@ -409,7 +468,7 @@ main(int argc, char **argv)
             if (points.size() > 1)
                 std::printf("\n===== %s / %s =====\n",
                             points[i].workload.c_str(),
-                            core::policyName(points[i].cfg.policy));
+                            points[i].label.c_str());
             else
                 std::printf("\n");
             obs::writePathProfileText(stdout, results[i].profile);
@@ -431,7 +490,7 @@ main(int argc, char **argv)
                              "      \"profile\": ",
                              first ? "" : ",",
                              points[i].workload.c_str(),
-                             core::policyName(points[i].cfg.policy));
+                             points[i].label.c_str());
                 obs::writePathProfileJson(f, results[i].profile,
                                           "      ");
                 std::fputs("\n    }", f);

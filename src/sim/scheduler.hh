@@ -14,9 +14,9 @@
  * Idle cycles are never visited: between wakes, simulated time simply
  * jumps. Components that skip cycles are responsible for keeping their
  * own accounting bit-identical to a per-cycle walk (see
- * OooCore::accountIdleCycles), which is what makes the event-driven
- * loop produce byte-identical results to the legacy polled loop
- * (--legacy-tick) at a fraction of the wall-clock.
+ * OooCore::accountIdleCycles), which is what lets the event-driven
+ * loop produce the same results a per-cycle polled loop would at a
+ * fraction of the wall-clock.
  */
 
 #ifndef ACP_SIM_SCHEDULER_HH

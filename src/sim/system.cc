@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "core/auth_policy.hh"
 #include "isa/opcodes.hh"
@@ -8,25 +10,58 @@
 namespace acp::sim
 {
 
-System::System(const SimConfig &cfg, isa::Program prog)
-    : cfg_(cfg), prog_(std::move(prog)), hier_(cfg_),
-      refMem_(cfg_.memoryBytes)
+namespace
 {
+
+std::vector<isa::Program>
+replicate(const isa::Program &prog, unsigned n)
+{
+    std::vector<isa::Program> progs;
+    progs.reserve(n ? n : 1);
+    for (unsigned i = 0; i < (n ? n : 1); ++i)
+        progs.push_back(prog);
+    return progs;
+}
+
+} // namespace
+
+System::System(const SimConfig &cfg, isa::Program prog)
+    : System(cfg, replicate(prog, cfg.numCores))
+{
+}
+
+System::System(const SimConfig &cfg, std::vector<isa::Program> progs)
+    : cfg_(cfg), progs_(std::move(progs)), hier_(cfg_)
+{
+    if (progs_.empty() || progs_.size() != std::max(1u, cfg_.numCores))
+        acp_fatal("System needs one program per core (%u cores, %zu "
+                  "programs)",
+                  cfg_.numCores, progs_.size());
+
     sched_.enableHostStats(cfg_.hostStats);
     sched_.attach(hier_);
-    hier_.loadProgram(prog_);
-    refMem_.loadProgram(prog_);
 
-    refExec_ = std::make_unique<cpu::FuncExecutor>(cpu::MemPort(refMem_),
-                                                   prog_.entry);
+    slots_.resize(progs_.size());
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        CoreSlot &slot = slots_[i];
+        slot.client = hier_.registerClient();
+        // Provision the ciphertext image into this client's slice of
+        // external memory; the reference machine runs the same image
+        // at architectural (un-offset) addresses.
+        hier_.loadProgram(progs_[i], hier_.clientBase(slot.client));
+        slot.refMem = std::make_unique<cpu::FlatMem>(cfg_.memoryBytes);
+        slot.refMem->loadProgram(progs_[i]);
+        slot.refExec = std::make_unique<cpu::FuncExecutor>(
+            cpu::MemPort(*slot.refMem), progs_[i].entry);
+        if (cfg_.statsInterval != 0)
+            slot.recorder = std::make_unique<obs::IntervalRecorder>(
+                cfg_.statsInterval);
+    }
 
     if (cfg_.traceMask != 0) {
         trace_ = std::make_unique<obs::TraceBuffer>(cfg_.traceMask);
         hier_.setTrace(trace_.get());
     }
-    if (cfg_.statsInterval != 0)
-        recorder_ = std::make_unique<obs::IntervalRecorder>(
-            cfg_.statsInterval);
     if (cfg_.profileEnabled) {
         profiler_ = std::make_unique<obs::PathProfiler>();
         hier_.setProfiler(profiler_.get());
@@ -38,74 +73,101 @@ System::System(const SimConfig &cfg, isa::Program prog)
 std::uint64_t
 System::fastForward(std::uint64_t insts)
 {
-    if (core_)
+    if (slots_[0].core)
         acp_fatal("fastForward must precede timed execution");
 
     std::uint64_t done = 0;
-    while (done < insts && !refExec_->halted()) {
-        cpu::StepInfo info = refExec_->step();
-        ++done;
-        // Mirror the access stream into the hierarchy to warm caches
-        // and keep the on-chip plaintext state consistent.
-        hier_.funcFetch(info.pc, /*warm_tags=*/true);
-        if (info.inst.isLoad())
-            hier_.funcRead(info.memAddr, info.memBytes, true);
-        else if (info.isStore)
-            hier_.funcWrite(info.memAddr, info.memBytes, info.storeValue,
-                            true);
+    for (CoreSlot &slot : slots_) {
+        std::uint64_t core_done = 0;
+        while (core_done < insts && !slot.refExec->halted()) {
+            cpu::StepInfo info = slot.refExec->step();
+            ++core_done;
+            // Mirror the access stream into the shared hierarchy (as
+            // this core's client) to warm caches and keep the on-chip
+            // plaintext state consistent.
+            hier_.funcFetch(info.pc, /*warm_tags=*/true, slot.client);
+            if (info.inst.isLoad())
+                hier_.funcRead(info.memAddr, info.memBytes, true,
+                               slot.client);
+            else if (info.isStore)
+                hier_.funcWrite(info.memAddr, info.memBytes,
+                                info.storeValue, true, slot.client);
+        }
+        done += core_done;
     }
     return done;
 }
 
-cpu::OooCore &
-System::core()
+void
+System::createCores()
 {
-    if (!core_) {
-        core_ = std::make_unique<cpu::OooCore>(cfg_, hier_,
-                                               refExec_->pc());
-        for (unsigned r = 0; r < 32; ++r)
-            core_->setReg(r, refExec_->reg(r));
+    // Reverse order with front attach: the scheduler prepends, so the
+    // components end up [cpu0, cpu1, ..., hier] — cpu0 both dumps
+    // first and wins same-cycle wake ties, and a single-core system
+    // keeps the exact legacy order [core, hier].
+    for (unsigned r = unsigned(slots_.size()); r-- > 0;) {
+        CoreSlot &slot = slots_[r];
+        std::string name =
+            slots_.size() == 1 ? "core"
+                               : "cpu" + std::to_string(r) + ".core";
+        slot.core = std::make_unique<cpu::OooCore>(
+            cfg_, hier_, slot.refExec->pc(), slot.client, name);
+        for (unsigned reg = 0; reg < 32; ++reg)
+            slot.core->setReg(reg, slot.refExec->reg(reg));
         if (cosim_)
-            core_->setCosimShadow(refExec_.get());
-        core_->setTrace(trace_.get());
-        core_->setIntervalRecorder(recorder_.get());
-        // The core dumps (and, at equal cycles, wakes) ahead of the
-        // memory side, matching the legacy enumeration order.
-        sched_.attach(*core_, /*front=*/true);
+            slot.core->setCosimShadow(slot.refExec.get());
+        slot.core->setTrace(trace_.get());
+        slot.core->setIntervalRecorder(slot.recorder.get());
+        sched_.attach(*slot.core, /*front=*/true);
     }
-    return *core_;
+}
+
+cpu::OooCore &
+System::core(unsigned i)
+{
+    if (!slots_[0].core)
+        createCores();
+    return *slots_.at(i).core;
 }
 
 void
 System::enableCosim()
 {
     cosim_ = true;
-    if (core_)
-        core_->setCosimShadow(refExec_.get());
+    for (CoreSlot &slot : slots_)
+        if (slot.core)
+            slot.core->setCosimShadow(slot.refExec.get());
 }
 
 RunResult
 System::measureTimed(std::uint64_t max_insts, std::uint64_t max_cycles)
 {
-    cpu::OooCore &timed_core = core();
-    std::uint64_t insts0 = timed_core.instsCommitted();
-    Cycle cycles0 = timed_core.cycles();
+    core(0); // create every core
+
+    std::vector<std::uint64_t> insts0(slots_.size());
+    std::vector<Cycle> cycles0(slots_.size());
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        cpu::OooCore &c = *slots_[i].core;
+        insts0[i] = c.instsCommitted();
+        cycles0[i] = c.cycles();
+        c.beginRun(max_insts, max_cycles);
+        c.wakeAt(c.cycles());
+    }
+    sched_.run();
 
     RunResult res;
-    timed_core.beginRun(max_insts, max_cycles);
-    if (cfg_.legacyTick) {
-        res.reason = timed_core.runPolled();
-    } else {
-        timed_core.wakeAt(timed_core.cycles());
-        sched_.run();
-        res.reason = timed_core.runReason();
+    res.reason = slots_[0].core->runReason();
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        cpu::OooCore &c = *slots_[i].core;
+        res.insts += c.instsCommitted() - insts0[i];
+        std::uint64_t cyc = c.cycles() - cycles0[i];
+        if (cyc > res.cycles)
+            res.cycles = cyc;
+        // The window is over: emit the partial tail interval so
+        // interval cycle counts sum to the window length.
+        c.flushIntervals();
     }
-    res.insts = timed_core.instsCommitted() - insts0;
-    res.cycles = timed_core.cycles() - cycles0;
     res.ipc = res.cycles ? double(res.insts) / double(res.cycles) : 0.0;
-    // The window is over: emit the partial tail interval so interval
-    // cycle counts sum to the window length.
-    timed_core.flushIntervals();
     return res;
 }
 
@@ -115,10 +177,17 @@ System::pathProfile()
     if (!profiler_)
         acp_fatal("pathProfile() requires cfg.profileEnabled");
     obs::StallArray stalls{};
-    if (core_)
-        stalls = core_->stallCycles();
+    bool have_stalls = false;
+    for (CoreSlot &slot : slots_) {
+        if (!slot.core)
+            continue;
+        have_stalls = true;
+        obs::StallArray s = slot.core->stallCycles();
+        for (unsigned c = 0; c < obs::kNumStallCauses; ++c)
+            stalls[c] += s[c];
+    }
     return profiler_->finalize(&hier_.ctrl().busTrace(),
-                               core_ ? &stalls : nullptr,
+                               have_stalls ? &stalls : nullptr,
                                core::policyName(cfg_.policy));
 }
 
@@ -126,7 +195,7 @@ void
 System::visitHostStatGroups(StatGroupVisitor &v)
 {
     // Groups are rebuilt on every call: component registration can
-    // grow between dumps (the timed core attaches lazily) and the
+    // grow between dumps (the timed cores attach lazily) and the
     // arena counters are process-wide snapshots. The temporaries are
     // consumed synchronously by v.group(), so pointer registration
     // into them is safe.

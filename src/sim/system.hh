@@ -1,9 +1,12 @@
 /**
  * @file
- * Top-level simulated system: one secure out-of-order core over the
- * secure memory hierarchy, plus a functional *reference machine*
- * (FuncExecutor + FlatMem) used for SimPoint-style fast-forwarding
- * with cache warmup and for commit-time co-simulation.
+ * Top-level simulated system: N secure out-of-order cores (cfg.
+ * numCores; 1 is the classic setup) registered as clients of ONE
+ * shared secure memory hierarchy — one L2, one secure memory
+ * controller, one bus arbiter, one DRAM, one auth engine. Each core
+ * has its own functional *reference machine* (FuncExecutor + FlatMem)
+ * used for SimPoint-style fast-forwarding with cache warmup and for
+ * commit-time co-simulation.
  *
  * Typical use (mirrors the paper's methodology, Section 5.1):
  *
@@ -18,6 +21,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cpu/flat_mem.hh"
 #include "cpu/func_executor.hh"
@@ -33,7 +37,9 @@
 namespace acp::sim
 {
 
-/** Outcome of a timed measurement window. */
+/** Outcome of a timed measurement window. For a multi-core run,
+ *  insts is the sum over cores, cycles the maximum over cores, ipc
+ *  the aggregate (sum / max), and reason core 0's outcome. */
 struct RunResult
 {
     std::uint64_t insts = 0;
@@ -46,28 +52,41 @@ struct RunResult
 class System
 {
   public:
+    /** Single-program convenience: every core runs a copy of @p prog
+     *  (each in its own address-space slice). */
     System(const SimConfig &cfg, isa::Program prog);
 
+    /** One program per core; progs.size() must equal cfg.numCores. */
+    System(const SimConfig &cfg, std::vector<isa::Program> progs);
+
     /**
-     * Execute @p insts instructions on the reference machine while
-     * warming the cache hierarchy (tags + data). Must precede core().
+     * Execute @p insts instructions on EACH core's reference machine
+     * while warming the shared cache hierarchy (tags + data). Must
+     * precede core(). Returns the total instructions fast-forwarded
+     * (== the per-core count for a single-core system).
      */
     std::uint64_t fastForward(std::uint64_t insts);
 
-    /** The timed core, created at the current architectural point. */
-    cpu::OooCore &core();
+    /** Timed core @p i, created (all together) at the current
+     *  architectural point. */
+    cpu::OooCore &core(unsigned i);
+    /** Core 0 (THE core of a single-core system). */
+    cpu::OooCore &core() { return core(0); }
 
-    /** Check every committed instruction against the reference. */
+    unsigned numCores() const { return unsigned(slots_.size()); }
+
+    /** Check every committed instruction against its reference. */
     void enableCosim();
 
-    /** Run the timed core for a measurement window. */
+    /** Run the timed cores for a measurement window (every core gets
+     *  the same per-core limits). */
     RunResult measureTimed(std::uint64_t max_insts,
                            std::uint64_t max_cycles);
 
     secmem::MemHierarchy &hier() { return hier_; }
-    cpu::FuncExecutor &ref() { return *refExec_; }
+    cpu::FuncExecutor &ref(unsigned i = 0) { return *slots_[i].refExec; }
     const SimConfig &config() const { return cfg_; }
-    const isa::Program &program() const { return prog_; }
+    const isa::Program &program() const { return progs_[0]; }
 
     /** Wake scheduler + component registry (dump order = attachment
      *  order; the core attaches in front of the memory side). */
@@ -82,38 +101,59 @@ class System
     /** Structured trace buffer (nullptr unless cfg.traceMask != 0). */
     obs::TraceBuffer *traceBuffer() { return trace_.get(); }
 
-    /** Interval recorder (nullptr unless cfg.statsInterval != 0). */
-    obs::IntervalRecorder *intervalRecorder() { return recorder_.get(); }
+    /** Core @p i's interval recorder (nullptr unless
+     *  cfg.statsInterval != 0). */
+    obs::IntervalRecorder *intervalRecorder(unsigned i = 0)
+    {
+        return slots_[i].recorder.get();
+    }
 
     /** Path profiler (nullptr unless cfg.profileEnabled). */
     obs::PathProfiler *pathProfiler() { return profiler_.get(); }
 
-    /** Attach a passive heartbeat feed to the timed core (creates the
-     *  core if needed; call after fastForward, nullptr detaches). */
-    void setHeartbeat(obs::HeartbeatRun *hb) { core().setHeartbeat(hb); }
+    /** Attach a passive heartbeat feed to timed core @p i (creates
+     *  the cores if needed; call after fastForward, nullptr
+     *  detaches). */
+    void setHeartbeat(obs::HeartbeatRun *hb, unsigned i = 0)
+    {
+        core(i).setHeartbeat(hb);
+    }
 
     /** Finalized profile snapshot: leak audit over the live bus trace
-     *  plus the core's stall counters (if a timed core ran). Call only
-     *  when profiling is enabled. */
+     *  plus the cores' summed stall counters (if timed cores ran).
+     *  Call only when profiling is enabled. */
     obs::PathProfile pathProfile();
 
   private:
+    /** One core's private slice of the system: its program copy,
+     *  reference machine, hierarchy client id, and (once timed
+     *  execution starts) its OooCore + interval recorder. */
+    struct CoreSlot
+    {
+        unsigned client = 0;
+        std::unique_ptr<cpu::FlatMem> refMem;
+        std::unique_ptr<cpu::FuncExecutor> refExec;
+        std::unique_ptr<cpu::OooCore> core;
+        std::unique_ptr<obs::IntervalRecorder> recorder;
+    };
+
+    /** Create every timed core at once (deterministic attach order:
+     *  cpu0 wakes/dumps first, then cpu1, ..., then the hierarchy). */
+    void createCores();
+
     /** Emit the sim.host.* groups (scheduler wakes/jumps per
      *  component, txn-arena pressure) when cfg.hostStats is set. */
     void visitHostStatGroups(StatGroupVisitor &v);
 
     SimConfig cfg_;
-    isa::Program prog_;
+    std::vector<isa::Program> progs_;
     Scheduler sched_;
     secmem::MemHierarchy hier_;
-    cpu::FlatMem refMem_;
-    std::unique_ptr<cpu::FuncExecutor> refExec_;
-    std::unique_ptr<cpu::OooCore> core_;
+    std::vector<CoreSlot> slots_;
     bool cosim_ = false;
 
     // Observability (passive; all optional)
     std::unique_ptr<obs::TraceBuffer> trace_;
-    std::unique_ptr<obs::IntervalRecorder> recorder_;
     std::unique_ptr<obs::PathProfiler> profiler_;
 };
 

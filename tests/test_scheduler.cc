@@ -1,10 +1,9 @@
 /**
  * @file
  * Event-driven scheduler tests. Three contracts:
- *   - the event loop is bit-identical to the legacy polled loop: same
- *     config digest (legacyTick is excluded, so cached results are
- *     shared), same run result, same stall taxonomy, same stat dump,
- *     same profiler segments, on several workload x policy points;
+ *   - the event loop is deterministic: repeated runs of the same point
+ *     produce the same run result, stall taxonomy, stat dump, and
+ *     profiler segments, on several workload x policy points;
  *   - same-cycle wakes dispatch deterministically in attachment order
  *     (front attachments first), and re-arms keep that order;
  *   - the Txn timeline arena never leaks: churned blocks return to the
@@ -29,13 +28,12 @@ namespace
 {
 
 sim::SimConfig
-cfgFor(AuthPolicy policy, bool legacy)
+cfgFor(AuthPolicy policy)
 {
     sim::SimConfig cfg;
     cfg.policy = policy;
     cfg.memoryBytes = 64ULL << 20;
     cfg.protectedBytes = cfg.memoryBytes;
-    cfg.legacyTick = legacy;
     return cfg;
 }
 
@@ -49,11 +47,11 @@ struct PointOutcome
 };
 
 PointOutcome
-runPoint(const std::string &workload, AuthPolicy policy, bool legacy)
+runPoint(const std::string &workload, AuthPolicy policy)
 {
     workloads::WorkloadParams params;
     params.workingSetBytes = 1 << 20;
-    sim::System system(cfgFor(policy, legacy),
+    sim::System system(cfgFor(policy),
                        workloads::build(workload, params));
     system.fastForward(10000);
     PointOutcome out;
@@ -66,8 +64,9 @@ runPoint(const std::string &workload, AuthPolicy policy, bool legacy)
 
 } // namespace
 
-// The whole point of the redesign: wall-clock changes, results do not.
-TEST(Scheduler, EventLoopBitIdenticalToLegacy)
+// A heap-ordered event loop with a deterministic tie-break must be
+// exactly reproducible: same point, same bits, every time.
+TEST(Scheduler, EventLoopDeterministic)
 {
     struct
     {
@@ -80,48 +79,38 @@ TEST(Scheduler, EventLoopBitIdenticalToLegacy)
         {"bzip2", AuthPolicy::kCommitPlusFetch},
     };
     for (const auto &p : points) {
-        PointOutcome ev = runPoint(p.workload, p.policy, false);
-        PointOutcome lg = runPoint(p.workload, p.policy, true);
+        PointOutcome first = runPoint(p.workload, p.policy);
+        PointOutcome again = runPoint(p.workload, p.policy);
 
-        EXPECT_EQ(ev.run.insts, lg.run.insts) << p.workload;
-        EXPECT_EQ(ev.run.cycles, lg.run.cycles) << p.workload;
-        EXPECT_EQ(ev.run.reason, lg.run.reason) << p.workload;
-        EXPECT_EQ(ev.cycles, lg.cycles) << p.workload;
-        for (unsigned s = 0; s < ev.stalls.size(); ++s)
-            EXPECT_EQ(ev.stalls[s], lg.stalls[s])
+        EXPECT_EQ(first.run.insts, again.run.insts) << p.workload;
+        EXPECT_EQ(first.run.cycles, again.run.cycles) << p.workload;
+        EXPECT_EQ(first.run.reason, again.run.reason) << p.workload;
+        EXPECT_EQ(first.cycles, again.cycles) << p.workload;
+        for (unsigned s = 0; s < first.stalls.size(); ++s)
+            EXPECT_EQ(first.stalls[s], again.stalls[s])
                 << p.workload << " stall cause " << s;
-        EXPECT_EQ(ev.stats, lg.stats) << p.workload;
+        EXPECT_EQ(first.stats, again.stats) << p.workload;
     }
 }
 
-// legacyTick is a loop-implementation knob, not a machine knob: both
-// loops must share one config digest (and thus one cached result).
-TEST(Scheduler, LegacyTickExcludedFromConfigDigest)
+// Profiler segment decomposition must not move across runs either.
+TEST(Scheduler, ProfilerSegmentsDeterministic)
 {
-    sim::SimConfig ev = cfgFor(AuthPolicy::kAuthThenCommit, false);
-    sim::SimConfig lg = cfgFor(AuthPolicy::kAuthThenCommit, true);
-    EXPECT_EQ(sim::serializeConfig(ev), sim::serializeConfig(lg));
-    EXPECT_EQ(sim::configDigest(ev), sim::configDigest(lg));
-}
-
-// Profiler segment decomposition must not move either.
-TEST(Scheduler, ProfilerSegmentsMatchAcrossLoops)
-{
-    auto profiled = [](bool legacy) {
+    auto profiled = []() {
         workloads::WorkloadParams params;
         params.workingSetBytes = 1 << 20;
-        sim::SimConfig cfg = cfgFor(AuthPolicy::kAuthThenCommit, legacy);
+        sim::SimConfig cfg = cfgFor(AuthPolicy::kAuthThenCommit);
         cfg.profileEnabled = true;
         sim::System system(cfg, workloads::build("mcf", params));
         system.fastForward(10000);
         system.measureTimed(20000, 20'000'000);
         return system.pathProfile();
     };
-    obs::PathProfile ev = profiled(false);
-    obs::PathProfile lg = profiled(true);
-    EXPECT_EQ(ev.demandTxns, lg.demandTxns);
+    obs::PathProfile first = profiled();
+    obs::PathProfile again = profiled();
+    EXPECT_EQ(first.demandTxns, again.demandTxns);
     for (unsigned s = 0; s < obs::kNumPathSegments; ++s)
-        EXPECT_EQ(ev.demandSegCycles[s], lg.demandSegCycles[s])
+        EXPECT_EQ(first.demandSegCycles[s], again.demandSegCycles[s])
             << "segment " << s;
 }
 
@@ -218,7 +207,7 @@ TEST(Scheduler, TxnArenaNeverLeaks)
     {
         workloads::WorkloadParams params;
         params.workingSetBytes = 1 << 20;
-        sim::System system(cfgFor(AuthPolicy::kAuthThenCommit, false),
+        sim::System system(cfgFor(AuthPolicy::kAuthThenCommit),
                            workloads::build("mcf", params));
         system.fastForward(5000);
         system.measureTimed(10000, 10'000'000);

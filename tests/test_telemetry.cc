@@ -369,7 +369,7 @@ TEST(CacheTelemetry, CountsHitsMissesAndWritesProvenance)
     // The file leads with the version header, then the provenance
     // comment — and a fresh cache still loads it cleanly.
     std::string text = cache.contents();
-    EXPECT_EQ(text.rfind("acp-cache-v5\n", 0), 0u);
+    EXPECT_EQ(text.rfind("acp-cache-v6\n", 0), 0u);
     EXPECT_NE(text.find("\n# {\"schema\": \"acp-manifest-v1\""),
               std::string::npos);
     exp::ResultCache reload(cache.path());

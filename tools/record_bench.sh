@@ -2,9 +2,11 @@
 # Record the performance-trajectory baseline: build, then run the
 # profiled fig7 workload x policy sweep (bench/baseline_ipc) and write
 # BENCH_baseline.json at the repo root. An optional argument names a
-# different output file, e.g.
+# different output file, and --bench=NAME records a different bench
+# binary, e.g.
 #
 #   tools/record_bench.sh BENCH_event_loop.json
+#   tools/record_bench.sh BENCH_multicore.json --bench=multicore_scaling
 #
 # records the same sweep under a snapshot name (used to commit the
 # event-driven scheduler's wall-clock numbers next to the polled-loop
@@ -34,10 +36,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FORCE=0
+BENCH=baseline_ipc
 ARGS=()
 for arg in "$@"; do
     case "$arg" in
         --force) FORCE=1 ;;
+        --bench=*) BENCH="${arg#--bench=}" ;;
         *) ARGS+=("$arg") ;;
     esac
 done
@@ -58,8 +62,8 @@ if command -v ninja > /dev/null 2>&1; then
 fi
 
 cmake -B build "${GENERATOR[@]}"
-cmake --build build -j "$JOBS" --target baseline_ipc
+cmake --build build -j "$JOBS" --target "$BENCH"
 
-build/bench/baseline_ipc "$OUT"
+"build/bench/$BENCH" "$OUT"
 
 echo "recorded $OUT (jobs=$JOBS)"

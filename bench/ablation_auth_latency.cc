@@ -26,7 +26,7 @@ main()
                 "(normalized IPC vs decrypt-only baseline, 256KB L2)\n");
 
     // One batch: baseline + {issue,commit} x {74,148,296} per bench.
-    exp::Sweep sweep = bench::paperSweep();
+    exp::Request sweep = bench::paperRequest();
     sweep.workloads(names);
     sweep.variant("base", [](sim::SimConfig &cfg) {
         cfg.policy = core::AuthPolicy::kBaseline;
@@ -38,7 +38,7 @@ main()
                               cfg.policy = policy;
                               cfg.authLatency = lat;
                           });
-    std::vector<exp::Result> results = bench::runner().run(sweep);
+    std::vector<exp::Result> results = bench::run(sweep);
     const std::size_t stride = 7;
 
     for (int p = 0; p < 2; ++p) {

@@ -30,14 +30,14 @@ main()
     std::printf("%-10s %12s %12s %12s\n", "bench", "2KB", "8KB", "32KB");
     bench::rule('-', 52);
 
-    exp::Sweep sweep = bench::paperSweep();
+    exp::Request sweep = bench::paperRequest();
     sweep.workloads(names);
     for (std::uint64_t size : sizes)
         sweep.variant("base", [size](sim::SimConfig &cfg) {
             cfg.policy = core::AuthPolicy::kBaseline;
             cfg.counterCache.sizeBytes = size;
         });
-    std::vector<exp::Result> results = bench::runner().run(sweep);
+    std::vector<exp::Result> results = bench::run(sweep);
     const std::size_t stride = 3;
 
     for (std::size_t w = 0; w < names.size(); ++w) {

@@ -31,7 +31,7 @@ main()
     std::printf("Ablation: encryption mode (absolute IPC)\n\n");
 
     // One batch: {baseline,issue} x {ctr+pred, ctr no-pred, cbc}.
-    exp::Sweep sweep = bench::paperSweep();
+    exp::Request sweep = bench::paperRequest();
     sweep.workloads(names);
     for (core::AuthPolicy policy : policies) {
         sweep.variant("ctr+predict", [policy](sim::SimConfig &cfg) {
@@ -50,7 +50,7 @@ main()
             cfg.counterPrediction = false;
         });
     }
-    std::vector<exp::Result> results = bench::runner().run(sweep);
+    std::vector<exp::Result> results = bench::run(sweep);
     const std::size_t stride = 6;
 
     for (int p = 0; p < 2; ++p) {

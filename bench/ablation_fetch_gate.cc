@@ -43,7 +43,7 @@ main()
                 "drain", "serial engine", "drain+serial");
     bench::rule('-', 70);
 
-    exp::Sweep sweep = bench::paperSweep();
+    exp::Request sweep = bench::paperRequest();
     sweep.workloads(names);
     sweep.variant("base", [](sim::SimConfig &cfg) {
         cfg.policy = core::AuthPolicy::kBaseline;
@@ -54,7 +54,7 @@ main()
             cfg.fetchGateDrain = v.drain;
             cfg.authEngineInterval = v.interval;
         });
-    std::vector<exp::Result> results = bench::runner().run(sweep);
+    std::vector<exp::Result> results = bench::run(sweep);
     const std::size_t stride = 5;
 
     for (std::size_t w = 0; w < names.size(); ++w) {

@@ -1,10 +1,12 @@
 /**
  * @file
  * Shared harness for the paper-reproduction benchmarks, built on the
- * acp::exp experiment API: each figure/table declares a Sweep
- * (workloads × config variants) and runs it on the shared parallel
- * Runner, which executes points on a thread pool and persists results
- * in the versioned, fully-keyed ./acp_bench_cache.txt.
+ * acp::exp experiment API: each figure/table declares an exp::Request
+ * (workloads × config variants) and hands it to exp::submit(), which
+ * executes points on a thread pool and persists results in the
+ * versioned, fully-keyed ./acp_store result store (a legacy
+ * acp_bench_cache.txt is migrated on first open). Set ACP_CONNECT to
+ * an acpsimd socket to run the same sweeps through the daemon.
  *
  * Environment knobs:
  *
@@ -28,9 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "core/auth_policy.hh"
-#include "exp/runner.hh"
-#include "exp/sweep.hh"
+#include "exp/request.hh"
+#include "exp/submit.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
 #include "workloads/workloads.hh"
@@ -83,26 +86,30 @@ paperParams()
 }
 
 /**
- * Shared parallel runner (ACP_JOBS threads, versioned persistent
- * cache in ./acp_bench_cache.txt so derived figures reuse the runs of
- * their siblings and re-running a bench binary is cheap; delete the
- * file to force fresh measurements).
+ * Execute a request through exp::submit (ACP_JOBS threads, versioned
+ * persistent results in ./acp_store so derived figures reuse the runs
+ * of their siblings and re-running a bench binary is cheap; delete
+ * the directory to force fresh measurements). Fatal on failure so
+ * bench binaries stay assertion-free.
  */
-inline exp::Runner &
-runner()
+inline std::vector<exp::Result>
+run(const exp::Request &req)
 {
-    static exp::Runner instance;
-    return instance;
+    exp::Submission sub = exp::submit(req);
+    if (!sub.ok)
+        acp_fatal("sweep failed: %s", sub.error.c_str());
+    return sub.results;
 }
 
-/** A Sweep pre-loaded with the paper config, scale knobs and window. */
-inline exp::Sweep
-paperSweep(const sim::SimConfig &cfg = paperConfig())
+/** A Request pre-loaded with the paper config, scale knobs, window
+ *  and the shared result store. */
+inline exp::Request
+paperRequest(const sim::SimConfig &cfg = paperConfig())
 {
-    exp::Sweep sweep;
-    sweep.base(cfg).params(paperParams()).window(warmupInsts(),
-                                                 measureInsts());
-    return sweep;
+    exp::Request req;
+    req.base(cfg).params(paperParams()).window(warmupInsts(),
+                                               measureInsts());
+    return req;
 }
 
 /** Pretty separator. */
@@ -146,21 +153,20 @@ runSchemes(const std::vector<std::string> &names,
            core::AuthPolicy reference, std::vector<exp::Point> *out_points
            = nullptr)
 {
-    exp::Sweep sweep = paperSweep(base_cfg);
-    sweep.workloads(names);
-    sweep.variant(core::policyName(reference),
-                  [reference](sim::SimConfig &cfg) {
-                      cfg.policy = reference;
-                  });
+    exp::Request req = paperRequest(base_cfg);
+    req.workloads(names);
+    req.variant(core::policyName(reference),
+                [reference](sim::SimConfig &cfg) {
+                    cfg.policy = reference;
+                });
     for (const Scheme &scheme : schemes)
-        sweep.variant(scheme.label, [policy = scheme.policy](
-                                        sim::SimConfig &cfg) {
+        req.variant(scheme.label, [policy = scheme.policy](
+                                      sim::SimConfig &cfg) {
             cfg.policy = policy;
         });
-    std::vector<exp::Point> points = sweep.build();
     if (out_points)
-        *out_points = points;
-    return runner().run(points);
+        *out_points = req.points();
+    return run(req);
 }
 
 /**

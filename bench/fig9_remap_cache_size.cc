@@ -29,7 +29,7 @@ main()
     const std::uint64_t sizes[] = {8 * 1024, 32 * 1024, 128 * 1024};
 
     // One batch: baseline + the three obfuscation variants per bench.
-    exp::Sweep sweep = bench::paperSweep();
+    exp::Request sweep = bench::paperRequest();
     sweep.workloads(all_names);
     sweep.variant("base", [](sim::SimConfig &cfg) {
         cfg.policy = core::AuthPolicy::kBaseline;
@@ -39,7 +39,7 @@ main()
             cfg.policy = core::AuthPolicy::kCommitPlusObfuscation;
             cfg.remapCache.sizeBytes = size;
         });
-    std::vector<exp::Result> results = bench::runner().run(sweep);
+    std::vector<exp::Result> results = bench::run(sweep);
     const std::size_t stride = 4;
 
     std::printf("\n%-10s %14s %14s %14s\n", "bench", "8KB remap$",

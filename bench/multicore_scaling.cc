@@ -48,7 +48,7 @@ main(int argc, char **argv)
     sim::SimConfig cfg = bench::paperConfig();
     cfg.profileEnabled = true;
 
-    exp::Sweep sweep = bench::paperSweep(cfg);
+    exp::Request sweep = bench::paperRequest(cfg);
     sweep.workloads(names);
     sweep.variant("baseline", [](sim::SimConfig &c) {
         c.policy = core::AuthPolicy::kBaseline;
@@ -58,8 +58,8 @@ main(int argc, char **argv)
     });
     sweep.cores(core_counts);
 
-    std::vector<exp::Point> points = sweep.build();
-    std::vector<exp::Result> results = bench::runner().run(points);
+    std::vector<exp::Point> points = sweep.points();
+    std::vector<exp::Result> results = bench::run(sweep);
 
     std::FILE *out = std::fopen(out_path, "wb");
     if (!out) {

@@ -14,8 +14,8 @@
 #include <vector>
 
 #include "core/auth_policy.hh"
-#include "exp/runner.hh"
-#include "exp/sweep.hh"
+#include "exp/request.hh"
+#include "exp/submit.hh"
 #include "workloads/workloads.hh"
 
 using namespace acp;
@@ -44,22 +44,21 @@ main(int argc, char **argv)
     base.memoryBytes = 64ULL << 20;
     base.protectedBytes = base.memoryBytes;
 
-    exp::Sweep sweep;
-    sweep.base(base).params(params).window(20000, insts).workload(name);
+    exp::Request req;
+    req.base(base).params(params).window(20000, insts).workload(name);
     for (core::AuthPolicy policy : policies)
-        sweep.variant(core::policyName(policy),
-                      [policy](sim::SimConfig &cfg) {
-                          cfg.policy = policy;
-                      });
+        req.variant(core::policyName(policy),
+                    [policy](sim::SimConfig &cfg) {
+                        cfg.policy = policy;
+                    });
 
-    exp::RunnerOptions opts;
-    opts.cacheFile.clear(); // ad-hoc exploration: always simulate
-    opts.captureStatsText = true;
-    opts.counters = {"l2.misses", "core.auth_commit_stalls",
-                     "memctrl.fetch_gate_stalls",
-                     "core.store_release_stalls"};
-    exp::Runner runner(opts);
-    std::vector<exp::Result> results = runner.run(sweep);
+    req.store.clear(); // ad-hoc exploration: always simulate
+    req.captureStatsText = true;
+    req.counters = {"l2.misses", "core.auth_commit_stalls",
+                    "memctrl.fetch_gate_stalls",
+                    "core.store_release_stalls"};
+    exp::Submission sub = exp::submit(req);
+    const std::vector<exp::Result> &results = sub.results;
 
     std::printf("%-22s %8s %10s %12s %12s %12s\n", "policy", "IPC",
                 "L2 miss", "commitStall", "fetchStall", "relStall");

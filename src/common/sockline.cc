@@ -1,0 +1,150 @@
+#include "common/sockline.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace acp::net
+{
+
+namespace
+{
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr,
+                     "socket path too long (%zu bytes, max %zu): %s\n",
+                     path.size(), sizeof(addr.sun_path) - 1,
+                     path.c_str());
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+unixListen(const std::string &path, int backlog)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("socket");
+        return -1;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        std::fprintf(stderr, "bind %s: %s\n", path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, backlog) < 0) {
+        std::perror("listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+unixConnect(const std::string &path)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    return writeAll(fd, line + "\n");
+}
+
+LineReader::Io
+LineReader::fill()
+{
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, std::size_t(n));
+            return Io::kOk;
+        }
+        if (n == 0)
+            return Io::kEof;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return Io::kBlocked;
+        return Io::kError;
+    }
+}
+
+bool
+LineReader::nextLine(std::string &out)
+{
+    std::size_t eol = buf_.find('\n');
+    if (eol == std::string::npos)
+        return false;
+    out = buf_.substr(0, eol);
+    if (!out.empty() && out.back() == '\r')
+        out.pop_back();
+    buf_.erase(0, eol + 1);
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &out)
+{
+    for (;;) {
+        if (nextLine(out))
+            return true;
+        Io io = fill();
+        if (io == Io::kEof || io == Io::kError)
+            return false;
+        // kBlocked on a blocking fd cannot happen; on a non-blocking
+        // fd a blocking-style readLine would spin, so treat it as
+        // "no line yet" and keep pulling (callers use readLine only on
+        // blocking fds).
+    }
+}
+
+} // namespace acp::net

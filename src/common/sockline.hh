@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unix-domain socket + line-framing helpers shared by the acp-rpc-v1
+ * client (exp::submit --connect path) and the acpsimd daemon. The
+ * protocol is JSONL — one JSON object per '\n'-terminated line — so
+ * everything here is about moving complete lines across a stream
+ * socket without caring what is in them.
+ */
+
+#ifndef ACP_COMMON_SOCKLINE_HH
+#define ACP_COMMON_SOCKLINE_HH
+
+#include <string>
+
+namespace acp::net
+{
+
+/**
+ * Bind + listen on a unix-domain stream socket at @p path (an existing
+ * socket file is unlinked first). Returns the listening fd, or -1 with
+ * a message on stderr.
+ */
+int unixListen(const std::string &path, int backlog = 16);
+
+/** Connect to a unix-domain stream socket; -1 on failure (silent). */
+int unixConnect(const std::string &path);
+
+/** write() the whole buffer, retrying on EINTR; false on any error. */
+bool writeAll(int fd, const std::string &data);
+
+/** writeAll of @p line plus the terminating newline. */
+bool writeLine(int fd, const std::string &line);
+
+/**
+ * Incremental line extractor over a stream fd. fill() performs one
+ * read() into the buffer; nextLine() hands out complete lines (without
+ * the terminator). Works for both blocking fds (client: fill blocks
+ * until data) and non-blocking fds (daemon: fill returns kBlocked).
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    enum class Io
+    {
+        kOk,      ///< read some bytes
+        kEof,     ///< orderly shutdown
+        kBlocked, ///< non-blocking fd had nothing (EAGAIN)
+        kError,   ///< hard error (treat like EOF)
+    };
+
+    Io fill();
+
+    /** Extract the next complete line; false when none is buffered. */
+    bool nextLine(std::string &out);
+
+    /**
+     * Blocking convenience: pump fill() until a line is available.
+     * False on EOF/error with no complete line left.
+     */
+    bool readLine(std::string &out);
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace acp::net
+
+#endif // ACP_COMMON_SOCKLINE_HH

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Daemon-path submit(): speak acp-rpc-v1 (docs/RPC.md) to an acpsimd
+ * over its Unix socket. The daemon schedules the points across its
+ * worker pool and content-addressed store; this client pairs the
+ * streamed point_done frames back onto the locally-materialized
+ * point list, relays hb frames into the local heartbeat sink, and
+ * reproduces the local progress surface — so a --connect run looks
+ * and byte-for-byte *is* the in-process run, minus the simulating.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/sockline.hh"
+#include "exp/result_codec.hh"
+#include "exp/submit.hh"
+#include "obs/heartbeat.hh"
+#include "obs/manifest.hh"
+
+namespace acp::exp
+{
+
+namespace
+{
+
+/** Same per-point stderr line the local engine prints. */
+void
+reportProgress(const Request &req, std::size_t done, std::size_t total,
+               std::size_t cached, double eta_seconds,
+               const Point &point, const Result &result)
+{
+    const char *label = point.label.empty()
+                            ? core::policyName(point.cfg.policy)
+                            : point.label.c_str();
+    if (req.heartbeat)
+        req.heartbeat->point(done, total, cached, done - cached,
+                             point.workload, label, result.run.ipc,
+                             result.fromCache, eta_seconds);
+    if (!req.progress)
+        return;
+    std::fprintf(stderr, "[%3zu/%zu] %-10s %-16s ipc=%.4f  %s",
+                 done, total, point.workload.c_str(), label,
+                 result.run.ipc, result.fromCache ? "(cached)" : "");
+    if (!result.fromCache)
+        std::fprintf(stderr, "(%.1fs)", result.wallSeconds);
+    std::fprintf(stderr, "  | %zu cached\n", cached);
+}
+
+} // namespace
+
+Submission
+submitRemote(const Request &req, const std::string &socket_path,
+             Sink *sink)
+{
+    auto start = std::chrono::steady_clock::now();
+
+    Submission sub;
+    sub.points = req.points();
+    sub.results.resize(sub.points.size());
+
+    auto fail = [&](const std::string &what) {
+        sub.ok = false;
+        sub.error = what;
+        return sub;
+    };
+
+    std::string why;
+    if (!remoteEligible(req, &why))
+        return fail("request is not daemon-eligible: " + why);
+
+    int fd = net::unixConnect(socket_path);
+    if (fd < 0)
+        return fail("cannot connect to acpsimd at " + socket_path);
+    net::LineReader reader(fd);
+
+    auto readFrame = [&](json::Value &frame, std::string &err) {
+        std::string line;
+        if (!reader.readLine(line)) {
+            err = "connection closed by acpsimd";
+            return false;
+        }
+        return json::parse(line, frame, &err);
+    };
+
+    // --- version negotiation ---------------------------------------
+    net::writeLine(fd,
+                   "{\"rpc\":\"acp-rpc-v1\",\"op\":\"hello\","
+                   "\"versionMin\":1,\"versionMax\":1,"
+                   "\"client\":\"acpsim\"}");
+    json::Value frame;
+    std::string err;
+    if (!readFrame(frame, err)) {
+        ::close(fd);
+        return fail("hello failed: " + err);
+    }
+    const json::Value *op = frame.find("op");
+    if (!op || !op->isString() || op->str != "hello_ok") {
+        const json::Value *msg = frame.find("message");
+        ::close(fd);
+        return fail(msg && msg->isString() ? msg->str
+                                           : "daemon rejected hello");
+    }
+    unsigned workers = 1;
+    if (const json::Value *w = frame.find("workers"))
+        workers = unsigned(w->asU64(1));
+
+    // --- submission ------------------------------------------------
+    net::writeLine(fd, "{\"op\":\"submit\",\"id\":\"1\","
+                       "\"subscribe\":true,\"request\":" +
+                           req.toJson() + "}");
+
+    std::size_t done = 0, cached = 0, simulated = 0;
+    std::vector<double> walls;
+    bool accepted = false, finished = false;
+    while (!finished) {
+        if (!readFrame(frame, err)) {
+            ::close(fd);
+            return fail("stream broke mid-submission: " + err);
+        }
+        op = frame.find("op");
+        if (!op || !op->isString()) {
+            ::close(fd);
+            return fail("malformed frame from acpsimd");
+        }
+        if (op->str == "accepted") {
+            std::size_t n = 0;
+            if (const json::Value *v = frame.find("points"))
+                n = std::size_t(v->asU64());
+            if (n != sub.points.size()) {
+                ::close(fd);
+                return fail("daemon materialized a different sweep "
+                            "(points mismatch)");
+            }
+            accepted = true;
+            if (req.heartbeat)
+                req.heartbeat->sweepStart(sub.points.size(), workers,
+                                          obs::manifest());
+        } else if (op->str == "hb") {
+            const json::Value *line = frame.find("line");
+            if (req.heartbeat && line && line->isString())
+                req.heartbeat->rawLine(line->str);
+        } else if (op->str == "point_done") {
+            const json::Value *index = frame.find("index");
+            const json::Value *line = frame.find("line");
+            if (!accepted || !index || !index->isNumber() || !line ||
+                !line->isString() ||
+                index->asU64() >= sub.points.size()) {
+                ::close(fd);
+                return fail("malformed point_done frame");
+            }
+            std::size_t i = std::size_t(index->asU64());
+            Result &r = sub.results[i];
+            decodeResultTokens(line->str, r);
+            if (const json::Value *v = frame.find("fromCache"))
+                r.fromCache = v->asBool();
+            if (const json::Value *v = frame.find("wall"))
+                r.wallSeconds = v->asDouble();
+            ++done;
+            if (r.fromCache) {
+                ++cached;
+            } else {
+                ++simulated;
+                walls.push_back(r.wallSeconds);
+            }
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            double eta =
+                simulated
+                    ? elapsed / double(simulated) *
+                          double(sub.points.size() - done)
+                    : -1.0;
+            reportProgress(req, done, sub.points.size(), cached, eta,
+                           sub.points[i], r);
+            if (sink)
+                sink->onPoint(i, sub.points[i], r);
+        } else if (op->str == "done") {
+            finished = true;
+        } else if (op->str == "error") {
+            const json::Value *msg = frame.find("message");
+            ::close(fd);
+            return fail(msg && msg->isString()
+                            ? "acpsimd: " + msg->str
+                            : "acpsimd reported an error");
+        }
+        // Unknown ops are ignored (forward compatibility).
+    }
+
+    // --- telemetry from the done frame -----------------------------
+    sub.telemetry.total = sub.points.size();
+    sub.telemetry.cached = cached;
+    sub.telemetry.simulated = simulated;
+    sub.telemetry.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!walls.empty()) {
+        std::sort(walls.begin(), walls.end());
+        sub.telemetry.wallP50 = walls[(walls.size() - 1) / 2];
+        sub.telemetry.wallP90 = walls[(walls.size() - 1) * 9 / 10];
+        sub.telemetry.wallMax = walls.back();
+    }
+    std::string cache_tail;
+    if (const json::Value *store = frame.find("store")) {
+        sub.telemetry.hasCacheStats = true;
+        auto stat = [&](const char *key) -> std::uint64_t {
+            const json::Value *v = store->find(key);
+            return v ? v->asU64() : 0;
+        };
+        sub.telemetry.cacheStats.hits = stat("hits");
+        sub.telemetry.cacheStats.misses = stat("misses");
+        sub.telemetry.cacheStats.stores = stat("stores");
+        sub.telemetry.cacheStats.evictions = stat("evictions");
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\"cacheHits\":%llu,\"cacheMisses\":%llu,"
+                      "\"cacheStores\":%llu,\"cacheEvictions\":%llu,",
+                      (unsigned long long)sub.telemetry.cacheStats.hits,
+                      (unsigned long long)sub.telemetry.cacheStats.misses,
+                      (unsigned long long)sub.telemetry.cacheStats.stores,
+                      (unsigned long long)
+                          sub.telemetry.cacheStats.evictions);
+        cache_tail = buf;
+    }
+    if (req.heartbeat)
+        req.heartbeat->sweepEnd(sub.points.size(), cached, simulated,
+                                sub.telemetry.wallSeconds, cache_tail);
+
+    net::writeLine(fd, "{\"op\":\"bye\"}");
+    ::close(fd);
+    return sub;
+}
+
+} // namespace acp::exp

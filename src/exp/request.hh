@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The one experiment entry point: a Request fully describes a sweep —
+ * the cross product workloads × config variants (× core counts) that
+ * every paper figure/table is made of — *and* how to execute it
+ * (jobs, result store, progress, captured statistics, heartbeat).
+ *
+ * A Request replaces the three entry surfaces the harness used to
+ * have (the Sweep builder, RunnerOptions, and acpsim's private flag
+ * plumbing). The same Request runs identically through the in-process
+ * engine, the acpsim CLI, and — serialized as acp-request-v1 JSON —
+ * the acpsimd daemon: digests, results and point JSON are
+ * bit-identical across all of them.
+ *
+ *   exp::Request req;
+ *   req.base(cfg).params(params).window(30000, 60000)
+ *      .workloads(workloads::intNames())
+ *      .variant("base", [](auto &c) { c.policy = kBaseline; })
+ *      .variant("commit", [](auto &c) { c.policy = kAuthThenCommit; });
+ *   exp::Submission sub = exp::submit(req);
+ *
+ * points() orders the cross product workload-major: the point for
+ * (workload w, variant v, core count c) lands at index
+ * ((w * variantCount()) + v) * coreCount() + c.
+ *
+ * Variants snapshot the base configuration when declared, so set
+ * base() (and mix()) before the first variant().
+ */
+
+#ifndef ACP_EXP_REQUEST_HH
+#define ACP_EXP_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+#include "exp/point.hh"
+
+namespace acp::obs
+{
+class Heartbeat;
+}
+
+namespace acp::exp
+{
+
+/** One labelled configuration of the sweep's variant axis. */
+struct RequestVariant
+{
+    std::string label;
+    sim::SimConfig cfg;
+};
+
+struct Request
+{
+    static constexpr const char *kSchema = "acp-request-v1";
+
+    // ----- sweep axes (serialized; all participate in digests) ------
+
+    /** Base configuration snapshot taken by each variant(). */
+    sim::SimConfig baseCfg;
+    workloads::WorkloadParams workloadParams;
+    std::uint64_t warmupInsts = 30000;
+    std::uint64_t measureInsts = 60000;
+    std::uint64_t cyclesPerInst = 400;
+    /** Workload names; a '+'-joined name ("mcf+sha") is a per-core
+     *  mix — points() widens numCores and fills coreWorkloads. */
+    std::vector<std::string> workloadNames;
+    /** Labelled config variants (1 implicit base variant if empty). */
+    std::vector<RequestVariant> variants;
+    /** Optional innermost sweep axis over core counts ("@Nc" labels). */
+    std::vector<unsigned> coresAxis;
+    /** Per-core workload mix applied to every point (coreWorkloads). */
+    std::vector<std::string> mixWorkloads;
+
+    // ----- execution policy (serialized) ----------------------------
+
+    /** Worker threads; 0 = ACP_JOBS env, else hardware concurrency. */
+    unsigned jobs = 0;
+    /** Result-store directory; empty disables the store entirely. */
+    std::string store = "acp_store";
+    /** Per-point progress lines on stderr. */
+    bool progress = true;
+    /**
+     * Statistic names to capture from each run (e.g. "l2.misses").
+     * The filter applies to counters, averages and distributions
+     * alike. Empty = capture everything.
+     */
+    std::vector<std::string> counters;
+    /** Also keep the full dumpStats() text in Result::statsText
+     *  (local execution only — never travels over the wire). */
+    bool captureStatsText = false;
+    /** Simulated cycles between heartbeat tick records. */
+    std::uint64_t heartbeatPeriod = 50000;
+
+    // ----- local-only (never serialized) ----------------------------
+
+    /**
+     * Live heartbeat sink (JSONL; see obs/heartbeat.hh). Strictly
+     * passive: a heartbeat run is bit-identical to a silent one, and
+     * heartbeat never affects digests or cacheability. Not owned;
+     * must outlive submit(). With daemon execution the server's
+     * stream is relayed into this sink line-for-line.
+     */
+    obs::Heartbeat *heartbeat = nullptr;
+    /** acpsimd socket path; non-empty routes submit() to the daemon. */
+    std::string connect;
+    /**
+     * Last-chance point decoration (trace/cosim hooks, ad-hoc config
+     * edits). Runs at the end of points(). A request with a decorator
+     * cannot execute remotely.
+     */
+    std::function<void(std::vector<Point> &)> decorate;
+
+    // ----- fluent builder (mirrors the old Sweep surface) -----------
+
+    Request &
+    base(const sim::SimConfig &cfg)
+    {
+        baseCfg = cfg;
+        return *this;
+    }
+
+    Request &
+    params(const workloads::WorkloadParams &p)
+    {
+        workloadParams = p;
+        return *this;
+    }
+
+    Request &
+    window(std::uint64_t warmup, std::uint64_t measure,
+           std::uint64_t cycles_per_inst = 400)
+    {
+        warmupInsts = warmup;
+        measureInsts = measure;
+        cyclesPerInst = cycles_per_inst;
+        return *this;
+    }
+
+    Request &
+    workload(std::string name)
+    {
+        workloadNames.push_back(std::move(name));
+        return *this;
+    }
+
+    Request &
+    workloads(const std::vector<std::string> &names)
+    {
+        workloadNames.insert(workloadNames.end(), names.begin(),
+                             names.end());
+        return *this;
+    }
+
+    /** Snapshot base + apply @p mutate; set base() first. */
+    Request &
+    variant(std::string label, const ConfigMutator &mutate)
+    {
+        RequestVariant v;
+        v.label = std::move(label);
+        v.cfg = baseCfg;
+        if (mutate)
+            mutate(v.cfg);
+        variants.push_back(std::move(v));
+        return *this;
+    }
+
+    /** Append an explicit, fully-built variant configuration. */
+    Request &
+    variantConfig(std::string label, const sim::SimConfig &cfg)
+    {
+        variants.push_back({std::move(label), cfg});
+        return *this;
+    }
+
+    Request &
+    cores(const std::vector<unsigned> &counts)
+    {
+        coresAxis = counts;
+        return *this;
+    }
+
+    Request &
+    mix(const std::vector<std::string> &names)
+    {
+        mixWorkloads = names;
+        return *this;
+    }
+
+    /** Variants per workload (1 when none was declared). */
+    std::size_t
+    variantCount() const
+    {
+        return variants.empty() ? 1 : variants.size();
+    }
+
+    /** Core counts per variant (1 when no cores axis was declared). */
+    std::size_t
+    coreCount() const
+    {
+        return coresAxis.empty() ? 1 : coresAxis.size();
+    }
+
+    /**
+     * Materialize the cross product (workload-major), expand
+     * '+'-joined per-core workload mixes, then run the decorator.
+     */
+    std::vector<Point> points() const;
+
+    /**
+     * Serialize as one acp-request-v1 JSON line (local-only fields —
+     * heartbeat, connect, decorate — excluded). Variant configs
+     * travel as canonical acp-config-v2 text, so a daemon-side
+     * parseConfig() reproduces client-side digests bit-exactly.
+     */
+    std::string toJson() const;
+
+    /** Parse an acp-request-v1 object; false + @p err on mismatch. */
+    static bool fromJson(const json::Value &value, Request &out,
+                         std::string *err = nullptr);
+
+    /** fromJson over raw text (one parse + schema check). */
+    static bool fromJsonText(const std::string &text, Request &out,
+                             std::string *err = nullptr);
+};
+
+/**
+ * True when the request may execute on a daemon: every point is
+ * cacheable (the daemon serves results through its content-addressed
+ * store), no stats-text capture, no decorator. @p why names the
+ * first blocker when given.
+ */
+bool remoteEligible(const Request &req, std::string *why = nullptr);
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_REQUEST_HH

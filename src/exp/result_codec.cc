@@ -1,0 +1,133 @@
+#include "exp/result_codec.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace acp::exp
+{
+
+namespace
+{
+
+/** Parse "count:sum:min:max" (doubles) into an AvgStat. */
+AvgStat
+parseAvg(const char *value)
+{
+    AvgStat avg;
+    char *end = nullptr;
+    avg.count = std::strtoull(value, &end, 10);
+    if (*end == ':')
+        avg.sum = std::strtod(end + 1, &end);
+    if (*end == ':')
+        avg.min = std::strtod(end + 1, &end);
+    if (*end == ':')
+        avg.max = std::strtod(end + 1, &end);
+    return avg;
+}
+
+/** Parse "count:sum:min:max:b0,b1,..." into a DistStat. */
+DistStat
+parseDist(const char *value)
+{
+    DistStat dist;
+    char *end = nullptr;
+    dist.count = std::strtoull(value, &end, 10);
+    if (*end == ':')
+        dist.sum = std::strtoull(end + 1, &end, 10);
+    if (*end == ':')
+        dist.min = std::strtoull(end + 1, &end, 10);
+    if (*end == ':')
+        dist.max = std::strtoull(end + 1, &end, 10);
+    while (*end == ':' || *end == ',')
+        dist.buckets.push_back(std::strtoull(end + 1, &end, 10));
+    return dist;
+}
+
+/** Parse one "key=value" token; unknown keys are counters. */
+void
+applyToken(Result &result, const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return;
+    std::string key = token.substr(0, eq);
+    const char *value = token.c_str() + eq + 1;
+    if (key == "ipc")
+        result.run.ipc = std::strtod(value, nullptr);
+    else if (key == "insts")
+        result.run.insts = std::strtoull(value, nullptr, 10);
+    else if (key == "cycles")
+        result.run.cycles = std::strtoull(value, nullptr, 10);
+    else if (key == "reason")
+        result.run.reason =
+            cpu::StopReason(std::strtoul(value, nullptr, 10));
+    else if (key.rfind("avg:", 0) == 0)
+        result.averages[key.substr(4)] = parseAvg(value);
+    else if (key.rfind("dist:", 0) == 0)
+        result.distributions[key.substr(5)] = parseDist(value);
+    else
+        result.counters[key] = std::strtoull(value, nullptr, 10);
+}
+
+void
+appendF(std::string &out, const char *fmt, ...)
+{
+    char buf[192];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+encodeResultTokens(const Result &result)
+{
+    std::string out;
+    out.reserve(256);
+    appendF(out, "ipc=%.17g insts=%llu cycles=%llu reason=%u",
+            result.run.ipc, (unsigned long long)result.run.insts,
+            (unsigned long long)result.run.cycles,
+            unsigned(result.run.reason));
+    for (const auto &[name, value] : result.counters)
+        appendF(out, " %s=%llu", name.c_str(),
+                (unsigned long long)value);
+    for (const auto &[name, avg] : result.averages)
+        appendF(out, " avg:%s=%llu:%.17g:%.17g:%.17g", name.c_str(),
+                (unsigned long long)avg.count, avg.sum, avg.min,
+                avg.max);
+    for (const auto &[name, dist] : result.distributions) {
+        appendF(out, " dist:%s=%llu:%llu:%llu:%llu", name.c_str(),
+                (unsigned long long)dist.count,
+                (unsigned long long)dist.sum,
+                (unsigned long long)dist.min,
+                (unsigned long long)dist.max);
+        for (std::size_t i = 0; i < dist.buckets.size(); ++i)
+            appendF(out, "%c%llu", i == 0 ? ':' : ',',
+                    (unsigned long long)dist.buckets[i]);
+    }
+    return out;
+}
+
+void
+decodeResultTokens(const std::string &line, Result &out)
+{
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\n' ||
+                line[pos] == '\r'))
+            ++pos;
+        std::size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ' &&
+               line[pos] != '\n' && line[pos] != '\r')
+            ++pos;
+        if (pos > start)
+            applyToken(out, line.substr(start, pos - start));
+    }
+}
+
+} // namespace acp::exp

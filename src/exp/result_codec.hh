@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The one text codec for a cacheable Result — shared by the
+ * content-addressed result store (payload lines in acp-store-v1
+ * data files) and the acp-rpc-v1 wire (point_done "line" field), so
+ * a result that travelled through the daemon decodes bit-identically
+ * to one read back from the local store:
+ *
+ *   ipc=<%.17g> insts=<u> cycles=<u> reason=<u> \
+ *       [<group.stat>=<u> ...] \
+ *       [avg:<group.stat>=<count>:<sum>:<min>:<max> ...] \
+ *       [dist:<group.stat>=<count>:<sum>:<min>:<max>:<b0,b1,...> ...]
+ *
+ * Doubles are rendered with %.17g, which round-trips IEEE-754
+ * binary64 exactly; maps are std::map, so token order is
+ * deterministic and encode(decode(line)) == line.
+ *
+ * Only the cacheable subset is carried: interval series, path
+ * profiles and statsText never enter the codec (points producing
+ * them are uncacheable by design), and fromCache/wallSeconds are
+ * execution provenance, not results.
+ */
+
+#ifndef ACP_EXP_RESULT_CODEC_HH
+#define ACP_EXP_RESULT_CODEC_HH
+
+#include <string>
+
+#include "exp/result.hh"
+
+namespace acp::exp
+{
+
+/** Render @p result as one codec line (no digest, no newline). */
+std::string encodeResultTokens(const Result &result);
+
+/**
+ * Parse a codec line into @p out (starting from a default Result,
+ * fromCache left false). Unknown "key=value" tokens are counters —
+ * the same forward-compatibility rule the old cache format had.
+ */
+void decodeResultTokens(const std::string &line, Result &out);
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_RESULT_CODEC_HH

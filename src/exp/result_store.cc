@@ -1,0 +1,340 @@
+#include "exp/result_store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "exp/result_codec.hh"
+#include "obs/manifest.hh"
+
+namespace acp::exp
+{
+
+namespace
+{
+
+/** Write @p text as the complete new contents of @p path. */
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+/** Fresh index header: version line + provenance manifest comment. */
+std::string
+indexHeaderText()
+{
+    return std::string(ResultStore::kIndexHeader) + "\n# " +
+           obs::manifestJsonLine(obs::manifest()) + "\n";
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir, std::size_t max_entries,
+                         std::string legacy_file)
+    : dir_(std::move(dir)), maxEntries_(max_entries)
+{
+    if (maxEntries_ == 0)
+        if (const char *env = std::getenv("ACP_CACHE_MAX_ENTRIES"))
+            maxEntries_ = std::strtoull(env, nullptr, 10);
+    ::mkdir(dir_.c_str(), 0777); // EEXIST is the common case
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!loadIndexLocked()) {
+        // No (or stale/foreign) index: start the store fresh, then
+        // pull in any legacy flat-file archive sitting next to it.
+        writeFile(indexPath(), indexHeaderText());
+        writeFile(dataPath(), "");
+        migrateLegacyLocked(legacy_file);
+    }
+    // A cap that shrank since the journal was written applies now.
+    evictLocked();
+    if (deadRecords_ > entries_.size() + 16)
+        compactLocked();
+}
+
+bool
+ResultStore::loadIndexLocked()
+{
+    std::FILE *f = std::fopen(indexPath().c_str(), "r");
+    if (!f)
+        return false;
+    char line[256];
+    if (!std::fgets(line, sizeof(line), f)) {
+        std::fclose(f);
+        return false; // empty file: rebuild
+    }
+    std::string header(line);
+    while (!header.empty() &&
+           (header.back() == '\n' || header.back() == '\r'))
+        header.pop_back();
+    if (header != kIndexHeader) {
+        std::fclose(f);
+        return false; // foreign/stale index: rebuild
+    }
+
+    // Replay the journal: live set + LRU order (front = most recent).
+    struct Span
+    {
+        std::uint64_t offset = 0;
+        std::uint64_t len = 0;
+        std::list<std::string>::iterator lruIt;
+    };
+    std::unordered_map<std::string, Span> spans;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#')
+            continue;
+        char op[8], digest[128];
+        unsigned long long offset = 0, len = 0;
+        int n = std::sscanf(line, "%7s %127s %llu %llu", op, digest,
+                            &offset, &len);
+        if (n < 2)
+            continue;
+        std::string key(digest);
+        auto it = spans.find(key);
+        if (std::string(op) == "put" && n == 4) {
+            if (it != spans.end()) {
+                lru_.erase(it->second.lruIt);
+                spans.erase(it);
+                ++deadRecords_; // superseded put
+            }
+            lru_.push_front(key);
+            spans[key] = Span{offset, len, lru_.begin()};
+        } else if (std::string(op) == "touch") {
+            if (it != spans.end())
+                lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            else
+                ++deadRecords_;
+        } else if (std::string(op) == "evict") {
+            if (it != spans.end()) {
+                lru_.erase(it->second.lruIt);
+                spans.erase(it);
+                ++deadRecords_; // the killed put
+            }
+            ++deadRecords_; // the evict record itself
+        }
+    }
+    std::fclose(f);
+
+    // Resolve payloads. A span that cannot be read (truncated data
+    // file, crashed writer) just drops its entry: the store serves
+    // only what it can prove it has.
+    std::FILE *data = std::fopen(dataPath().c_str(), "r");
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        const Span &span = spans[*it];
+        std::string payload(span.len, '\0');
+        bool ok = data &&
+                  std::fseek(data, long(span.offset), SEEK_SET) == 0 &&
+                  std::fread(payload.data(), 1, span.len, data) ==
+                      span.len;
+        if (!ok) {
+            ++deadRecords_;
+            it = lru_.erase(it);
+            continue;
+        }
+        Entry entry;
+        entry.result.fromCache = true;
+        decodeResultTokens(payload, entry.result);
+        entry.lruIt = it;
+        entries_.emplace(*it, std::move(entry));
+        ++it;
+    }
+    if (data)
+        std::fclose(data);
+    return true;
+}
+
+void
+ResultStore::migrateLegacyLocked(const std::string &legacy_file)
+{
+    if (legacy_file.empty())
+        return;
+    std::FILE *f = std::fopen(legacy_file.c_str(), "r");
+    if (!f)
+        return;
+    std::vector<char> line(65536);
+    if (!std::fgets(line.data(), int(line.size()), f)) {
+        std::fclose(f);
+        return;
+    }
+    std::string header(line.data());
+    while (!header.empty() &&
+           (header.back() == '\n' || header.back() == '\r'))
+        header.pop_back();
+    if (header != kLegacyHeader) {
+        std::fclose(f);
+        return; // pre-v6 archives were never servable; leave them be
+    }
+    migratedLegacy_ = true;
+    while (std::fgets(line.data(), int(line.size()), f)) {
+        if (line[0] == '#')
+            continue;
+        std::string text(line.data());
+        std::size_t space = text.find(' ');
+        if (space == std::string::npos || space != 64)
+            continue;
+        std::string digest = text.substr(0, space);
+        Result result;
+        result.fromCache = true;
+        decodeResultTokens(text.substr(space + 1), result);
+        insertLocked(digest, result);
+    }
+    std::fclose(f);
+    evictLocked();
+}
+
+bool
+ResultStore::lookup(const std::string &digest, Result &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(digest);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    appendIndexLocked("touch " + digest);
+    out = it->second.result;
+    out.fromCache = true;
+    return true;
+}
+
+void
+ResultStore::put(const std::string &digest, const Result &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+    insertLocked(digest, result);
+    evictLocked();
+}
+
+void
+ResultStore::insertLocked(const std::string &digest,
+                          const Result &result)
+{
+    std::string payload = encodeResultTokens(result);
+    std::uint64_t offset = 0;
+    if (!appendDataLocked(payload, offset))
+        return; // unwritable store: serve from memory only
+    char span[64];
+    std::snprintf(span, sizeof(span), " %llu %zu",
+                  (unsigned long long)offset, payload.size());
+    appendIndexLocked("put " + digest + span);
+
+    auto it = entries_.find(digest);
+    if (it != entries_.end()) {
+        ++deadRecords_; // superseded put
+        it->second.result = result;
+        it->second.result.fromCache = true;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return;
+    }
+    lru_.push_front(digest);
+    Entry entry;
+    entry.result = result;
+    entry.result.fromCache = true;
+    entry.lruIt = lru_.begin();
+    entries_.emplace(digest, std::move(entry));
+}
+
+void
+ResultStore::evictLocked()
+{
+    if (maxEntries_ == 0)
+        return;
+    while (entries_.size() > maxEntries_ && !lru_.empty()) {
+        std::string victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        appendIndexLocked("evict " + victim);
+        deadRecords_ += 2; // the evict record + the put it killed
+        ++stats_.evictions;
+    }
+}
+
+void
+ResultStore::compactLocked()
+{
+    // Rewrite both files from the live set, least-recent first so a
+    // replay (every put lands at most-recent) reconstructs the exact
+    // LRU order. Temp-file + rename keeps a crash from eating the
+    // store.
+    std::string data_text;
+    std::string index_text = indexHeaderText();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        std::string payload =
+            encodeResultTokens(entries_[*it].result);
+        char span[64];
+        std::snprintf(span, sizeof(span), " %llu %zu\n",
+                      (unsigned long long)data_text.size(),
+                      payload.size());
+        index_text += "put " + *it + span;
+        data_text += payload + "\n";
+    }
+    std::string data_tmp = dataPath() + ".tmp";
+    std::string index_tmp = indexPath() + ".tmp";
+    if (!writeFile(data_tmp, data_text) ||
+        !writeFile(index_tmp, index_text))
+        return;
+    if (std::rename(data_tmp.c_str(), dataPath().c_str()) != 0)
+        return;
+    if (std::rename(index_tmp.c_str(), indexPath().c_str()) != 0)
+        return;
+    deadRecords_ = 0;
+}
+
+bool
+ResultStore::appendIndexLocked(const std::string &line)
+{
+    std::FILE *f = std::fopen(indexPath().c_str(), "a");
+    if (!f)
+        return false;
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+    return true;
+}
+
+bool
+ResultStore::appendDataLocked(const std::string &payload,
+                              std::uint64_t &offset)
+{
+    std::FILE *f = std::fopen(dataPath().c_str(), "a");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long at = std::ftell(f);
+    if (at < 0) {
+        std::fclose(f);
+        return false;
+    }
+    offset = std::uint64_t(at);
+    std::fwrite(payload.data(), 1, payload.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace acp::exp

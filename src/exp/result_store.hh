@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Content-addressed, persistently-LRU-bounded result store — the one
+ * result backend behind exp::submit and the acpsimd daemon.
+ *
+ * Layout (a directory, ./acp_store by default):
+ *
+ *   <dir>/index.txt   acp-store-v1
+ *                     # {"schema": "acp-manifest-v1", ...}
+ *                     put <64-hex-digest> <offset> <len>
+ *                     touch <digest>
+ *                     evict <digest>
+ *   <dir>/data.txt    one result_codec payload line per put, at the
+ *                     recorded byte offset/length
+ *
+ * The index is an append-only journal: replaying it reconstructs both
+ * the live entry set and the LRU order (put/touch move an entry to
+ * most-recent; evict removes it). This is what makes the
+ * ACP_CACHE_MAX_ENTRIES cap *persistent* — the old ResultCache
+ * evicted only its in-memory map while its file kept every line, so
+ * a capped cache silently grew without bound on disk and re-served
+ * "evicted" entries after reopen. Here an eviction is journaled and
+ * survives reopen; the journal is compacted (both files rewritten
+ * from the live set) when dead records outnumber live ones.
+ *
+ * Results are keyed on pointDigest() alone: SHA-256 over the complete
+ * serialized SimConfig plus workload identity and window, so every
+ * configuration knob participates in the key and a daemon-side store
+ * hit is exactly the result the client would have computed locally.
+ *
+ * Legacy migration: opening a directory with no index.txt imports a
+ * sibling acp-cache-v6 flat file (the pre-store format, named by
+ * @p legacy_file) if one exists, so existing result archives keep
+ * their value. Pre-v6 files are ignored, as before.
+ */
+
+#ifndef ACP_EXP_RESULT_STORE_HH
+#define ACP_EXP_RESULT_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exp/result.hh"
+
+namespace acp::exp
+{
+
+/** The persistent store. All methods are thread-safe. */
+class ResultStore
+{
+  public:
+    static constexpr const char *kIndexHeader = "acp-store-v1";
+    /** Header of the pre-store flat-file format (migration source). */
+    static constexpr const char *kLegacyHeader = "acp-cache-v6";
+
+    /** Lifetime telemetry of one store instance (sweep JSON
+     *  "telemetry" block, acp-rpc-v1 done/stats frames). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /**
+     * Open (creating if needed) the store directory @p dir and replay
+     * its index. @p max_entries bounds the live entry count with LRU
+     * eviction; 0 reads ACP_CACHE_MAX_ENTRIES (0/unset = unlimited).
+     */
+    explicit ResultStore(std::string dir, std::size_t max_entries = 0,
+                         std::string legacy_file = "acp_bench_cache.txt");
+
+    /** Look up a digest; fills @p out (fromCache=true) on a hit and
+     *  journals the recency touch. */
+    bool lookup(const std::string &digest, Result &out);
+
+    /** Insert (or refresh) an entry; appends the payload to data.txt,
+     *  journals the put, and evicts past the cap. */
+    void put(const std::string &digest, const Result &result);
+
+    /** Live (resident and servable) entry count. */
+    std::size_t size() const;
+
+    /** True when a legacy flat file was imported at open. */
+    bool migratedLegacy() const { return migratedLegacy_; }
+
+    const std::string &dir() const { return dir_; }
+
+    /** Hit/miss/store/evict counters since construction. */
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        Result result;
+        /** Position in lru_ (front = most recent). */
+        std::list<std::string>::iterator lruIt;
+    };
+
+    std::string indexPath() const { return dir_ + "/index.txt"; }
+    std::string dataPath() const { return dir_ + "/data.txt"; }
+
+    bool loadIndexLocked();
+    void migrateLegacyLocked(const std::string &legacy_file);
+    void compactLocked();
+    bool appendIndexLocked(const std::string &line);
+    /** Append one payload line to data.txt; false on I/O failure. */
+    bool appendDataLocked(const std::string &payload,
+                          std::uint64_t &offset);
+    void insertLocked(const std::string &digest, const Result &result);
+    void evictLocked();
+
+    std::string dir_;
+    bool migratedLegacy_ = false;
+    /** Journal records that no longer describe a live entry. */
+    std::size_t deadRecords_ = 0;
+    /** Live-entry cap (ACP_CACHE_MAX_ENTRIES env; 0 = unlimited). */
+    std::size_t maxEntries_ = 0;
+    mutable std::mutex mutex_;
+    mutable Stats stats_;
+    /** Digests, front = most recently used. */
+    std::list<std::string> lru_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_RESULT_STORE_HH

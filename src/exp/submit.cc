@@ -1,14 +1,16 @@
-#include "exp/runner.hh"
+#include "exp/submit.hh"
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "cpu/ooo_core.hh"
-#include "crypto/sha256.hh"
+#include "obs/heartbeat.hh"
 #include "obs/manifest.hh"
 #include "obs/path_report.hh"
 #include "sim/config_io.hh"
@@ -22,10 +24,8 @@ namespace
 
 /**
  * Typed statistics capture: fills a Result straight from the live
- * StatGroups via System::visitStats. Replaces the old dumpStats()
- * text scraping, which silently dropped every non-integer statistic
- * (averages rendered as "mean=..." and never made it to JSON).
- * @p wanted filters by exact "group.stat" name; empty captures all.
+ * StatGroups via System::visitStats. @p wanted filters by exact
+ * "group.stat" name; empty captures all.
  */
 class CaptureVisitor : public StatVisitor
 {
@@ -129,68 +129,51 @@ writeConfigJson(std::FILE *f, const sim::SimConfig &cfg,
     std::fprintf(f, "\n%s}", indent);
 }
 
+/** Shared progress line (stderr) + heartbeat point record. */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(const Request &req) : req_(req) {}
+
+    void
+    report(std::size_t done, std::size_t total, std::size_t cached,
+           double eta_seconds, const Point &point, const Result &result)
+    {
+        const char *label = point.label.empty()
+                                ? core::policyName(point.cfg.policy)
+                                : point.label.c_str();
+        if (req_.heartbeat)
+            req_.heartbeat->point(done, total, cached, done - cached,
+                                  point.workload, label, result.run.ipc,
+                                  result.fromCache, eta_seconds);
+        if (!req_.progress)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::fprintf(stderr, "[%3zu/%zu] %-10s %-16s ipc=%.4f  %s",
+                     done, total, point.workload.c_str(), label,
+                     result.run.ipc, result.fromCache ? "(cached)" : "");
+        if (!result.fromCache)
+            std::fprintf(stderr, "(%.1fs)", result.wallSeconds);
+        // Sweep-level split + ETA: "| 12 cached, ETA 0:48".
+        std::fprintf(stderr, "  | %zu cached", cached);
+        if (eta_seconds >= 0.0) {
+            unsigned eta = unsigned(eta_seconds + 0.5);
+            std::fprintf(stderr, ", ETA %u:%02u", eta / 60, eta % 60);
+        }
+        std::fputc('\n', stderr);
+    }
+
+  private:
+    const Request &req_;
+    std::mutex mutex_;
+};
+
+Submission submitLocal(const Request &req, Sink *sink);
+
 } // namespace
 
-std::string
-pointKey(const Point &point)
-{
-    std::string key;
-    key.reserve(2048);
-    key += "acp-point-v2\n";
-    key += "workload=" + point.workload + "\n";
-    char line[96];
-    std::snprintf(line, sizeof(line), "workloadSeed=%llu\n",
-                  (unsigned long long)point.params.seed);
-    key += line;
-    std::snprintf(line, sizeof(line), "workingSetBytes=%llu\n",
-                  (unsigned long long)point.params.workingSetBytes);
-    key += line;
-    std::snprintf(line, sizeof(line), "warmupInsts=%llu\n",
-                  (unsigned long long)point.warmupInsts);
-    key += line;
-    std::snprintf(line, sizeof(line), "measureInsts=%llu\n",
-                  (unsigned long long)point.measureInsts);
-    key += line;
-    std::snprintf(line, sizeof(line), "cyclesPerInst=%llu\n",
-                  (unsigned long long)point.cyclesPerInst);
-    key += line;
-    key += sim::serializeConfig(point.cfg);
-    return key;
-}
-
-std::string
-pointDigest(const Point &point)
-{
-    std::string key = pointKey(point);
-    auto digest = crypto::Sha256::digest(
-        reinterpret_cast<const std::uint8_t *>(key.data()), key.size());
-    static const char *hex = "0123456789abcdef";
-    std::string out;
-    out.reserve(2 * digest.size());
-    for (std::uint8_t byte : digest) {
-        out += hex[byte >> 4];
-        out += hex[byte & 0xf];
-    }
-    return out;
-}
-
-Runner::Runner(RunnerOptions opts) : opts_(std::move(opts))
-{
-    jobs_ = opts_.jobs ? opts_.jobs : defaultJobs();
-    if (!opts_.cacheFile.empty()) {
-        cache_ = std::make_unique<ResultCache>(opts_.cacheFile);
-        if (cache_->ignoredStaleFile() && opts_.progress)
-            std::fprintf(stderr,
-                         "[exp] ignoring stale pre-v2 cache file %s "
-                         "(will be rewritten)\n",
-                         opts_.cacheFile.c_str());
-    }
-}
-
-Runner::~Runner() = default;
-
 unsigned
-Runner::defaultJobs()
+defaultJobs()
 {
     if (const char *env = std::getenv("ACP_JOBS")) {
         unsigned n = unsigned(std::strtoul(env, nullptr, 0));
@@ -202,7 +185,10 @@ Runner::defaultJobs()
 }
 
 Result
-Runner::simulate(const Point &point) const
+simulatePoint(const Point &point,
+              const std::vector<std::string> &counters,
+              bool capture_stats_text, obs::Heartbeat *heartbeat,
+              std::uint64_t heartbeat_period)
 {
     auto start = std::chrono::steady_clock::now();
 
@@ -231,7 +217,7 @@ Runner::simulate(const Point &point) const
     // Multi-core labels get a "#cpuN" suffix; single-core is the
     // classic unsuffixed stream.
     std::vector<std::unique_ptr<obs::HeartbeatRun>> hb_runs;
-    if (opts_.heartbeat) {
+    if (heartbeat) {
         const std::string base_label =
             point.label.empty() ? core::policyName(point.cfg.policy)
                                 : point.label;
@@ -240,8 +226,7 @@ Runner::simulate(const Point &point) const
                 n_cores == 1 ? base_label
                              : base_label + "#cpu" + std::to_string(i);
             hb_runs.push_back(std::make_unique<obs::HeartbeatRun>(
-                *opts_.heartbeat, point.workload, label,
-                opts_.heartbeatPeriod));
+                *heartbeat, point.workload, label, heartbeat_period));
             system.setHeartbeat(hb_runs.back().get(), i);
             hb_runs.back()->begin(system.core(i).cycles());
         }
@@ -258,7 +243,7 @@ Runner::simulate(const Point &point) const
     }
     if (point.finish)
         point.finish(system);
-    CaptureVisitor capture(opts_.counters, result);
+    CaptureVisitor capture(counters, result);
     system.visitStats(capture);
     if (const obs::IntervalRecorder *rec = system.intervalRecorder()) {
         result.intervals = rec->samples();
@@ -268,7 +253,7 @@ Runner::simulate(const Point &point) const
         result.profile = system.pathProfile();
         result.hasProfile = true;
     }
-    if (opts_.captureStatsText)
+    if (capture_stats_text)
         result.statsText = system.dumpStats();
 
     result.wallSeconds =
@@ -278,86 +263,68 @@ Runner::simulate(const Point &point) const
     return result;
 }
 
-void
-Runner::reportProgress(std::size_t done, std::size_t total,
-                       std::size_t cached, double eta_seconds,
-                       const Point &point, const Result &result)
+namespace
 {
-    const char *label = point.label.empty()
-                            ? core::policyName(point.cfg.policy)
-                            : point.label.c_str();
-    if (opts_.heartbeat)
-        opts_.heartbeat->point(done, total, cached, done - cached,
-                               point.workload, label, result.run.ipc,
-                               result.fromCache, eta_seconds);
-    if (!opts_.progress)
-        return;
-    std::lock_guard<std::mutex> lock(progressMutex_);
-    std::fprintf(stderr, "[%3zu/%zu] %-10s %-16s ipc=%.4f  %s",
-                 done, total, point.workload.c_str(), label,
-                 result.run.ipc, result.fromCache ? "(cached)" : "");
-    if (!result.fromCache)
-        std::fprintf(stderr, "(%.1fs)", result.wallSeconds);
-    // Sweep-level split + ETA: "| 12 cached, ETA 0:48".
-    std::fprintf(stderr, "  | %zu cached", cached);
-    if (eta_seconds >= 0.0) {
-        unsigned eta = unsigned(eta_seconds + 0.5);
-        std::fprintf(stderr, ", ETA %u:%02u", eta / 60, eta % 60);
-    }
-    std::fputc('\n', stderr);
-}
 
-Result
-Runner::run(const Point &point)
-{
-    std::vector<Result> results = run(std::vector<Point>{point});
-    return results.front();
-}
-
-std::vector<Result>
-Runner::run(const std::vector<Point> &points)
+Submission
+submitLocal(const Request &req, Sink *sink)
 {
     auto sweep_start = std::chrono::steady_clock::now();
-    if (opts_.heartbeat)
-        opts_.heartbeat->sweepStart(points.size(), jobs_,
-                                    obs::manifest());
 
-    std::vector<Result> results(points.size());
+    Submission sub;
+    sub.points = req.points();
+    const std::vector<Point> &points = sub.points;
+
+    std::unique_ptr<ResultStore> store;
+    if (!req.store.empty())
+        store = std::make_unique<ResultStore>(req.store);
+    const unsigned jobs = req.jobs ? req.jobs : defaultJobs();
+
+    if (req.heartbeat)
+        req.heartbeat->sweepStart(points.size(), jobs, obs::manifest());
+
+    ProgressReporter reporter(req);
+    sub.results.resize(points.size());
     std::vector<std::string> digests(points.size());
     std::vector<std::size_t> todo;
     std::size_t done = 0;
 
     for (std::size_t i = 0; i < points.size(); ++i) {
-        if (cache_ && points[i].cacheable()) {
+        if (store && points[i].cacheable()) {
             digests[i] = pointDigest(points[i]);
-            if (cache_->lookup(digests[i], results[i])) {
+            if (store->lookup(digests[i], sub.results[i])) {
                 // ETA unknown until a point has been simulated.
                 ++done;
-                reportProgress(done, points.size(), done, -1.0,
-                               points[i], results[i]);
+                reporter.report(done, points.size(), done, -1.0,
+                                points[i], sub.results[i]);
+                if (sink)
+                    sink->onPoint(i, points[i], sub.results[i]);
                 continue;
             }
         }
         todo.push_back(i);
     }
-    // All cache hits resolve in the prepass, so the cached/simulated
+    // All store hits resolve in the prepass, so the cached/simulated
     // split is fixed from here on.
     const std::size_t cached = done;
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{done};
     std::atomic<std::size_t> sim_done{0};
+    std::mutex sink_mutex;
     auto worker = [&]() {
         for (;;) {
             std::size_t t = next.fetch_add(1);
             if (t >= todo.size())
                 return;
             std::size_t i = todo[t];
-            Result result = simulate(points[i]);
-            simulated_.fetch_add(1);
-            if (cache_ && points[i].cacheable())
-                cache_->store(digests[i], result);
-            results[i] = std::move(result);
+            Result result =
+                simulatePoint(points[i], req.counters,
+                              req.captureStatsText, req.heartbeat,
+                              req.heartbeatPeriod);
+            if (store && points[i].cacheable())
+                store->put(digests[i], result);
+            sub.results[i] = std::move(result);
             // ETA from mean wall time per simulated point so far,
             // scaled by the points still outstanding and the worker
             // parallelism actually in use.
@@ -371,12 +338,16 @@ Runner::run(const std::vector<Point> &points)
                              ? elapsed / double(finished) *
                                    double(remaining)
                              : -1.0;
-            reportProgress(completed.fetch_add(1) + 1, points.size(),
-                           cached, eta, points[i], results[i]);
+            reporter.report(completed.fetch_add(1) + 1, points.size(),
+                            cached, eta, points[i], sub.results[i]);
+            if (sink) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                sink->onPoint(i, points[i], sub.results[i]);
+            }
         }
     };
 
-    unsigned n = unsigned(std::min<std::size_t>(jobs_, todo.size()));
+    unsigned n = unsigned(std::min<std::size_t>(jobs, todo.size()));
     if (n <= 1) {
         worker();
     } else {
@@ -389,33 +360,32 @@ Runner::run(const std::vector<Point> &points)
     }
 
     // Sweep telemetry: wall-clock percentiles over simulated points.
-    telemetry_ = SweepTelemetry{};
-    telemetry_.total = points.size();
-    telemetry_.cached = cached;
-    telemetry_.simulated = todo.size();
-    telemetry_.wallSeconds =
+    sub.telemetry.total = points.size();
+    sub.telemetry.cached = cached;
+    sub.telemetry.simulated = todo.size();
+    sub.telemetry.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       sweep_start)
             .count();
     std::vector<double> walls;
     walls.reserve(todo.size());
     for (std::size_t i : todo)
-        walls.push_back(results[i].wallSeconds);
+        walls.push_back(sub.results[i].wallSeconds);
     if (!walls.empty()) {
         std::sort(walls.begin(), walls.end());
-        telemetry_.wallP50 = walls[(walls.size() - 1) / 2];
-        telemetry_.wallP90 = walls[(walls.size() - 1) * 9 / 10];
-        telemetry_.wallMax = walls.back();
+        sub.telemetry.wallP50 = walls[(walls.size() - 1) / 2];
+        sub.telemetry.wallP90 = walls[(walls.size() - 1) * 9 / 10];
+        sub.telemetry.wallMax = walls.back();
     }
-    if (cache_) {
-        telemetry_.hasCacheStats = true;
-        telemetry_.cacheStats = cache_->stats();
+    if (store) {
+        sub.telemetry.hasCacheStats = true;
+        sub.telemetry.cacheStats = store->stats();
     }
 
-    if (opts_.heartbeat) {
+    if (req.heartbeat) {
         std::string cache_tail;
-        if (telemetry_.hasCacheStats) {
-            const ResultCache::Stats &cs = telemetry_.cacheStats;
+        if (sub.telemetry.hasCacheStats) {
+            const ResultStore::Stats &cs = sub.telemetry.cacheStats;
             char buf[160];
             std::snprintf(buf, sizeof(buf),
                           "\"cacheHits\":%llu,\"cacheMisses\":%llu,"
@@ -426,16 +396,29 @@ Runner::run(const std::vector<Point> &points)
                           (unsigned long long)cs.evictions);
             cache_tail = buf;
         }
-        opts_.heartbeat->sweepEnd(points.size(), cached, todo.size(),
-                                  telemetry_.wallSeconds, cache_tail);
+        req.heartbeat->sweepEnd(points.size(), cached, todo.size(),
+                                sub.telemetry.wallSeconds, cache_tail);
     }
-    return results;
+    return sub;
+}
+
+} // namespace
+
+Submission
+submit(const Request &req, Sink *sink)
+{
+    if (!req.connect.empty())
+        return submitRemote(req, req.connect, sink);
+    if (const char *env = std::getenv("ACP_CONNECT"))
+        if (env[0] != '\0' && remoteEligible(req))
+            return submitRemote(req, env, sink);
+    return submitLocal(req, sink);
 }
 
 void
-Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
-                  const std::vector<Result> &results,
-                  const SweepTelemetry *telemetry)
+writeJson(std::FILE *out, const std::vector<Point> &points,
+          const std::vector<Result> &results,
+          const SweepTelemetry *telemetry)
 {
     // v2 -> v3: a provenance "manifest" block (build + host identity,
     // timestamps) and an optional "telemetry" block (cache split,
@@ -585,10 +568,9 @@ Runner::writeJson(std::FILE *out, const std::vector<Point> &points,
 }
 
 bool
-Runner::writeJson(const std::string &path,
-                  const std::vector<Point> &points,
-                  const std::vector<Result> &results,
-                  const SweepTelemetry *telemetry)
+writeJson(const std::string &path, const std::vector<Point> &points,
+          const std::vector<Result> &results,
+          const SweepTelemetry *telemetry)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)

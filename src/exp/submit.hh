@@ -1,0 +1,131 @@
+/**
+ * @file
+ * exp::submit — the one execution entry point for a Request. Every
+ * surface (bench binaries, the acpsim CLI, acpsim --connect, the
+ * acpsimd daemon's workers) calls the same function:
+ *
+ *   exp::Request req;
+ *   req.base(cfg).workloads(names).variant(...);
+ *   exp::Submission sub = exp::submit(req);
+ *   exp::writeJson("out.json", sub.points, sub.results,
+ *                  &sub.telemetry);
+ *
+ * Routing: a non-empty Request::connect (or the ACP_CONNECT
+ * environment variable, when the request is remote-eligible) sends
+ * the request to an acpsimd daemon over its Unix socket; otherwise
+ * the points run in-process on a std::thread pool (one independent,
+ * deterministic sim::System per point) against the local result
+ * store. Both paths produce bit-identical Results and digests —
+ * asserted in tests/test_svc.cc.
+ *
+ * Job count resolution (local): explicit Request::jobs, else the
+ * ACP_JOBS environment variable, else hardware concurrency. Because
+ * every System is self-contained (per-instance xoshiro RNG, no global
+ * mutable state), a jobs=N run is bit-identical to jobs=1.
+ */
+
+#ifndef ACP_EXP_SUBMIT_HH
+#define ACP_EXP_SUBMIT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/request.hh"
+#include "exp/result.hh"
+#include "exp/result_store.hh"
+
+namespace acp::exp
+{
+
+/**
+ * Host-side telemetry of one submission: cache split, whole-sweep
+ * wall time and per-simulated-point wall-time percentiles. Reported
+ * in the sweep JSON "telemetry" block; never cached and never part
+ * of any digest.
+ */
+struct SweepTelemetry
+{
+    std::size_t total = 0;
+    std::size_t cached = 0;
+    std::size_t simulated = 0;
+    /** Whole-sweep wall time (includes store lookups + threading). */
+    double wallSeconds = 0.0;
+    /** Percentiles over the simulated points' wallSeconds. */
+    double wallP50 = 0.0;
+    double wallP90 = 0.0;
+    double wallMax = 0.0;
+    /** Result-store counters (valid when hasCacheStats). */
+    bool hasCacheStats = false;
+    ResultStore::Stats cacheStats;
+};
+
+/** Completion callback: one call per finished point, in completion
+ *  order (not index order). Called from worker threads. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void
+    onPoint(std::size_t index, const Point &point, const Result &result)
+    {
+        (void)index;
+        (void)point;
+        (void)result;
+    }
+};
+
+/** Everything one submit() produced; results align with points. */
+struct Submission
+{
+    std::vector<Point> points;
+    std::vector<Result> results;
+    SweepTelemetry telemetry;
+    bool ok = true;
+    /** Human-readable failure (ok == false). */
+    std::string error;
+};
+
+/** ACP_JOBS env or hardware concurrency (never 0). */
+unsigned defaultJobs();
+
+/** Execute @p req (local or daemon, see file comment). */
+Submission submit(const Request &req, Sink *sink = nullptr);
+
+/**
+ * Simulate one point in-process, no store involved — the primitive
+ * under local submit() and the acpsimd worker. @p heartbeat (with
+ * @p heartbeat_period) streams run_start/tick/run_end; @p counters
+ * filters captured statistics; @p capture_stats_text keeps the full
+ * dumpStats() text.
+ */
+Result simulatePoint(const Point &point,
+                     const std::vector<std::string> &counters = {},
+                     bool capture_stats_text = false,
+                     obs::Heartbeat *heartbeat = nullptr,
+                     std::uint64_t heartbeat_period = 50000);
+
+/**
+ * Emit points+results as a JSON document (machine consumption):
+ * a provenance manifest, an optional sweep "telemetry" block, then
+ * one record per point with identity, digest, the full config, and
+ * the result including captured counters, averages, distributions
+ * and — when statsInterval was set — the interval time series.
+ */
+void writeJson(std::FILE *out, const std::vector<Point> &points,
+               const std::vector<Result> &results,
+               const SweepTelemetry *telemetry = nullptr);
+
+/** writeJson to @p path; returns false if the file can't be opened. */
+bool writeJson(const std::string &path, const std::vector<Point> &points,
+               const std::vector<Result> &results,
+               const SweepTelemetry *telemetry = nullptr);
+
+/** Daemon-path implementation (exp/connect.cc); submit() routes to it
+ *  when Request::connect or ACP_CONNECT is set. */
+Submission submitRemote(const Request &req, const std::string &socket_path,
+                        Sink *sink = nullptr);
+
+} // namespace acp::exp
+
+#endif // ACP_EXP_SUBMIT_HH

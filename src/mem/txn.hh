@@ -45,7 +45,7 @@ namespace acp::mem
 // hottest allocation site in the simulator. Their timeline storage is
 // drawn from a thread-local pooling arena: freed blocks are recycled
 // by power-of-two size class instead of returned to the system
-// allocator. The pool is per-thread (the exp::Runner runs points on a
+// allocator. The pool is per-thread (exp::submit runs points on a
 // thread pool) and frees all pooled blocks at thread exit, so the
 // sanitizer jobs see no leaks. Blocks may be freed on a different
 // thread than they were allocated on; they simply enter that thread's

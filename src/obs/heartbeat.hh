@@ -23,7 +23,7 @@
  *    "wallSeconds":..., ["cacheHits":..., ...,] "wall":...}
  *
  * The Heartbeat object is the shared, thread-safe sink (the
- * exp::Runner runs points on a thread pool; records from concurrent
+ * exp::submit runs points on a thread pool; records from concurrent
  * runs interleave but each line is written atomically under a lock).
  * A HeartbeatRun is the per-simulation feed the core drives: it
  * differences the cumulative (cycle, insts, stalls) totals into
@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -67,12 +68,22 @@ class Heartbeat
 
     /** Wrap an open stream; closes it on destruction iff @p own. */
     Heartbeat(std::FILE *out, bool own);
+
+    /**
+     * Callback sink: each record line (no trailing newline) goes to
+     * @p fn instead of a stream. This is how the acpsimd worker wraps
+     * records into acp-rpc-v1 hb frames without re-parsing them.
+     * Serialized under the same lock as the stream path.
+     */
+    using LineFn = std::function<void(const std::string &)>;
+    explicit Heartbeat(LineFn fn);
+
     ~Heartbeat();
 
     Heartbeat(const Heartbeat &) = delete;
     Heartbeat &operator=(const Heartbeat &) = delete;
 
-    // ----- sweep-level records (emitted by the exp::Runner) -----------
+    // ----- sweep-level records (emitted by exp::submit) ---------------
     void sweepStart(std::size_t total, unsigned jobs,
                     const Manifest &manifest);
     void point(std::size_t done, std::size_t total, std::size_t cached,
@@ -95,6 +106,14 @@ class Heartbeat
                 Cycle cycle, std::uint64_t insts, double ipc,
                 const char *reason);
 
+    /**
+     * Forward an already-rendered record line verbatim. The daemon
+     * client uses this to relay server-side hb frames into the local
+     * sink so a --connect run's stream reads exactly like a local
+     * one.
+     */
+    void rawLine(const std::string &line) { emit(line); }
+
   private:
     /** Write one line + flush under the lock (tail -f friendliness). */
     void emit(const std::string &line);
@@ -103,11 +122,12 @@ class Heartbeat
 
     std::FILE *out_;
     bool own_;
+    LineFn fn_;
     std::mutex mutex_;
 };
 
 /**
- * Per-simulation feed: created by the Runner for each simulated
+ * Per-simulation feed: created by the submit engine for each simulated
  * point, attached to the core like the IntervalRecorder. The core
  * calls sample() from its per-cycle accounting (and from the batched
  * idle-window replay); the feed decides when a full period has

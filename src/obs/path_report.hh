@@ -2,7 +2,7 @@
  * @file
  * Renderers for PathProfile snapshots: an aligned text report for the
  * terminal (acpsim --profile) and a JSON object for files and for
- * embedding into exp::Runner result JSON. Both render only the plain
+ * embedding into exp::writeJson result JSON. Both render only the plain
  * PathProfile data, so cached/merged profiles print identically to
  * live ones.
  */

@@ -9,6 +9,11 @@
  *   acpsim swim --policy issue --l2 1M --tree --stats
  *   acpsim mcf,art,swim --policy baseline,commit,issue --jobs 8 \
  *          --json sweep.json
+ *   acpsim mcf,art --policy baseline,commit --connect acpsimd.sock
+ *
+ * The CLI builds one exp::Request and hands it to exp::submit();
+ * with --connect (or ACP_CONNECT) the same request executes on an
+ * acpsimd daemon instead of in-process — identical output either way.
  *
  * Prints IPC (one row per point), with --stats the full statistics of
  * every component, and with --json a machine-readable record of every
@@ -25,8 +30,8 @@
 #include "common/logging.hh"
 #include "core/auth_policy.hh"
 #include "cpu/ooo_core.hh"
-#include "exp/runner.hh"
-#include "exp/sweep.hh"
+#include "exp/request.hh"
+#include "exp/submit.hh"
 #include "obs/heartbeat.hh"
 #include "obs/interval.hh"
 #include "obs/manifest.hh"
@@ -81,7 +86,16 @@ usage()
         "  --jobs N      worker threads for sweeps (default: ACP_JOBS\n"
         "                env, else all cores)\n"
         "  --json FILE   write every point+result as JSON\n"
-        "  --cache       reuse/persist results in ./acp_bench_cache.txt\n\n"
+        "  --cache       reuse/persist results in the ./acp_store\n"
+        "                content-addressed result store (cap with\n"
+        "                ACP_CACHE_MAX_ENTRIES)\n"
+        "  --connect SOCK  submit the sweep to an acpsimd daemon over\n"
+        "                its unix socket instead of running in-process\n"
+        "                (also: ACP_CONNECT env); results and JSON are\n"
+        "                bit-identical to a local run. Local-only\n"
+        "                observability (--stats, --trace*, --cosim,\n"
+        "                --profile, --stats-interval, --host-stats) is\n"
+        "                rejected\n\n"
         "observability options:\n"
         "  --stats       dump all component statistics\n"
         "  --host-stats  collect sim.host.* simulator self-metrics\n"
@@ -90,7 +104,8 @@ usage()
         "                --stats and captured into --json\n"
         "  --heartbeat[=SPEC]  stream live JSONL progress records\n"
         "                (sweep/run/tick); SPEC is a file path, fd:N,\n"
-        "                or '-' for stderr  (default: stderr)\n"
+        "                or '-' for stderr  (default: stderr); works\n"
+        "                for --connect runs too (daemon stream relay)\n"
         "  --heartbeat-interval N  simulated cycles between tick\n"
         "                records                  (default: 50000)\n"
         "  --stats-interval N  record IPC + stall breakdown every N\n"
@@ -239,6 +254,7 @@ main(int argc, char **argv)
     std::uint64_t warmup = 50000;
     unsigned jobs = 0;
     std::string json_file;
+    std::string connect_sock;
     bool use_cache = false;
     bool dump_stats = false;
     bool cosim = false;
@@ -295,6 +311,8 @@ main(int argc, char **argv)
             json_file = next();
         } else if (arg == "--cache") {
             use_cache = true;
+        } else if (arg == "--connect") {
+            connect_sock = next();
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--cosim") {
@@ -327,21 +345,28 @@ main(int argc, char **argv)
     }
     if (names.empty())
         acp_fatal("no workloads given");
+    if (!connect_sock.empty() &&
+        (dump_stats || cosim || trace_commits > 0 || !trace_file.empty() ||
+         profile || cfg.statsInterval != 0 || cfg.hostStats))
+        acp_fatal("--connect cannot run local-only observability "
+                  "(--stats/--trace/--trace-commits/--cosim/--profile/"
+                  "--stats-interval/--host-stats)");
 
-    // Build the sweep: workloads x policies, every knob in the config.
-    exp::Sweep sweep;
-    sweep.base(cfg).params(params).window(warmup, insts, 1000);
-    sweep.workloads(names);
+    // Build the request: workloads x policies, every knob in the
+    // config. '+'-joined workload mixes expand inside points().
+    exp::Request req;
+    req.base(cfg).params(params).window(warmup, insts, 1000);
+    req.workloads(names);
     for (const std::string &token : policy_tokens) {
         std::vector<core::AuthPolicy> mix = parsePolicyMix(token);
         if (mix.size() == 1) {
             core::AuthPolicy policy = mix[0];
-            sweep.variant(core::policyName(policy),
-                          [policy](sim::SimConfig &c) { c.policy = policy; });
+            req.variant(core::policyName(policy),
+                        [policy](sim::SimConfig &c) { c.policy = policy; });
         } else {
             // Per-core policy mix: cpu0 runs mix[0], cpu1 mix[1], ...
             // (cores beyond the mix fall back to cfg.policy = mix[0]).
-            sweep.variant(token, [mix](sim::SimConfig &c) {
+            req.variant(token, [mix](sim::SimConfig &c) {
                 c.corePolicies = mix;
                 c.policy = mix[0];
                 if (c.numCores < mix.size())
@@ -349,69 +374,63 @@ main(int argc, char **argv)
             });
         }
     }
-    std::vector<exp::Point> points = sweep.build();
 
-    // Per-core workload mixes ("mcf+sha"): widen numCores to cover the
-    // mix and give every core an explicit workload name (cycling
-    // through the mix) so the '+' string itself is never looked up in
-    // the workload catalog.
-    for (exp::Point &p : points) {
-        std::vector<std::string> wl_mix = splitOn(p.workload, '+');
-        if (wl_mix.size() <= 1)
-            continue;
-        if (p.cfg.numCores < wl_mix.size())
-            p.cfg.numCores = unsigned(wl_mix.size());
-        p.cfg.coreWorkloads = wl_mix;
-        while (p.cfg.coreWorkloads.size() < p.cfg.numCores)
-            p.cfg.coreWorkloads.push_back(
-                wl_mix[p.cfg.coreWorkloads.size() % wl_mix.size()]);
-    }
-
-    if ((trace_commits > 0 || cosim || !trace_file.empty()) &&
-        points.size() > 1)
-        acp_fatal("--trace/--trace-commits/--cosim need a single "
-                  "workload and policy");
-    if (trace_commits > 0 || cosim) {
+    if (trace_commits > 0 || cosim || !trace_file.empty()) {
         // Tracing hooks into the live System between warmup and the
-        // timed window; the hook makes the point uncacheable.
-        points[0].prepare = [trace_commits, cosim](sim::System &system) {
-            if (cosim)
-                system.enableCosim();
-            if (trace_commits > 0)
-                system.core().traceCommits(stdout, trace_commits);
-        };
-        // enableCosim must be armed before the timed core exists; the
-        // prepare hook runs right after fastForward, which is early
-        // enough (the core is created by measureTimed/traceCommits).
-    }
-    if (!trace_file.empty()) {
-        // Structured tracing: record everything, write the Chrome
-        // trace while the System is still alive (finish hook).
-        points[0].cfg.traceMask = obs::kCatAll;
+        // timed window; the hooks make the point uncacheable (and the
+        // request local-only).
         std::string path = trace_file;
-        points[0].finish = [path](sim::System &system) {
-            if (!obs::writeChromeTrace(*system.traceBuffer(), path))
-                acp_fatal("cannot write %s", path.c_str());
-            std::fprintf(stderr, "wrote %s\n", path.c_str());
+        req.decorate = [trace_commits, cosim,
+                        path](std::vector<exp::Point> &points) {
+            if (points.size() > 1)
+                acp_fatal("--trace/--trace-commits/--cosim need a "
+                          "single workload and policy");
+            if (trace_commits > 0 || cosim) {
+                points[0].prepare = [trace_commits,
+                                     cosim](sim::System &system) {
+                    if (cosim)
+                        system.enableCosim();
+                    if (trace_commits > 0)
+                        system.core().traceCommits(stdout, trace_commits);
+                };
+                // enableCosim must be armed before the timed core
+                // exists; the prepare hook runs right after
+                // fastForward, which is early enough (the core is
+                // created by measureTimed/traceCommits).
+            }
+            if (!path.empty()) {
+                // Structured tracing: record everything, write the
+                // Chrome trace while the System is still alive.
+                points[0].cfg.traceMask = obs::kCatAll;
+                points[0].finish = [path](sim::System &system) {
+                    if (!obs::writeChromeTrace(*system.traceBuffer(),
+                                               path))
+                        acp_fatal("cannot write %s", path.c_str());
+                    std::fprintf(stderr, "wrote %s\n", path.c_str());
+                };
+            }
         };
     }
 
-    exp::RunnerOptions opts;
-    opts.jobs = jobs;
+    req.jobs = jobs;
+    req.connect = connect_sock;
     if (!use_cache)
-        opts.cacheFile.clear();
-    opts.captureStatsText = dump_stats;
+        req.store.clear();
+    req.captureStatsText = dump_stats;
     std::unique_ptr<obs::Heartbeat> hb_sink;
     if (heartbeat) {
         hb_sink = obs::Heartbeat::open(heartbeat_spec);
         if (!hb_sink)
             acp_fatal("cannot open heartbeat sink '%s'",
                       heartbeat_spec.c_str());
-        opts.heartbeat = hb_sink.get();
-        opts.heartbeatPeriod = heartbeat_interval;
+        req.heartbeat = hb_sink.get();
+        req.heartbeatPeriod = heartbeat_interval;
     }
-    exp::Runner runner(opts);
-    std::vector<exp::Result> results = runner.run(points);
+    exp::Submission sub = exp::submit(req);
+    if (!sub.ok)
+        acp_fatal("%s", sub.error.c_str());
+    const std::vector<exp::Point> &points = sub.points;
+    const std::vector<exp::Result> &results = sub.results;
 
     if (points.size() == 1) {
         const exp::Result &res = results[0];
@@ -503,8 +522,7 @@ main(int argc, char **argv)
     }
 
     if (!json_file.empty()) {
-        if (!exp::Runner::writeJson(json_file, points, results,
-                                    &runner.lastTelemetry()))
+        if (!exp::writeJson(json_file, points, results, &sub.telemetry))
             acp_fatal("cannot write %s", json_file.c_str());
         std::fprintf(stderr, "wrote %s\n", json_file.c_str());
     }

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * acpsimd — sweep daemon CLI. Owns one shared content-addressed
+ * result store and a pool of simulation worker processes; serves
+ * acp-rpc-v1 (docs/RPC.md) over a Unix-domain socket. Point acpsim
+ * at it with `acpsim --connect SOCK ...` or ACP_CONNECT=SOCK.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "svc/daemon.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: acpsimd [options]\n"
+        "  --socket PATH     unix socket to listen on (default "
+        "acpsimd.sock)\n"
+        "  --workers N       worker processes (default: ACP_JOBS / "
+        "hardware)\n"
+        "  --store DIR       result-store directory (default "
+        "acp_store)\n"
+        "  --store-max N     store entry cap with LRU eviction\n"
+        "                    (default: ACP_CACHE_MAX_ENTRIES / "
+        "unlimited)\n"
+        "  --lease SECONDS   per-point worker lease before the worker\n"
+        "                    is presumed wedged and killed (default "
+        "300)\n"
+        "  --retries N       re-queue attempts per point (default 2)\n"
+        "  --transcript FILE JSONL transcript of all client frames\n"
+        "                    (validate with tools/check_rpc.py)\n");
+}
+
+void
+onSignal(int)
+{
+    acp::svc::Daemon::requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    acp::svc::DaemonOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "acpsimd: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = next();
+        } else if (arg == "--workers") {
+            opts.workers = unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--store") {
+            opts.storeDir = next();
+        } else if (arg == "--store-max") {
+            opts.storeMaxEntries =
+                std::size_t(std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--lease") {
+            opts.leaseSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--retries") {
+            opts.maxRetries = unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--transcript") {
+            opts.transcriptPath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "acpsimd: unknown option %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    acp::svc::Daemon daemon(std::move(opts));
+    if (!daemon.start())
+        return 1;
+    return daemon.run();
+}

@@ -1,0 +1,802 @@
+#include "svc/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "exp/point.hh"
+#include "exp/result_codec.hh"
+#include "exp/submit.hh"
+#include "obs/manifest.hh"
+#include "workloads/workloads.hh"
+
+namespace acp::svc
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+/** Seconds since the epoch (transcript/frame timestamps). */
+double
+wallEpoch()
+{
+    auto now = std::chrono::system_clock::now().time_since_epoch();
+    return double(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now)
+                      .count()) /
+           1000.0;
+}
+
+} // namespace
+
+// ----- internal structures ---------------------------------------------
+
+/** One parsed+validated submission payload, shared by every point
+ *  (and, through Inflight, by every worker assignment) it spawned. */
+struct Daemon::Prepared
+{
+    exp::Request req;
+    std::vector<exp::Point> points;
+    /** Canonical re-serialization (Request::toJson) — the exact text
+     *  workers parse, so daemon and worker digests cannot diverge. */
+    std::string requestJson;
+};
+
+/** One client submission in flight (one submit frame). */
+struct Daemon::ClientSub
+{
+    int conn = -1;
+    std::string id;
+    bool subscribe = false;
+    std::shared_ptr<Prepared> prepared;
+    std::size_t total = 0;
+    std::size_t done = 0;
+    std::size_t cached = 0;
+    std::size_t simulated = 0;
+    double startedAt = 0.0;
+    bool failed = false;
+};
+
+/** One unique digest being produced (queued or on a worker). */
+struct Daemon::Inflight
+{
+    std::string digest;
+    std::shared_ptr<Prepared> prepared;
+    /** Index into prepared->points a worker should simulate. */
+    std::size_t pointIndex = 0;
+    struct Waiter
+    {
+        std::shared_ptr<ClientSub> sub;
+        std::size_t index;
+    };
+    /** Every (submission, point index) waiting on this digest —
+     *  possibly from several clients: cross-client dedupe. */
+    std::vector<Waiter> waiters;
+    /** Buffered heartbeat lines, replayed to late-attaching waiters
+     *  so every subscriber sees a complete run_start..run_end feed. */
+    std::vector<std::string> hbLines;
+    unsigned retries = 0;
+    /** Backoff gate (monotonic seconds); 0 = dispatchable now. */
+    double notBefore = 0.0;
+    bool running = false;
+};
+
+struct Daemon::Client
+{
+    int fd = -1;
+    int conn = -1;
+    bool saidHello = false;
+    std::unique_ptr<net::LineReader> reader;
+    std::vector<std::shared_ptr<ClientSub>> subs;
+};
+
+struct Daemon::WorkerSlot
+{
+    pid_t pid = -1;
+    int fd = -1;
+    std::unique_ptr<net::LineReader> reader;
+    Inflight *busy = nullptr;
+    double assignedAt = 0.0;
+};
+
+// ----- lifecycle -------------------------------------------------------
+
+Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.workers == 0)
+        opts_.workers = exp::defaultJobs();
+}
+
+Daemon::~Daemon()
+{
+    for (WorkerSlot &slot : workers_) {
+        if (slot.pid > 0) {
+            ::kill(slot.pid, SIGKILL);
+            ::waitpid(slot.pid, nullptr, 0);
+        }
+        if (slot.fd >= 0)
+            ::close(slot.fd);
+    }
+    for (auto &[conn, client] : clients_)
+        if (client->fd >= 0)
+            ::close(client->fd);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(opts_.socketPath.c_str());
+    }
+    if (transcript_)
+        std::fclose(transcript_);
+}
+
+void
+Daemon::requestStop()
+{
+    g_stop = 1;
+}
+
+double
+Daemon::now() const
+{
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(t).count();
+}
+
+bool
+Daemon::start()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    store_ = std::make_unique<exp::ResultStore>(opts_.storeDir,
+                                               opts_.storeMaxEntries);
+    if (!opts_.transcriptPath.empty()) {
+        transcript_ = std::fopen(opts_.transcriptPath.c_str(), "w");
+        if (!transcript_) {
+            std::fprintf(stderr, "acpsimd: cannot write %s\n",
+                         opts_.transcriptPath.c_str());
+            return false;
+        }
+    }
+    listenFd_ = net::unixListen(opts_.socketPath);
+    if (listenFd_ < 0)
+        return false;
+    workers_.resize(opts_.workers);
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        if (!spawnWorker(i))
+            return false;
+    std::fprintf(stderr,
+                 "acpsimd: listening on %s (%u workers, store %s, "
+                 "%zu entries)\n",
+                 opts_.socketPath.c_str(), opts_.workers,
+                 opts_.storeDir.c_str(), store_->size());
+    return true;
+}
+
+bool
+Daemon::spawnWorker(std::size_t slot_index)
+{
+    WorkerSlot &slot = workers_[slot_index];
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) < 0) {
+        std::perror("socketpair");
+        return false;
+    }
+    // Flush before fork so the child can't replay buffered stdio.
+    std::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        std::perror("fork");
+        ::close(sv[0]);
+        ::close(sv[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Worker child: drop every parent fd except its own pipe.
+        // fork-without-exec is safe here because the daemon parent is
+        // single-threaded by construction.
+        ::close(sv[0]);
+        if (listenFd_ >= 0)
+            ::close(listenFd_);
+        if (transcript_)
+            ::close(::fileno(transcript_));
+        for (auto &[conn, client] : clients_)
+            if (client->fd >= 0)
+                ::close(client->fd);
+        for (WorkerSlot &other : workers_)
+            if (other.fd >= 0)
+                ::close(other.fd);
+        workerMain(sv[1]);
+        ::_exit(0);
+    }
+    ::close(sv[1]);
+    slot.pid = pid;
+    slot.fd = sv[0];
+    slot.reader = std::make_unique<net::LineReader>(sv[0]);
+    slot.busy = nullptr;
+    slot.assignedAt = 0.0;
+    return true;
+}
+
+int
+Daemon::run()
+{
+    while (!g_stop) {
+        std::vector<pollfd> fds;
+        // Index map: fds[0] = listener, then workers, then clients.
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const WorkerSlot &slot : workers_)
+            fds.push_back({slot.fd, POLLIN, 0});
+        std::vector<int> conns;
+        for (auto &[conn, client] : clients_) {
+            fds.push_back({client->fd, POLLIN, 0});
+            conns.push_back(conn);
+        }
+
+        int rc = ::poll(fds.data(), nfds_t(fds.size()), 200);
+        if (rc < 0 && errno != EINTR) {
+            std::perror("poll");
+            return 1;
+        }
+
+        if (fds[0].revents & POLLIN)
+            acceptClient();
+        for (std::size_t i = 0; i < workers_.size(); ++i)
+            if (fds[1 + i].revents & (POLLIN | POLLHUP | POLLERR))
+                serviceWorker(i);
+        for (std::size_t c = 0; c < conns.size(); ++c)
+            if (fds[1 + workers_.size() + c].revents &
+                (POLLIN | POLLHUP | POLLERR))
+                serviceClient(conns[c]);
+
+        checkLeases();
+        dispatch();
+    }
+    std::fprintf(stderr, "acpsimd: shutting down\n");
+    return 0;
+}
+
+// ----- client plumbing -------------------------------------------------
+
+void
+Daemon::acceptClient()
+{
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    auto client = std::make_unique<Client>();
+    client->fd = fd;
+    client->conn = nextConn_++;
+    client->reader = std::make_unique<net::LineReader>(fd);
+    clients_[client->conn] = std::move(client);
+}
+
+void
+Daemon::serviceClient(int conn)
+{
+    auto it = clients_.find(conn);
+    if (it == clients_.end())
+        return;
+    Client &client = *it->second;
+    net::LineReader::Io io = client.reader->fill();
+    std::string line;
+    while (client.reader->nextLine(line)) {
+        handleFrame(client, line);
+        if (clients_.find(conn) == clients_.end())
+            return; // bye / protocol violation dropped it
+    }
+    if (io == net::LineReader::Io::kEof ||
+        io == net::LineReader::Io::kError)
+        dropClient(conn);
+}
+
+void
+Daemon::dropClient(int conn)
+{
+    auto it = clients_.find(conn);
+    if (it == clients_.end())
+        return;
+    // Orphan its submissions: in-flight work keeps running (the store
+    // still wants the results) but nothing is sent to a gone client.
+    for (auto &sub : it->second->subs)
+        sub->failed = true;
+    ::close(it->second->fd);
+    clients_.erase(it);
+}
+
+bool
+Daemon::sendFrame(int conn, const std::string &frame)
+{
+    auto it = clients_.find(conn);
+    if (it == clients_.end())
+        return false;
+    transcribe("out", conn, frame);
+    if (!net::writeLine(it->second->fd, frame)) {
+        dropClient(conn);
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::sendError(int conn, const std::string &id,
+                  const std::string &code, const std::string &message)
+{
+    std::string frame = "{\"op\":\"error\"";
+    if (!id.empty())
+        frame += ",\"id\":" + json::quote(id);
+    frame += ",\"code\":" + json::quote(code) +
+             ",\"message\":" + json::quote(message) + "}";
+    sendFrame(conn, frame);
+}
+
+void
+Daemon::transcribe(const char *dir, int conn, const std::string &frame)
+{
+    if (!transcript_)
+        return;
+    std::fprintf(transcript_,
+                 "{\"dir\":\"%s\",\"conn\":%d,\"wall\":%.3f,"
+                 "\"frame\":%s}\n",
+                 dir, conn, wallEpoch(), frame.c_str());
+    std::fflush(transcript_);
+}
+
+void
+Daemon::handleFrame(Client &client, const std::string &line)
+{
+    // A failed send inside sendError/sendFrame drops (frees) the
+    // client, so the error paths below must not touch `client` after
+    // sending — they use the captured conn, and dropClient is
+    // idempotent on an already-gone connection.
+    const int conn = client.conn;
+    json::Value frame;
+    std::string err;
+    if (!json::parse(line, frame, &err) || !frame.isObject()) {
+        sendError(conn, "", "bad_frame", "unparseable frame: " + err);
+        dropClient(conn);
+        return;
+    }
+    transcribe("in", conn, line);
+    const json::Value *op = frame.find("op");
+    if (!op || !op->isString()) {
+        sendError(conn, "", "bad_frame", "frame has no op");
+        dropClient(conn);
+        return;
+    }
+
+    if (op->str == "hello") {
+        const json::Value *rpc = frame.find("rpc");
+        std::uint64_t vmin = 1, vmax = 1;
+        if (const json::Value *v = frame.find("versionMin"))
+            vmin = v->asU64(1);
+        if (const json::Value *v = frame.find("versionMax"))
+            vmax = v->asU64(1);
+        if (!rpc || !rpc->isString() || rpc->str != "acp-rpc-v1" ||
+            vmin > 1 || vmax < 1) {
+            sendError(conn, "", "version",
+                      "this acpsimd speaks acp-rpc-v1 version 1 only");
+            dropClient(conn);
+            return;
+        }
+        client.saidHello = true;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"op\":\"hello_ok\",\"version\":1,"
+                      "\"server\":\"acpsimd\",\"workers\":%u,"
+                      "\"manifest\":",
+                      opts_.workers);
+        sendFrame(conn, std::string(buf) +
+                            obs::manifestJsonLine(obs::manifest()) +
+                            "}");
+        return;
+    }
+    if (!client.saidHello) {
+        sendError(conn, "", "protocol", "hello comes first");
+        dropClient(conn);
+        return;
+    }
+    if (op->str == "submit") {
+        handleSubmit(client, frame);
+        return;
+    }
+    if (op->str == "stats") {
+        std::string id;
+        if (const json::Value *v = frame.find("id"))
+            if (v->isString())
+                id = v->str;
+        exp::ResultStore::Stats st = store_->stats();
+        std::size_t queued = ready_.size();
+        std::string out = "{\"op\":\"stats_ok\"";
+        if (!id.empty())
+            out += ",\"id\":" + json::quote(id);
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"store\":{\"hits\":%llu,\"misses\":%llu,"
+                      "\"stores\":%llu,\"evictions\":%llu,"
+                      "\"entries\":%zu},\"queued\":%zu,"
+                      "\"inflight\":%zu,\"simulations\":%llu,"
+                      "\"workers\":[",
+                      (unsigned long long)st.hits,
+                      (unsigned long long)st.misses,
+                      (unsigned long long)st.stores,
+                      (unsigned long long)st.evictions,
+                      store_->size(), queued, inflight_.size(),
+                      (unsigned long long)simulations_);
+        out += buf;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%s{\"pid\":%d,\"busy\":%s}",
+                          i ? "," : "", int(workers_[i].pid),
+                          workers_[i].busy ? "true" : "false");
+            out += buf;
+        }
+        out += "]}";
+        sendFrame(conn, out);
+        return;
+    }
+    if (op->str == "bye") {
+        dropClient(conn);
+        return;
+    }
+    sendError(conn, "", "unknown_op", "unknown op '" + op->str + "'");
+}
+
+void
+Daemon::handleSubmit(Client &client, const json::Value &frame)
+{
+    std::string id;
+    if (const json::Value *v = frame.find("id"))
+        if (v->isString())
+            id = v->str;
+    bool subscribe = false;
+    if (const json::Value *v = frame.find("subscribe"))
+        subscribe = v->asBool();
+    const json::Value *request = frame.find("request");
+    if (!request) {
+        sendError(client.conn, id, "bad_request",
+                  "submit frame has no request");
+        return;
+    }
+
+    auto prepared = std::make_shared<Prepared>();
+    std::string err;
+    if (!exp::Request::fromJson(*request, prepared->req, &err)) {
+        sendError(client.conn, id, "bad_request", err);
+        return;
+    }
+    if (prepared->req.captureStatsText) {
+        sendError(client.conn, id, "not_eligible",
+                  "captureStatsText is local-only");
+        return;
+    }
+    prepared->points = prepared->req.points();
+    if (prepared->points.empty()) {
+        sendError(client.conn, id, "bad_request",
+                  "request materializes zero points");
+        return;
+    }
+
+    // Validate upfront what a worker could only die on: every point
+    // must be cacheable (the store serves all results) and every
+    // workload name must resolve in the catalog.
+    std::set<std::string> known;
+    for (const auto &info : workloads::catalog())
+        known.insert(info.name);
+    for (const exp::Point &p : prepared->points) {
+        if (!p.cacheable()) {
+            sendError(client.conn, id, "not_eligible",
+                      "uncacheable point '" + p.label +
+                          "' (observability knobs are local-only)");
+            return;
+        }
+        const unsigned n_cores = std::max(1u, p.cfg.numCores);
+        for (unsigned i = 0; i < n_cores; ++i) {
+            const std::string &name =
+                i < p.cfg.coreWorkloads.size() &&
+                        !p.cfg.coreWorkloads[i].empty()
+                    ? p.cfg.coreWorkloads[i]
+                    : p.workload;
+            if (!known.count(name)) {
+                sendError(client.conn, id, "bad_request",
+                          "unknown workload '" + name + "'");
+                return;
+            }
+        }
+    }
+    prepared->requestJson = prepared->req.toJson();
+
+    auto sub = std::make_shared<ClientSub>();
+    sub->conn = client.conn;
+    sub->id = id;
+    sub->subscribe = subscribe;
+    sub->prepared = prepared;
+    sub->total = prepared->points.size();
+    sub->startedAt = now();
+    client.subs.push_back(sub);
+
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"points\":%zu}",
+                  prepared->points.size());
+    if (!sendFrame(client.conn, "{\"op\":\"accepted\",\"id\":" +
+                                    json::quote(id) + buf))
+        return;
+
+    for (std::size_t i = 0; i < prepared->points.size(); ++i) {
+        std::string digest = exp::pointDigest(prepared->points[i]);
+        exp::Result hit;
+        if (store_->lookup(digest, hit)) {
+            subPointDone(*sub, i, digest, /*from_cache=*/true, 0.0,
+                         exp::encodeResultTokens(hit));
+            continue;
+        }
+        auto it = inflight_.find(digest);
+        if (it != inflight_.end()) {
+            // Cross-client (or intra-sweep) dedupe: attach as waiter
+            // and replay the heartbeat so far.
+            it->second->waiters.push_back({sub, i});
+            if (sub->subscribe)
+                for (const std::string &hb : it->second->hbLines)
+                    sendFrame(sub->conn,
+                              "{\"op\":\"hb\",\"id\":" +
+                                  json::quote(sub->id) +
+                                  ",\"line\":" + json::quote(hb) + "}");
+            continue;
+        }
+        auto item = std::make_unique<Inflight>();
+        item->digest = digest;
+        item->prepared = prepared;
+        item->pointIndex = i;
+        item->waiters.push_back({sub, i});
+        enqueue(item.get());
+        inflight_[digest] = std::move(item);
+    }
+    maybeFinishSub(*sub);
+    dispatch();
+}
+
+// ----- scheduling ------------------------------------------------------
+
+void
+Daemon::enqueue(Inflight *item)
+{
+    ready_.push_back(item->digest);
+}
+
+void
+Daemon::dispatch()
+{
+    double t = now();
+    for (WorkerSlot &slot : workers_) {
+        if (slot.busy || slot.fd < 0)
+            continue;
+        // First dispatchable digest (FIFO, skipping backoff holds).
+        Inflight *item = nullptr;
+        for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+            auto found = inflight_.find(*it);
+            if (found == inflight_.end()) {
+                it = ready_.erase(it);
+                --it; // stale queue entry (failed/cancelled item)
+                continue;
+            }
+            if (found->second->notBefore > t)
+                continue;
+            item = found->second.get();
+            ready_.erase(it);
+            break;
+        }
+        if (!item)
+            return;
+        char head[64];
+        std::snprintf(head, sizeof(head),
+                      "{\"op\":\"work\",\"index\":%zu,\"request\":",
+                      item->pointIndex);
+        if (!net::writeLine(slot.fd,
+                            std::string(head) +
+                                json::quote(item->prepared->requestJson) +
+                                "}")) {
+            // Worker pipe already broken: requeue and let the EOF
+            // path respawn it.
+            ready_.push_front(item->digest);
+            continue;
+        }
+        slot.busy = item;
+        slot.assignedAt = t;
+        item->running = true;
+    }
+}
+
+void
+Daemon::serviceWorker(std::size_t slot_index)
+{
+    WorkerSlot &slot = workers_[slot_index];
+    net::LineReader::Io io = slot.reader->fill();
+    std::string line;
+    while (slot.reader->nextLine(line)) {
+        json::Value frame;
+        std::string err;
+        if (!json::parse(line, frame, &err) || !frame.isObject())
+            continue; // a torn line from a dying worker
+        const json::Value *op = frame.find("op");
+        if (!op || !op->isString())
+            continue;
+        Inflight *item = slot.busy;
+        if (op->str == "hb") {
+            const json::Value *hb = frame.find("line");
+            if (!item || !hb || !hb->isString())
+                continue;
+            item->hbLines.push_back(hb->str);
+            for (const Inflight::Waiter &w : item->waiters)
+                if (w.sub->subscribe && !w.sub->failed)
+                    sendFrame(w.sub->conn,
+                              "{\"op\":\"hb\",\"id\":" +
+                                  json::quote(w.sub->id) +
+                                  ",\"line\":" + json::quote(hb->str) +
+                                  "}");
+        } else if (op->str == "done") {
+            const json::Value *payload = frame.find("line");
+            double wall = 0.0;
+            if (const json::Value *v = frame.find("wall"))
+                wall = v->asDouble();
+            if (!item || !payload || !payload->isString())
+                continue;
+            slot.busy = nullptr;
+            ++simulations_;
+            completeItem(item, payload->str, wall);
+        } else if (op->str == "fail") {
+            const json::Value *msg = frame.find("message");
+            if (!item)
+                continue;
+            slot.busy = nullptr;
+            failItem(item, msg && msg->isString()
+                               ? msg->str
+                               : "worker failed the point");
+        }
+    }
+    if (io == net::LineReader::Io::kEof ||
+        io == net::LineReader::Io::kError)
+        workerDied(slot_index);
+}
+
+void
+Daemon::workerDied(std::size_t slot_index)
+{
+    WorkerSlot &slot = workers_[slot_index];
+    if (slot.fd < 0)
+        return;
+    ::close(slot.fd);
+    slot.fd = -1;
+    slot.reader.reset();
+    if (slot.pid > 0) {
+        if (::waitpid(slot.pid, nullptr, WNOHANG) == 0) {
+            ::kill(slot.pid, SIGKILL);
+            ::waitpid(slot.pid, nullptr, 0);
+        }
+        slot.pid = -1;
+    }
+
+    if (Inflight *item = slot.busy) {
+        slot.busy = nullptr;
+        item->running = false;
+        ++item->retries;
+        if (item->retries > opts_.maxRetries) {
+            failItem(item, "worker died repeatedly on this point");
+        } else {
+            // Exponential backoff: a point that keeps killing workers
+            // shouldn't hog the pool.
+            item->notBefore =
+                now() + 0.5 * double(1u << (item->retries - 1));
+            ready_.push_back(item->digest);
+            std::fprintf(stderr,
+                         "acpsimd: worker died, requeued %.12s... "
+                         "(retry %u/%u)\n",
+                         item->digest.c_str(), item->retries,
+                         opts_.maxRetries);
+        }
+    }
+    spawnWorker(slot_index);
+}
+
+void
+Daemon::checkLeases()
+{
+    if (opts_.leaseSeconds <= 0)
+        return;
+    double t = now();
+    for (WorkerSlot &slot : workers_) {
+        if (!slot.busy || slot.pid <= 0)
+            continue;
+        if (t - slot.assignedAt > opts_.leaseSeconds) {
+            std::fprintf(stderr,
+                         "acpsimd: lease expired (%.0fs), killing "
+                         "worker %d\n",
+                         t - slot.assignedAt, int(slot.pid));
+            ::kill(slot.pid, SIGKILL);
+            // The EOF on its pipe re-queues the point + respawns.
+        }
+    }
+}
+
+void
+Daemon::completeItem(Inflight *item, const std::string &line,
+                     double wall)
+{
+    exp::Result result;
+    exp::decodeResultTokens(line, result);
+    store_->put(item->digest, result);
+    for (const Inflight::Waiter &w : item->waiters) {
+        if (w.sub->failed)
+            continue;
+        subPointDone(*w.sub, w.index, item->digest,
+                     /*from_cache=*/false, wall, line);
+        maybeFinishSub(*w.sub);
+    }
+    inflight_.erase(item->digest);
+}
+
+void
+Daemon::failItem(Inflight *item, const std::string &message)
+{
+    for (const Inflight::Waiter &w : item->waiters) {
+        if (w.sub->failed)
+            continue;
+        w.sub->failed = true;
+        sendError(w.sub->conn, w.sub->id, "point_failed",
+                  message + " (digest " + item->digest + ")");
+    }
+    inflight_.erase(item->digest);
+}
+
+void
+Daemon::subPointDone(ClientSub &sub, std::size_t index,
+                     const std::string &digest, bool from_cache,
+                     double wall, const std::string &line)
+{
+    ++sub.done;
+    if (from_cache)
+        ++sub.cached;
+    else
+        ++sub.simulated;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"index\":%zu,\"digest\":\"%s\",\"fromCache\":%s,"
+                  "\"wall\":%.6f,\"line\":",
+                  index, digest.c_str(), from_cache ? "true" : "false",
+                  wall);
+    sendFrame(sub.conn, "{\"op\":\"point_done\",\"id\":" +
+                            json::quote(sub.id) + buf +
+                            json::quote(line) + "}");
+}
+
+void
+Daemon::maybeFinishSub(ClientSub &sub)
+{
+    if (sub.failed || sub.done < sub.total)
+        return;
+    exp::ResultStore::Stats st = store_->stats();
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"total\":%zu,\"cached\":%zu,\"simulated\":%zu,"
+                  "\"wallSeconds\":%.3f,\"store\":{\"hits\":%llu,"
+                  "\"misses\":%llu,\"stores\":%llu,\"evictions\":%llu,"
+                  "\"entries\":%zu},\"simulations\":%llu}",
+                  sub.total, sub.cached, sub.simulated,
+                  now() - sub.startedAt, (unsigned long long)st.hits,
+                  (unsigned long long)st.misses,
+                  (unsigned long long)st.stores,
+                  (unsigned long long)st.evictions, store_->size(),
+                  (unsigned long long)simulations_);
+    sendFrame(sub.conn,
+              "{\"op\":\"done\",\"id\":" + json::quote(sub.id) + buf);
+}
+
+} // namespace acp::svc

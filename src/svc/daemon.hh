@@ -1,0 +1,133 @@
+/**
+ * @file
+ * acpsimd — the sweep daemon. One long-running process owns a
+ * content-addressed result store (exp::ResultStore) and a pool of
+ * fork()'d worker processes; clients (acpsim --connect, tests,
+ * anything speaking acp-rpc-v1 over the Unix socket) submit
+ * serialized exp::Requests and stream results back.
+ *
+ * Scheduling model: every point of every accepted submission is
+ * keyed by its pointDigest. A digest already in the store answers
+ * immediately (point_done fromCache=true). A digest already being
+ * simulated — for *any* client — attaches the new submission as a
+ * waiter: identical in-flight work is deduplicated across clients,
+ * which is the whole reason the daemon exists. Remaining digests
+ * enter a shared ready queue that idle workers steal from.
+ *
+ * Fault model: a worker that crashes (EOF on its pipe) or wedges
+ * (assignment older than the lease) is SIGKILLed and respawned; its
+ * point goes back to the queue with bounded exponential-backoff
+ * retries, after which every waiting submission fails with an error
+ * frame. Workers are fork()-without-exec children — safe because the
+ * daemon parent never creates threads.
+ *
+ * The protocol, framing and transcript format are documented in
+ * docs/RPC.md and validated by tools/check_rpc.py.
+ */
+
+#ifndef ACP_SVC_DAEMON_HH
+#define ACP_SVC_DAEMON_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sockline.hh"
+#include "exp/request.hh"
+#include "exp/result_store.hh"
+
+namespace acp::svc
+{
+
+struct DaemonOptions
+{
+    std::string socketPath = "acpsimd.sock";
+    /** Worker processes; 0 = exp::defaultJobs(). */
+    unsigned workers = 0;
+    /** Result-store directory served to every client. */
+    std::string storeDir = "acp_store";
+    /** Store entry cap (0 = ACP_CACHE_MAX_ENTRIES env / unlimited). */
+    std::size_t storeMaxEntries = 0;
+    /** Seconds a worker may hold one point before it is presumed
+     *  wedged, killed, and the point re-queued. */
+    double leaseSeconds = 300.0;
+    /** Re-queue attempts per point before submissions fail. */
+    unsigned maxRetries = 2;
+    /** JSONL transcript of every client frame (empty = off). */
+    std::string transcriptPath;
+};
+
+/** Entry point of the forked worker process: serve "work" frames on
+ *  @p fd until EOF, then _exit. Defined in worker.cc. */
+void workerMain(int fd);
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions opts);
+    ~Daemon();
+
+    /** Bind the socket and spawn workers; false on setup failure. */
+    bool start();
+
+    /** Serve until stop() (or a fatal listen error). Returns 0/1. */
+    int run();
+
+    /** Async-signal-safe stop request (checked each poll round). */
+    static void requestStop();
+
+  private:
+    struct Prepared;
+    struct ClientSub;
+    struct Inflight;
+    struct Client;
+    struct WorkerSlot;
+
+    // --- client plumbing ---
+    void acceptClient();
+    void serviceClient(int conn);
+    void dropClient(int conn);
+    void handleFrame(Client &client, const std::string &line);
+    void handleSubmit(Client &client, const json::Value &frame);
+    bool sendFrame(int conn, const std::string &frame);
+    void sendError(int conn, const std::string &id,
+                   const std::string &code, const std::string &message);
+    void transcribe(const char *dir, int conn, const std::string &frame);
+
+    // --- scheduling ---
+    void enqueue(Inflight *item);
+    void dispatch();
+    void serviceWorker(std::size_t slot);
+    void workerDied(std::size_t slot);
+    void checkLeases();
+    void completeItem(Inflight *item, const std::string &line,
+                      double wall);
+    void failItem(Inflight *item, const std::string &message);
+    void subPointDone(ClientSub &sub, std::size_t index,
+                      const std::string &digest, bool from_cache,
+                      double wall, const std::string &line);
+    void maybeFinishSub(ClientSub &sub);
+
+    bool spawnWorker(std::size_t slot);
+    double now() const;
+
+    DaemonOptions opts_;
+    int listenFd_ = -1;
+    std::FILE *transcript_ = nullptr;
+    std::unique_ptr<exp::ResultStore> store_;
+    std::vector<WorkerSlot> workers_;
+    std::map<int, std::unique_ptr<Client>> clients_;
+    int nextConn_ = 1;
+    /** Live work items by digest (queued or running). */
+    std::map<std::string, std::unique_ptr<Inflight>> inflight_;
+    /** Digests ready for an idle worker (FIFO + backoff holdback). */
+    std::deque<std::string> ready_;
+    std::uint64_t simulations_ = 0;
+};
+
+} // namespace acp::svc
+
+#endif // ACP_SVC_DAEMON_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * acpsimd worker process: the body of each fork()'d child. Serves
+ * "work" frames from the parent over its socketpair — parse the
+ * carried canonical request JSON (cached by string identity, so a
+ * whole sweep pays one parse), simulate the named point in-process
+ * with exp::simulatePoint, relay heartbeat lines upstream, answer
+ * with a "done" frame carrying the encoded result tokens. EOF on the
+ * pipe means the parent is gone (or replaced us): exit.
+ */
+
+#include "svc/daemon.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/sockline.hh"
+#include "exp/point.hh"
+#include "exp/request.hh"
+#include "exp/result_codec.hh"
+#include "exp/submit.hh"
+#include "obs/heartbeat.hh"
+
+namespace acp::svc
+{
+
+namespace
+{
+
+void
+sendFail(int fd, std::uint64_t index, const std::string &message)
+{
+    char head[64];
+    std::snprintf(head, sizeof(head),
+                  "{\"op\":\"fail\",\"index\":%llu,\"message\":",
+                  (unsigned long long)index);
+    net::writeLine(fd, std::string(head) + json::quote(message) + "}");
+}
+
+} // namespace
+
+void
+workerMain(int fd)
+{
+    net::LineReader reader(fd);
+
+    // One-entry request cache: consecutive points of the same sweep
+    // carry byte-identical request JSON, so parsing + materializing
+    // the point list happens once per sweep, not once per point.
+    std::string cached_json;
+    exp::Request cached_req;
+    std::vector<exp::Point> cached_points;
+
+    std::string line;
+    while (reader.readLine(line)) {
+        json::Value frame;
+        std::string err;
+        if (!json::parse(line, frame, &err) || !frame.isObject())
+            continue;
+        const json::Value *op = frame.find("op");
+        if (!op || !op->isString() || op->str != "work")
+            continue;
+        const json::Value *index_v = frame.find("index");
+        const json::Value *request_v = frame.find("request");
+        std::uint64_t index = index_v ? index_v->asU64() : 0;
+        if (!request_v || !request_v->isString()) {
+            sendFail(fd, index, "work frame has no request");
+            continue;
+        }
+
+        if (request_v->str != cached_json) {
+            exp::Request req;
+            if (!exp::Request::fromJsonText(request_v->str, req, &err)) {
+                sendFail(fd, index, "bad request: " + err);
+                continue;
+            }
+            cached_req = req;
+            cached_points = cached_req.points();
+            cached_json = request_v->str;
+        }
+        if (index >= cached_points.size()) {
+            sendFail(fd, index, "point index out of range");
+            continue;
+        }
+
+        // Stream heartbeat lines upstream as they happen; the daemon
+        // buffers + fans them out to subscribed waiters.
+        obs::Heartbeat hb([fd](const std::string &hb_line) {
+            net::writeLine(fd, "{\"op\":\"hb\",\"line\":" +
+                                   json::quote(hb_line) + "}");
+        });
+
+        auto start = std::chrono::steady_clock::now();
+        exp::Result result = exp::simulatePoint(
+            cached_points[std::size_t(index)], cached_req.counters,
+            /*capture_stats_text=*/false, &hb,
+            cached_req.heartbeatPeriod);
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+        char head[96];
+        std::snprintf(head, sizeof(head),
+                      "{\"op\":\"done\",\"index\":%llu,\"wall\":%.6f,"
+                      "\"line\":",
+                      (unsigned long long)index, wall);
+        if (!net::writeLine(
+                fd, std::string(head) +
+                        json::quote(exp::encodeResultTokens(result)) +
+                        "}"))
+            break; // parent gone mid-answer
+    }
+}
+
+} // namespace acp::svc

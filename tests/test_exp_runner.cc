@@ -1,9 +1,10 @@
 /**
  * @file
- * Tests for the acp::exp experiment subsystem: parallel execution is
- * bit-identical to serial, the config digest covers every
- * secure-memory knob, and the versioned result cache round-trips
- * without re-simulating (while pre-v2 files are never served).
+ * Tests for the acp::exp experiment subsystem on the Request/submit
+ * API: the materialized cross product, parallel execution being
+ * bit-identical to serial, the config digest covering every
+ * secure-memory knob, request JSON round-tripping digest-exactly, and
+ * the result store serving repeat submissions without re-simulating.
  */
 
 #include <gtest/gtest.h>
@@ -12,8 +13,10 @@
 #include <string>
 #include <vector>
 
-#include "exp/runner.hh"
-#include "exp/sweep.hh"
+#include <unistd.h>
+
+#include "exp/request.hh"
+#include "exp/submit.hh"
 #include "sim/config_io.hh"
 
 using namespace acp;
@@ -21,9 +24,9 @@ using namespace acp;
 namespace
 {
 
-/** Small, fast sweep: 2 workloads x 3 policies. */
-exp::Sweep
-smallSweep()
+/** Small, fast sweep: 2 workloads x 3 policies; no store, quiet. */
+exp::Request
+smallRequest()
 {
     sim::SimConfig cfg;
     cfg.memoryBytes = 16ULL << 20;
@@ -32,49 +35,45 @@ smallSweep()
     workloads::WorkloadParams params;
     params.workingSetBytes = 128 * 1024;
 
-    exp::Sweep sweep;
-    sweep.base(cfg).params(params).window(2000, 3000);
-    sweep.workloads({"mcf", "swim"});
-    sweep.variant("base", [](sim::SimConfig &c) {
+    exp::Request req;
+    req.base(cfg).params(params).window(2000, 3000);
+    req.workloads({"mcf", "swim"});
+    req.variant("base", [](sim::SimConfig &c) {
         c.policy = core::AuthPolicy::kBaseline;
     });
-    sweep.variant("issue", [](sim::SimConfig &c) {
+    req.variant("issue", [](sim::SimConfig &c) {
         c.policy = core::AuthPolicy::kAuthThenIssue;
     });
-    sweep.variant("commit", [](sim::SimConfig &c) {
+    req.variant("commit", [](sim::SimConfig &c) {
         c.policy = core::AuthPolicy::kAuthThenCommit;
     });
-    return sweep;
+    req.store.clear();
+    req.progress = false;
+    return req;
 }
 
-exp::RunnerOptions
-quietOptions(unsigned jobs, std::string cache_file = "")
-{
-    exp::RunnerOptions opts;
-    opts.jobs = jobs;
-    opts.cacheFile = std::move(cache_file);
-    opts.progress = false;
-    return opts;
-}
-
-/** RAII scratch cache file. */
-class ScratchFile
+/** RAII scratch result-store directory. */
+class ScratchStore
 {
   public:
-    explicit ScratchFile(const char *name) : path_(name)
-    {
-        std::remove(path_.c_str());
-    }
-    ~ScratchFile() { std::remove(path_.c_str()); }
+    explicit ScratchStore(const char *name) : path_(name) { clear(); }
+    ~ScratchStore() { clear(); }
     const std::string &path() const { return path_; }
 
   private:
+    void
+    clear()
+    {
+        std::remove((path_ + "/index.txt").c_str());
+        std::remove((path_ + "/data.txt").c_str());
+        ::rmdir(path_.c_str());
+    }
     std::string path_;
 };
 
-TEST(ExpSweep, CrossProductIsWorkloadMajor)
+TEST(ExpRequest, CrossProductIsWorkloadMajor)
 {
-    std::vector<exp::Point> points = smallSweep().build();
+    std::vector<exp::Point> points = smallRequest().points();
     ASSERT_EQ(points.size(), 6u);
     EXPECT_EQ(points[0].workload, "mcf");
     EXPECT_EQ(points[0].label, "base");
@@ -83,28 +82,70 @@ TEST(ExpSweep, CrossProductIsWorkloadMajor)
     EXPECT_EQ(points[1].cfg.policy, core::AuthPolicy::kAuthThenIssue);
 }
 
-TEST(ExpRunner, ParallelMatchesSerialBitIdentical)
+TEST(ExpRequest, JsonRoundTripPreservesDigests)
 {
-    std::vector<exp::Point> points = smallSweep().build();
+    exp::Request req = smallRequest();
+    std::string json = req.toJson();
 
-    exp::Runner serial(quietOptions(1));
-    exp::Runner parallel(quietOptions(4));
-    std::vector<exp::Result> serial_results = serial.run(points);
-    std::vector<exp::Result> parallel_results = parallel.run(points);
+    exp::Request back;
+    std::string err;
+    ASSERT_TRUE(exp::Request::fromJsonText(json, back, &err)) << err;
+    EXPECT_EQ(back.toJson(), json) << "re-serialization must be stable";
 
-    ASSERT_EQ(serial_results.size(), parallel_results.size());
-    EXPECT_EQ(serial.simulatedCount(), points.size());
-    EXPECT_EQ(parallel.simulatedCount(), points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        EXPECT_EQ(serial_results[i].run.insts,
-                  parallel_results[i].run.insts) << "point " << i;
-        EXPECT_EQ(serial_results[i].run.cycles,
-                  parallel_results[i].run.cycles) << "point " << i;
+    std::vector<exp::Point> a = req.points();
+    std::vector<exp::Point> b = back.points();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload) << "point " << i;
+        EXPECT_EQ(a[i].label, b[i].label) << "point " << i;
+        EXPECT_EQ(exp::pointDigest(a[i]), exp::pointDigest(b[i]))
+            << "point " << i
+            << ": a deserialized request must digest bit-identically";
+    }
+}
+
+TEST(ExpRequest, ConfigTextRoundTripsThroughParse)
+{
+    sim::SimConfig cfg;
+    cfg.policy = core::AuthPolicy::kCommitPlusFetch;
+    cfg.hashTreeEnabled = true;
+    cfg.numCores = 2;
+    cfg.corePolicies = {core::AuthPolicy::kAuthThenCommit,
+                        core::AuthPolicy::kBaseline};
+    cfg.coreWorkloads = {"mcf", "gap"};
+    cfg.encryptionMode = sim::EncryptionMode::kCbc;
+    std::string text = sim::serializeConfig(cfg);
+
+    sim::SimConfig parsed;
+    std::string err;
+    ASSERT_TRUE(sim::parseConfig(text, parsed, &err)) << err;
+    EXPECT_EQ(sim::serializeConfig(parsed), text);
+}
+
+TEST(ExpSubmit, ParallelMatchesSerialBitIdentical)
+{
+    exp::Request serial = smallRequest();
+    serial.jobs = 1;
+    exp::Request parallel = smallRequest();
+    parallel.jobs = 4;
+
+    exp::Submission serial_sub = exp::submit(serial);
+    exp::Submission parallel_sub = exp::submit(parallel);
+    ASSERT_TRUE(serial_sub.ok) << serial_sub.error;
+    ASSERT_TRUE(parallel_sub.ok) << parallel_sub.error;
+
+    ASSERT_EQ(serial_sub.results.size(), parallel_sub.results.size());
+    EXPECT_EQ(serial_sub.telemetry.simulated, serial_sub.points.size());
+    EXPECT_EQ(parallel_sub.telemetry.simulated,
+              parallel_sub.points.size());
+    for (std::size_t i = 0; i < serial_sub.results.size(); ++i) {
+        const exp::Result &s = serial_sub.results[i];
+        const exp::Result &p = parallel_sub.results[i];
+        EXPECT_EQ(s.run.insts, p.run.insts) << "point " << i;
+        EXPECT_EQ(s.run.cycles, p.run.cycles) << "point " << i;
         // Bit-identical, not approximately equal.
-        EXPECT_EQ(serial_results[i].run.ipc, parallel_results[i].run.ipc)
-            << "point " << i;
-        EXPECT_EQ(serial_results[i].counters, parallel_results[i].counters)
-            << "point " << i;
+        EXPECT_EQ(s.run.ipc, p.run.ipc) << "point " << i;
+        EXPECT_EQ(s.counters, p.counters) << "point " << i;
     }
 }
 
@@ -176,66 +217,66 @@ TEST(ExpDigest, SerializedConfigListsEveryKnobOnce)
     }
 }
 
-TEST(ExpCache, RoundTripSkipsSimulation)
+TEST(ExpStore, RoundTripSkipsSimulation)
 {
-    ScratchFile file("test_exp_cache_roundtrip.txt");
-    exp::Point point = smallSweep().build()[0];
+    ScratchStore store("test_exp_store_roundtrip");
+    exp::Request req = smallRequest();
+    req.workloadNames = {"mcf"};
+    req.store = store.path();
 
-    exp::Runner first(quietOptions(1, file.path()));
-    exp::Result fresh = first.run(point);
-    EXPECT_FALSE(fresh.fromCache);
-    EXPECT_EQ(first.simulatedCount(), 1u);
-    EXPECT_GT(fresh.run.insts, 0u);
-    EXPECT_FALSE(fresh.counters.empty());
+    exp::Submission first = exp::submit(req);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.telemetry.simulated, first.points.size());
+    EXPECT_EQ(first.telemetry.cached, 0u);
+    EXPECT_GT(first.results[0].run.insts, 0u);
+    EXPECT_FALSE(first.results[0].counters.empty());
+    EXPECT_FALSE(first.results[0].fromCache);
 
-    // A new runner on the same file must serve the stored result
-    // without re-simulating.
-    exp::Runner second(quietOptions(1, file.path()));
-    exp::Result cached = second.run(point);
-    EXPECT_TRUE(cached.fromCache);
-    EXPECT_EQ(second.simulatedCount(), 0u);
-    EXPECT_EQ(cached.run.insts, fresh.run.insts);
-    EXPECT_EQ(cached.run.cycles, fresh.run.cycles);
-    EXPECT_EQ(cached.run.ipc, fresh.run.ipc);
-    EXPECT_EQ(cached.run.reason, fresh.run.reason);
-    EXPECT_EQ(cached.counters, fresh.counters);
-}
-
-TEST(ExpCache, StaleUnversionedFileIsIgnored)
-{
-    ScratchFile file("test_exp_cache_stale.txt");
-    exp::Point point = smallSweep().build()[0];
-
-    // Old snprintf-keyed v1 content: must never be served.
-    {
-        std::FILE *f = std::fopen(file.path().c_str(), "w");
-        ASSERT_NE(f, nullptr);
-        std::fprintf(f, "mcf|pol0|l2_262144|ruu128_64=9.999\n");
-        std::fclose(f);
+    // A fresh submission over the same store directory must serve the
+    // stored results without re-simulating.
+    exp::Submission second = exp::submit(req);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.telemetry.simulated, 0u);
+    EXPECT_EQ(second.telemetry.cached, second.points.size());
+    for (std::size_t i = 0; i < first.results.size(); ++i) {
+        EXPECT_TRUE(second.results[i].fromCache);
+        EXPECT_EQ(second.results[i].run.insts,
+                  first.results[i].run.insts);
+        EXPECT_EQ(second.results[i].run.cycles,
+                  first.results[i].run.cycles);
+        EXPECT_EQ(second.results[i].run.ipc, first.results[i].run.ipc);
+        EXPECT_EQ(second.results[i].run.reason,
+                  first.results[i].run.reason);
+        EXPECT_EQ(second.results[i].counters,
+                  first.results[i].counters);
     }
-
-    exp::Runner runner(quietOptions(1, file.path()));
-    ASSERT_NE(runner.cache(), nullptr);
-    EXPECT_TRUE(runner.cache()->ignoredStaleFile());
-    exp::Result result = runner.run(point);
-    EXPECT_FALSE(result.fromCache);
-    EXPECT_EQ(runner.simulatedCount(), 1u);
-
-    // The store rewrote the file with the version header.
-    std::FILE *f = std::fopen(file.path().c_str(), "r");
-    ASSERT_NE(f, nullptr);
-    char line[128] = {0};
-    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
-    std::fclose(f);
-    EXPECT_EQ(std::string(line), std::string(
-        exp::ResultCache::kVersionHeader) + "\n");
 }
 
-TEST(ExpRunner, JobsResolutionPrefersExplicit)
+TEST(ExpSubmit, JobsResolutionNeverZero)
 {
-    exp::Runner runner(quietOptions(3));
-    EXPECT_EQ(runner.jobs(), 3u);
-    EXPECT_GE(exp::Runner::defaultJobs(), 1u);
+    EXPECT_GE(exp::defaultJobs(), 1u);
+}
+
+TEST(ExpRequest, RemoteEligibilityNamesBlockers)
+{
+    exp::Request req = smallRequest();
+    EXPECT_TRUE(exp::remoteEligible(req));
+
+    std::string why;
+    exp::Request stats = req;
+    stats.captureStatsText = true;
+    EXPECT_FALSE(exp::remoteEligible(stats, &why));
+    EXPECT_NE(why.find("captureStatsText"), std::string::npos) << why;
+
+    exp::Request decorated = req;
+    decorated.decorate = [](std::vector<exp::Point> &) {};
+    EXPECT_FALSE(exp::remoteEligible(decorated, &why));
+
+    exp::Request traced = req;
+    traced.baseCfg.traceMask = 1;
+    traced.variants.clear();
+    traced.variant("traced", nullptr);
+    EXPECT_FALSE(exp::remoteEligible(traced, &why));
 }
 
 } // namespace

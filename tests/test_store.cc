@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the content-addressed result store (exp::ResultStore):
+ * payload round-trip through the codec, journal replay reconstructing
+ * LRU order across reopen, persistent eviction under the
+ * ACP_CACHE_MAX_ENTRIES cap, legacy acp-cache-v6 migration, and
+ * journal compaction keeping every live entry servable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "exp/result_codec.hh"
+#include "exp/result_store.hh"
+
+using namespace acp;
+
+namespace
+{
+
+/** RAII scratch store directory (plus optional legacy file). */
+class ScratchStore
+{
+  public:
+    explicit ScratchStore(const char *name) : path_(name) { clear(); }
+    ~ScratchStore() { clear(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    void
+    clear()
+    {
+        std::remove((path_ + "/index.txt").c_str());
+        std::remove((path_ + "/data.txt").c_str());
+        ::rmdir(path_.c_str());
+    }
+    std::string path_;
+};
+
+std::string
+digestOf(char fill)
+{
+    return std::string(64, fill);
+}
+
+exp::Result
+sampleResult(std::uint64_t insts)
+{
+    exp::Result result;
+    result.run.insts = insts;
+    result.run.cycles = insts * 3;
+    result.run.ipc = 1.0 / 3.0;
+    result.counters["l2.misses"] = 17;
+    result.counters["core.auth_commit_stalls"] = insts + 1;
+    exp::AvgStat avg;
+    avg.count = 4;
+    avg.sum = 10.5;
+    avg.min = 1.25;
+    avg.max = 5.5;
+    result.averages["bus.queue_len"] = avg;
+    exp::DistStat dist;
+    dist.count = 3;
+    dist.sum = 9;
+    dist.min = 1;
+    dist.max = 5;
+    dist.buckets = {1, 0, 2};
+    result.distributions["mem.latency"] = dist;
+    return result;
+}
+
+TEST(ResultCodec, RoundTripsEveryStatKind)
+{
+    exp::Result in = sampleResult(9000);
+    std::string line = exp::encodeResultTokens(in);
+
+    exp::Result out;
+    exp::decodeResultTokens(line, out);
+    EXPECT_EQ(out.run.insts, in.run.insts);
+    EXPECT_EQ(out.run.cycles, in.run.cycles);
+    EXPECT_EQ(out.run.ipc, in.run.ipc); // %.17g: bit-exact doubles
+    EXPECT_EQ(out.counters, in.counters);
+    ASSERT_EQ(out.averages.size(), 1u);
+    EXPECT_EQ(out.averages["bus.queue_len"].sum,
+              in.averages["bus.queue_len"].sum);
+    ASSERT_EQ(out.distributions.size(), 1u);
+    EXPECT_EQ(out.distributions["mem.latency"].buckets,
+              in.distributions["mem.latency"].buckets);
+
+    // Encoding is deterministic: decode-encode is a fixed point.
+    EXPECT_EQ(exp::encodeResultTokens(out), line);
+}
+
+TEST(ResultStore, PersistsAcrossReopen)
+{
+    ScratchStore dir("test_store_reopen");
+    {
+        exp::ResultStore store(dir.path());
+        store.put(digestOf('a'), sampleResult(1000));
+        store.put(digestOf('b'), sampleResult(2000));
+        EXPECT_EQ(store.size(), 2u);
+    }
+    exp::ResultStore reopened(dir.path());
+    EXPECT_EQ(reopened.size(), 2u);
+    exp::Result out;
+    ASSERT_TRUE(reopened.lookup(digestOf('a'), out));
+    EXPECT_TRUE(out.fromCache);
+    EXPECT_EQ(out.run.insts, 1000u);
+    EXPECT_EQ(out.counters, sampleResult(1000).counters);
+    EXPECT_EQ(reopened.stats().hits, 1u);
+    EXPECT_FALSE(reopened.lookup(digestOf('z'), out));
+    EXPECT_EQ(reopened.stats().misses, 1u);
+}
+
+TEST(ResultStore, LruOrderSurvivesReopen)
+{
+    ScratchStore dir("test_store_lru");
+    {
+        exp::ResultStore store(dir.path());
+        store.put(digestOf('a'), sampleResult(1));
+        store.put(digestOf('b'), sampleResult(2));
+        store.put(digestOf('c'), sampleResult(3));
+        // Touch 'a': it becomes most-recent, 'b' is now the LRU tail.
+        exp::Result out;
+        ASSERT_TRUE(store.lookup(digestOf('a'), out));
+    }
+    // Reopen with a cap of 2: replaying the journal must evict 'b'
+    // (the true LRU), not 'a' (which the touch refreshed).
+    exp::ResultStore capped(dir.path(), 2);
+    EXPECT_EQ(capped.size(), 2u);
+    exp::Result out;
+    EXPECT_TRUE(capped.lookup(digestOf('a'), out));
+    EXPECT_TRUE(capped.lookup(digestOf('c'), out));
+    EXPECT_FALSE(capped.lookup(digestOf('b'), out));
+}
+
+TEST(ResultStore, EvictionIsJournaledNotJustInMemory)
+{
+    ScratchStore dir("test_store_evict_journal");
+    {
+        exp::ResultStore store(dir.path(), 1);
+        store.put(digestOf('a'), sampleResult(1));
+        store.put(digestOf('b'), sampleResult(2));
+        EXPECT_EQ(store.size(), 1u);
+        EXPECT_EQ(store.stats().evictions, 1u);
+    }
+    // Uncapped reopen: 'a' must stay gone.
+    exp::ResultStore reopened(dir.path());
+    EXPECT_EQ(reopened.size(), 1u);
+    exp::Result out;
+    EXPECT_FALSE(reopened.lookup(digestOf('a'), out));
+    EXPECT_TRUE(reopened.lookup(digestOf('b'), out));
+}
+
+TEST(ResultStore, MigratesLegacyV6File)
+{
+    ScratchStore dir("test_store_migrate");
+    const char *legacy = "test_store_legacy_cache.txt";
+    std::remove(legacy);
+    {
+        std::FILE *f = std::fopen(legacy, "w");
+        ASSERT_NE(f, nullptr);
+        std::fprintf(f, "%s\n", exp::ResultStore::kLegacyHeader);
+        std::fprintf(f, "# {\"schema\": \"acp-manifest-v1\"}\n");
+        std::fprintf(f, "%s %s\n", digestOf('a').c_str(),
+                     exp::encodeResultTokens(sampleResult(1234)).c_str());
+        std::fprintf(f, "not-a-digest bogus line\n");
+        std::fclose(f);
+    }
+
+    exp::ResultStore store(dir.path(), 0, legacy);
+    EXPECT_TRUE(store.migratedLegacy());
+    EXPECT_EQ(store.size(), 1u);
+    exp::Result out;
+    ASSERT_TRUE(store.lookup(digestOf('a'), out));
+    EXPECT_EQ(out.run.insts, 1234u);
+
+    // Migration is one-shot: the imported entries now live in the
+    // store's own files and survive without the legacy file.
+    std::remove(legacy);
+    exp::ResultStore reopened(dir.path(), 0, legacy);
+    EXPECT_FALSE(reopened.migratedLegacy());
+    EXPECT_EQ(reopened.size(), 1u);
+}
+
+TEST(ResultStore, StaleLegacyFormatIsIgnored)
+{
+    ScratchStore dir("test_store_stale");
+    const char *legacy = "test_store_stale_cache.txt";
+    std::remove(legacy);
+    {
+        std::FILE *f = std::fopen(legacy, "w");
+        ASSERT_NE(f, nullptr);
+        std::fprintf(f, "mcf|pol0|l2_262144|ruu128_64=9.999\n");
+        std::fclose(f);
+    }
+    exp::ResultStore store(dir.path(), 0, legacy);
+    EXPECT_FALSE(store.migratedLegacy());
+    EXPECT_EQ(store.size(), 0u);
+    std::remove(legacy);
+}
+
+TEST(ResultStore, CompactionKeepsEveryLiveEntry)
+{
+    ScratchStore dir("test_store_compact");
+    {
+        exp::ResultStore store(dir.path(), 1);
+        // Each put past the cap evicts the previous entry: dead
+        // journal records pile up until compaction rewrites both
+        // files around the live set.
+        for (char c = 'a'; c <= 'z'; ++c)
+            store.put(digestOf(c), sampleResult(std::uint64_t(c)));
+        EXPECT_EQ(store.size(), 1u);
+        EXPECT_EQ(store.stats().evictions, 25u);
+    }
+    exp::ResultStore reopened(dir.path());
+    EXPECT_EQ(reopened.size(), 1u);
+    exp::Result out;
+    ASSERT_TRUE(reopened.lookup(digestOf('z'), out));
+    EXPECT_EQ(out.run.insts, std::uint64_t('z'));
+
+    // The journal stayed bounded: far fewer lines than 26 puts + 25
+    // evictions would have appended without compaction.
+    std::FILE *f = std::fopen((dir.path() + "/index.txt").c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    int lines = 0;
+    for (int ch; (ch = std::fgetc(f)) != EOF;)
+        if (ch == '\n')
+            ++lines;
+    std::fclose(f);
+    EXPECT_LT(lines, 26);
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Integration tests for the acpsimd daemon: a real daemon process is
+ * spawned (ACPSIMD_PATH, injected by CMake) and exercised over its
+ * Unix socket. Covers the acceptance scenario — two concurrent
+ * clients with overlapping sweeps receive results bit-identical to
+ * the in-process engine while the shared store proves every unique
+ * digest was simulated exactly once — plus worker-death recovery
+ * (a wedged worker's lease expires, its point re-queues and
+ * completes) and version negotiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/sockline.hh"
+#include "exp/request.hh"
+#include "exp/submit.hh"
+
+using namespace acp;
+
+namespace
+{
+
+/** Spawn a real acpsimd; kill + reap + scrub its files on teardown. */
+class DaemonProc
+{
+  public:
+    DaemonProc(const char *tag, std::vector<std::string> extra_args = {},
+               unsigned workers = 2)
+        : socket_(std::string(tag) + ".sock"),
+          store_(std::string(tag) + "_store")
+    {
+        cleanupFiles();
+        std::vector<std::string> args = {
+            ACPSIMD_PATH, "--socket",  socket_,
+            "--store",    store_,      "--workers",
+            std::to_string(workers)};
+        for (const std::string &a : extra_args)
+            args.push_back(a);
+        pid_ = ::fork();
+        if (pid_ == 0) {
+            std::vector<char *> argv;
+            for (std::string &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(ACPSIMD_PATH, argv.data());
+            ::_exit(127);
+        }
+    }
+
+    ~DaemonProc()
+    {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGTERM);
+            int status = 0;
+            for (int i = 0; i < 50; ++i) {
+                if (::waitpid(pid_, &status, WNOHANG) == pid_) {
+                    pid_ = -1;
+                    break;
+                }
+                ::usleep(100 * 1000);
+            }
+            if (pid_ > 0) {
+                ::kill(pid_, SIGKILL);
+                ::waitpid(pid_, &status, 0);
+            }
+        }
+        cleanupFiles();
+    }
+
+    /** Block until the socket accepts connections (daemon ready). */
+    bool
+    waitReady(int seconds = 20)
+    {
+        for (int i = 0; i < seconds * 20; ++i) {
+            int fd = net::unixConnect(socket_);
+            if (fd >= 0) {
+                net::writeLine(fd, "{\"op\":\"bye\"}");
+                ::close(fd);
+                return true;
+            }
+            ::usleep(50 * 1000);
+        }
+        return false;
+    }
+
+    const std::string &socket() const { return socket_; }
+    const std::string &store() const { return store_; }
+
+  private:
+    void
+    cleanupFiles()
+    {
+        std::remove(socket_.c_str());
+        std::remove((store_ + "/index.txt").c_str());
+        std::remove((store_ + "/data.txt").c_str());
+        ::rmdir(store_.c_str());
+    }
+
+    std::string socket_;
+    std::string store_;
+    pid_t pid_ = -1;
+};
+
+/** Remote-eligible 2-variant request over the given workloads. */
+exp::Request
+sweepRequest(const std::vector<std::string> &names)
+{
+    sim::SimConfig cfg;
+    cfg.memoryBytes = 16ULL << 20;
+    cfg.protectedBytes = cfg.memoryBytes;
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 128 * 1024;
+
+    exp::Request req;
+    req.base(cfg).params(params).window(2000, 3000);
+    req.workloads(names);
+    req.variant("base", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kBaseline;
+    });
+    req.variant("commit", [](sim::SimConfig &c) {
+        c.policy = core::AuthPolicy::kAuthThenCommit;
+    });
+    req.store.clear();
+    req.progress = false;
+    req.jobs = 1;
+    return req;
+}
+
+void
+expectBitIdentical(const exp::Submission &remote,
+                   const exp::Submission &local)
+{
+    ASSERT_TRUE(remote.ok) << remote.error;
+    ASSERT_TRUE(local.ok) << local.error;
+    ASSERT_EQ(remote.results.size(), local.results.size());
+    for (std::size_t i = 0; i < local.results.size(); ++i) {
+        const exp::Result &r = remote.results[i];
+        const exp::Result &l = local.results[i];
+        EXPECT_EQ(r.run.insts, l.run.insts) << "point " << i;
+        EXPECT_EQ(r.run.cycles, l.run.cycles) << "point " << i;
+        EXPECT_EQ(r.run.ipc, l.run.ipc) << "point " << i;
+        EXPECT_EQ(r.run.reason, l.run.reason) << "point " << i;
+        EXPECT_EQ(r.counters, l.counters) << "point " << i;
+        EXPECT_EQ(exp::pointDigest(remote.points[i]),
+                  exp::pointDigest(local.points[i]))
+            << "point " << i;
+    }
+}
+
+TEST(Acpsimd, TwoOverlappingClientsBitIdenticalOneSimPerDigest)
+{
+    DaemonProc daemon("test_svc_dedupe");
+    ASSERT_TRUE(daemon.waitReady());
+
+    // Overlap: both clients sweep "swim" under identical configs.
+    exp::Request req_a = sweepRequest({"mcf", "swim"});
+    exp::Request req_b = sweepRequest({"swim", "art"});
+
+    // In-process references (no store, no daemon).
+    exp::Submission local_a = exp::submit(req_a);
+    exp::Submission local_b = exp::submit(req_b);
+
+    // Concurrent daemon clients.
+    exp::Submission remote_a, remote_b;
+    std::thread ta([&] {
+        remote_a = exp::submitRemote(req_a, daemon.socket());
+    });
+    std::thread tb([&] {
+        remote_b = exp::submitRemote(req_b, daemon.socket());
+    });
+    ta.join();
+    tb.join();
+
+    expectBitIdentical(remote_a, local_a);
+    expectBitIdentical(remote_b, local_b);
+
+    // Store telemetry proves zero redundant simulations: 8 submitted
+    // points but only 6 unique digests, so the shared store holds
+    // exactly 6 entries — each simulated once, whether the overlap
+    // was deduplicated in-flight or served as a store hit.
+    ASSERT_TRUE(remote_a.telemetry.hasCacheStats);
+    ASSERT_TRUE(remote_b.telemetry.hasCacheStats);
+    std::uint64_t stores = std::max(remote_a.telemetry.cacheStats.stores,
+                                    remote_b.telemetry.cacheStats.stores);
+    EXPECT_EQ(stores, 6u);
+    EXPECT_EQ(remote_a.telemetry.cached + remote_a.telemetry.simulated,
+              remote_a.points.size());
+
+    // A third client over the same sweep is served entirely from the
+    // store, without touching a worker.
+    exp::Submission replay = exp::submitRemote(req_a, daemon.socket());
+    expectBitIdentical(replay, local_a);
+    EXPECT_EQ(replay.telemetry.cached, replay.points.size());
+    EXPECT_EQ(replay.telemetry.simulated, 0u);
+}
+
+TEST(Acpsimd, WedgedWorkerLeaseExpiresAndPointCompletes)
+{
+    // One worker, an aggressive 1-second lease, retries allowed.
+    DaemonProc daemon("test_svc_lease",
+                      {"--lease", "1", "--retries", "3"}, 1);
+    ASSERT_TRUE(daemon.waitReady());
+
+    // Find the worker pid through a stats frame and wedge it.
+    int fd = net::unixConnect(daemon.socket());
+    ASSERT_GE(fd, 0);
+    net::LineReader reader(fd);
+    net::writeLine(fd, "{\"rpc\":\"acp-rpc-v1\",\"op\":\"hello\","
+                       "\"versionMin\":1,\"versionMax\":1,"
+                       "\"client\":\"test\"}");
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line));
+    net::writeLine(fd, "{\"op\":\"stats\",\"id\":\"s\"}");
+    ASSERT_TRUE(reader.readLine(line));
+    json::Value stats;
+    std::string err;
+    ASSERT_TRUE(json::parse(line, stats, &err)) << err;
+    const json::Value *workers = stats.find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_FALSE(workers->items.empty());
+    pid_t worker_pid =
+        pid_t(workers->items[0].find("pid")->asU64());
+    ASSERT_GT(worker_pid, 0);
+    ASSERT_EQ(::kill(worker_pid, SIGSTOP), 0);
+    net::writeLine(fd, "{\"op\":\"bye\"}");
+    ::close(fd);
+
+    // Submit against the wedged worker: the lease must expire, the
+    // daemon must SIGKILL + respawn it, and the point must still
+    // complete — bit-identical to the local engine.
+    exp::Request req = sweepRequest({"mcf"});
+    exp::Submission local = exp::submit(req);
+    exp::Submission remote = exp::submitRemote(req, daemon.socket());
+    expectBitIdentical(remote, local);
+    EXPECT_EQ(remote.telemetry.cached + remote.telemetry.simulated,
+              remote.points.size());
+}
+
+TEST(Acpsimd, HelloVersionMismatchIsRejected)
+{
+    DaemonProc daemon("test_svc_version", {}, 1);
+    ASSERT_TRUE(daemon.waitReady());
+
+    int fd = net::unixConnect(daemon.socket());
+    ASSERT_GE(fd, 0);
+    net::LineReader reader(fd);
+    net::writeLine(fd, "{\"rpc\":\"acp-rpc-v1\",\"op\":\"hello\","
+                       "\"versionMin\":2,\"versionMax\":9}");
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line));
+    json::Value frame;
+    std::string err;
+    ASSERT_TRUE(json::parse(line, frame, &err)) << err;
+    const json::Value *op = frame.find("op");
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->str, "error");
+    const json::Value *code = frame.find("code");
+    ASSERT_NE(code, nullptr);
+    EXPECT_EQ(code->str, "version");
+    ::close(fd);
+
+    // The daemon survives the rejection and still serves work.
+    exp::Request req = sweepRequest({"gap"});
+    exp::Submission local = exp::submit(req);
+    exp::Submission remote = exp::submitRemote(req, daemon.socket());
+    expectBitIdentical(remote, local);
+}
+
+TEST(Acpsimd, SubmitRejectsLocalOnlyRequests)
+{
+    DaemonProc daemon("test_svc_reject", {}, 1);
+    ASSERT_TRUE(daemon.waitReady());
+
+    exp::Request req = sweepRequest({"mcf"});
+    req.captureStatsText = true;
+    exp::Submission sub = exp::submitRemote(req, daemon.socket());
+    EXPECT_FALSE(sub.ok);
+    EXPECT_NE(sub.error.find("not daemon-eligible"), std::string::npos)
+        << sub.error;
+}
+
+} // namespace

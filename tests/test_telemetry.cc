@@ -5,7 +5,7 @@
  * well-formed JSONL and strictly passive (a heartbeat run is
  * bit-identical to a silent one; a run shorter than one interval
  * emits only run_start/run_end), the sim.host.* self-metrics satisfy
- * their partition invariants, the result cache counts hits/misses and
+ * their partition invariants, the result store counts hits/misses and
  * carries a provenance comment, and the sweep JSON gains the v3
  * manifest + telemetry blocks without perturbing any result.
  */
@@ -18,9 +18,12 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/stats.hh"
-#include "exp/runner.hh"
-#include "exp/sweep.hh"
+#include "exp/request.hh"
+#include "exp/result_store.hh"
+#include "exp/submit.hh"
 #include "mem/txn.hh"
 #include "obs/heartbeat.hh"
 #include "obs/manifest.hh"
@@ -53,15 +56,54 @@ smallPoint(const char *workload = "mcf")
     return point;
 }
 
-exp::RunnerOptions
-quietOptions(unsigned jobs = 1)
+/** Request for one workload with the smallPoint window; no store. */
+exp::Request
+smallRequest(const char *workload = "mcf")
 {
-    exp::RunnerOptions opts;
-    opts.jobs = jobs;
-    opts.cacheFile.clear();
-    opts.progress = false;
-    return opts;
+    exp::Request req;
+    workloads::WorkloadParams params;
+    params.workingSetBytes = 128 * 1024;
+    req.base(smallConfig()).params(params).window(2000, 3000);
+    req.workload(workload);
+    req.jobs = 1;
+    req.store.clear();
+    req.progress = false;
+    return req;
 }
+
+/** RAII scratch result-store directory. */
+class ScratchStore
+{
+  public:
+    explicit ScratchStore(const char *name) : path_(name) { clear(); }
+    ~ScratchStore() { clear(); }
+    const std::string &path() const { return path_; }
+
+    std::string
+    indexContents() const
+    {
+        std::FILE *f = std::fopen((path_ + "/index.txt").c_str(), "rb");
+        if (!f)
+            return {};
+        std::string text;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        return text;
+    }
+
+  private:
+    void
+    clear()
+    {
+        std::remove((path_ + "/index.txt").c_str());
+        std::remove((path_ + "/data.txt").c_str());
+        ::rmdir(path_.c_str());
+    }
+    std::string path_;
+};
 
 /** RAII scratch file. */
 class ScratchFile
@@ -144,22 +186,18 @@ TEST(Manifest, JsonLineAndTextCarryTheSha)
 
 TEST(Heartbeat, StreamIsWellFormedAndPassive)
 {
-    exp::Point point = smallPoint();
-
     // Silent reference run.
-    exp::Runner silent(quietOptions());
-    exp::Result ref = silent.run(point);
+    exp::Result ref = exp::submit(smallRequest()).results[0];
 
     // Heartbeat run: period far below the window so ticks fire.
     ScratchFile jsonl("test_heartbeat_stream.jsonl");
     {
         auto sink = obs::Heartbeat::open(jsonl.path());
         ASSERT_NE(sink, nullptr);
-        exp::RunnerOptions opts = quietOptions();
-        opts.heartbeat = sink.get();
-        opts.heartbeatPeriod = 500;
-        exp::Runner runner(opts);
-        exp::Result res = runner.run(point);
+        exp::Request req = smallRequest();
+        req.heartbeat = sink.get();
+        req.heartbeatPeriod = 500;
+        exp::Result res = exp::submit(req).results[0];
 
         // Passive contract: final stats equal the silent run, bit for
         // bit, down to every captured counter.
@@ -191,11 +229,10 @@ TEST(Heartbeat, TickCyclesAreMonotone)
     {
         auto sink = obs::Heartbeat::open(jsonl.path());
         ASSERT_NE(sink, nullptr);
-        exp::RunnerOptions opts = quietOptions();
-        opts.heartbeat = sink.get();
-        opts.heartbeatPeriod = 300;
-        exp::Runner runner(opts);
-        runner.run(smallPoint());
+        exp::Request req = smallRequest();
+        req.heartbeat = sink.get();
+        req.heartbeatPeriod = 300;
+        exp::submit(req);
     }
     // Walk the "cycle": fields of tick records in stream order.
     std::string text = jsonl.contents();
@@ -221,12 +258,11 @@ TEST(Heartbeat, RunShorterThanOneIntervalEmitsNoTicks)
     {
         auto sink = obs::Heartbeat::open(jsonl.path());
         ASSERT_NE(sink, nullptr);
-        exp::RunnerOptions opts = quietOptions();
-        opts.heartbeat = sink.get();
+        exp::Request req = smallRequest();
+        req.heartbeat = sink.get();
         // Period far beyond the whole window: no boundary is crossed.
-        opts.heartbeatPeriod = 1ULL << 40;
-        exp::Runner runner(opts);
-        exp::Result res = runner.run(smallPoint());
+        req.heartbeatPeriod = 1ULL << 40;
+        exp::Result res = exp::submit(req).results[0];
         EXPECT_GT(res.run.insts, 0u);
     }
     std::string text = jsonl.contents();
@@ -238,20 +274,18 @@ TEST(Heartbeat, RunShorterThanOneIntervalEmitsNoTicks)
 
 TEST(Heartbeat, PointsAndCacheSplitAccumulate)
 {
-    // 2-point sweep through a cache: second run is fully cached, and
+    // 2-point sweep through a store: second run is fully cached, and
     // the sweep_end must say so.
-    ScratchFile cache("test_heartbeat_cache.txt");
+    ScratchStore store("test_heartbeat_store");
     ScratchFile jsonl("test_heartbeat_sweep.jsonl");
-    std::vector<exp::Point> points = {smallPoint("mcf"),
-                                      smallPoint("swim")};
     {
         auto sink = obs::Heartbeat::open(jsonl.path());
-        exp::RunnerOptions opts = quietOptions();
-        opts.cacheFile = cache.path();
-        opts.heartbeat = sink.get();
-        exp::Runner runner(opts);
-        runner.run(points);
-        runner.run(points); // all hits
+        exp::Request req = smallRequest();
+        req.workloadNames = {"mcf", "swim"};
+        req.store = store.path();
+        req.heartbeat = sink.get();
+        exp::submit(req);
+        exp::submit(req); // all hits
     }
     std::string text = jsonl.contents();
     EXPECT_EQ(countRecords(text, "sweep_start"), 2u);
@@ -347,52 +381,60 @@ TEST(HostStats, ArenaHighWaterIsMonotone)
     EXPECT_LE(after.live, after.liveHighWater);
 }
 
-// ----- result cache telemetry --------------------------------------------
+// ----- result store telemetry --------------------------------------------
 
-TEST(CacheTelemetry, CountsHitsMissesAndWritesProvenance)
+TEST(StoreTelemetry, CountsHitsMissesAndWritesProvenance)
 {
-    ScratchFile cache("test_cache_telemetry.txt");
-    exp::RunnerOptions opts = quietOptions();
-    opts.cacheFile = cache.path();
-    exp::Runner runner(opts);
-    exp::Point point = smallPoint();
+    ScratchStore store("test_store_telemetry");
+    exp::Request req = smallRequest();
+    req.store = store.path();
 
-    runner.run(point); // miss + store
-    runner.run(point); // hit
-    ASSERT_NE(runner.cache(), nullptr);
-    exp::ResultCache::Stats stats = runner.cache()->stats();
-    EXPECT_EQ(stats.hits, 1u);
-    EXPECT_EQ(stats.misses, 1u);
-    EXPECT_EQ(stats.stores, 1u);
-    EXPECT_EQ(stats.evictions, 0u);
+    exp::Submission first = exp::submit(req);  // miss + store
+    exp::Submission second = exp::submit(req); // hit
+    ASSERT_TRUE(first.telemetry.hasCacheStats);
+    EXPECT_EQ(first.telemetry.cacheStats.hits, 0u);
+    EXPECT_EQ(first.telemetry.cacheStats.misses, 1u);
+    EXPECT_EQ(first.telemetry.cacheStats.stores, 1u);
+    ASSERT_TRUE(second.telemetry.hasCacheStats);
+    EXPECT_EQ(second.telemetry.cacheStats.hits, 1u);
+    EXPECT_EQ(second.telemetry.cacheStats.misses, 0u);
+    EXPECT_EQ(second.telemetry.cacheStats.evictions, 0u);
 
-    // The file leads with the version header, then the provenance
-    // comment — and a fresh cache still loads it cleanly.
-    std::string text = cache.contents();
-    EXPECT_EQ(text.rfind("acp-cache-v6\n", 0), 0u);
+    // The index leads with the version header, then the provenance
+    // comment — and a fresh store still loads it cleanly.
+    std::string text = store.indexContents();
+    EXPECT_EQ(text.rfind("acp-store-v1\n", 0), 0u);
     EXPECT_NE(text.find("\n# {\"schema\": \"acp-manifest-v1\""),
               std::string::npos);
-    exp::ResultCache reload(cache.path());
+    exp::ResultStore reload(store.path());
     EXPECT_EQ(reload.size(), 1u);
 }
 
-TEST(CacheTelemetry, EvictionCapBoundsResidentEntries)
+TEST(StoreTelemetry, EvictionCapIsPersistent)
 {
-    ScratchFile cache("test_cache_evict.txt");
-    setenv("ACP_CACHE_MAX_ENTRIES", "1", 1);
-    exp::ResultCache store(cache.path());
-    unsetenv("ACP_CACHE_MAX_ENTRIES");
+    ScratchStore dir("test_store_evict");
+    {
+        setenv("ACP_CACHE_MAX_ENTRIES", "1", 1);
+        exp::ResultStore store(dir.path());
+        unsetenv("ACP_CACHE_MAX_ENTRIES");
 
-    exp::Result result;
-    result.run.insts = 1;
-    store.store(std::string(64, 'a'), result);
-    store.store(std::string(64, 'b'), result);
-    EXPECT_EQ(store.size(), 1u);
-    EXPECT_EQ(store.stats().evictions, 1u);
+        exp::Result result;
+        result.run.insts = 1;
+        store.put(std::string(64, 'a'), result);
+        store.put(std::string(64, 'b'), result);
+        EXPECT_EQ(store.size(), 1u);
+        EXPECT_EQ(store.stats().evictions, 1u);
+    }
 
-    // The file keeps every line: a fresh, uncapped cache sees both.
-    exp::ResultCache reload(cache.path());
-    EXPECT_EQ(reload.size(), 2u);
+    // The eviction is journaled: a fresh, *uncapped* store sees only
+    // the surviving entry (the old flat-file cache re-served evicted
+    // entries after reopen).
+    exp::ResultStore reload(dir.path());
+    EXPECT_EQ(reload.size(), 1u);
+    exp::Result out;
+    EXPECT_FALSE(reload.lookup(std::string(64, 'a'), out));
+    EXPECT_TRUE(reload.lookup(std::string(64, 'b'), out));
+    EXPECT_EQ(out.run.insts, 1u);
 }
 
 // ----- sweep JSON v3 -----------------------------------------------------
@@ -400,19 +442,18 @@ TEST(CacheTelemetry, EvictionCapBoundsResidentEntries)
 TEST(SweepJson, CarriesManifestAndTelemetry)
 {
     ScratchFile json("test_sweep_v3.json");
-    exp::Runner runner(quietOptions());
-    std::vector<exp::Point> points = {smallPoint()};
-    std::vector<exp::Result> results = runner.run(points);
+    exp::Submission sub = exp::submit(smallRequest());
+    const std::vector<exp::Point> &points = sub.points;
+    const std::vector<exp::Result> &results = sub.results;
 
-    const exp::SweepTelemetry &tel = runner.lastTelemetry();
+    const exp::SweepTelemetry &tel = sub.telemetry;
     EXPECT_EQ(tel.total, 1u);
     EXPECT_EQ(tel.cached, 0u);
     EXPECT_EQ(tel.simulated, 1u);
     EXPECT_GT(tel.wallMax, 0.0);
     EXPECT_GE(tel.wallP90, tel.wallP50);
 
-    ASSERT_TRUE(
-        exp::Runner::writeJson(json.path(), points, results, &tel));
+    ASSERT_TRUE(exp::writeJson(json.path(), points, results, &tel));
     std::string text = json.contents();
     EXPECT_NE(text.find("\"version\": \"acp-exp-v3\""),
               std::string::npos);
@@ -424,7 +465,7 @@ TEST(SweepJson, CarriesManifestAndTelemetry)
 
     // Without a telemetry block the manifest still rides along.
     ScratchFile plain("test_sweep_v3_plain.json");
-    ASSERT_TRUE(exp::Runner::writeJson(plain.path(), points, results));
+    ASSERT_TRUE(exp::writeJson(plain.path(), points, results));
     std::string plain_text = plain.contents();
     EXPECT_NE(plain_text.find("\"manifest\": {"), std::string::npos);
     EXPECT_EQ(plain_text.find("\"telemetry\""), std::string::npos);

@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Validate an acpsimd --transcript JSONL log (protocol acp-rpc-v1).
+
+Stdlib-only structural + invariant checker, run by CI against the
+daemon smoke transcript. Each transcript line wraps one wire frame:
+
+  {"dir": "in"|"out", "conn": N, "wall": <epoch-secs>, "frame": {...}}
+
+Checked invariants (docs/RPC.md is the normative spec):
+
+  - every line parses as one JSON object with dir/conn/wall and a
+    "frame" object carrying a known "op";
+  - per connection, the first inbound frame is a hello naming
+    rpc "acp-rpc-v1", and the first outbound frame answers it with
+    hello_ok (version 1) or an error;
+  - every submit is answered by accepted (echoing its id, with a
+    positive point count) or by an error;
+  - per submission: point_done indexes stay within [0, points), no
+    index completes twice, digests are 64-hex, fromCache is a bool;
+  - the done frame's total matches the accepted point count, its
+    cached + simulated split adds up, and it carries the store
+    telemetry block (hits/misses/stores/evictions);
+  - hb relays and error frames are well-formed.
+
+Exit status 0 = valid; any violation prints a diagnostic and exits 1.
+
+Usage: tools/check_rpc.py transcript.jsonl [more.jsonl ...]
+       tools/check_rpc.py --self-test
+"""
+
+import json
+import sys
+
+IN_OPS = {"hello", "submit", "stats", "bye"}
+OUT_OPS = {"hello_ok", "accepted", "hb", "point_done", "done", "error",
+           "stats_ok"}
+STORE_KEYS = ("hits", "misses", "stores", "evictions")
+
+
+def fail(msg):
+    print(f"check_rpc: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_hex_digest(s):
+    return (isinstance(s, str) and len(s) == 64
+            and all(c in "0123456789abcdef" for c in s))
+
+
+def check_stream(lines, where):
+    records = []
+    for n, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{where}:{n}: not valid JSON: {exc}")
+        if not isinstance(rec, dict):
+            fail(f"{where}:{n}: line is not a JSON object")
+        direction = rec.get("dir")
+        if direction not in ("in", "out"):
+            fail(f"{where}:{n}: dir {direction!r} is not 'in'/'out'")
+        if not isinstance(rec.get("conn"), int) or rec["conn"] <= 0:
+            fail(f"{where}:{n}: conn {rec.get('conn')!r} is not a "
+                 f"positive int")
+        if not isinstance(rec.get("wall"), (int, float)):
+            fail(f"{where}:{n}: missing numeric 'wall' timestamp")
+        frame = rec.get("frame")
+        if not isinstance(frame, dict):
+            fail(f"{where}:{n}: missing 'frame' object")
+        op = frame.get("op")
+        known = IN_OPS if direction == "in" else OUT_OPS
+        if op not in known:
+            fail(f"{where}:{n}: unknown {direction}bound op {op!r}")
+        records.append((n, direction, rec["conn"], frame))
+
+    if not records:
+        fail(f"{where}: empty transcript")
+
+    # Per-connection handshake state and per-(conn, id) submissions.
+    hello = {}          # conn -> "sent" | "ok" | "rejected"
+    subs = {}           # (conn, id) -> {"points": N, "done": set,
+    #                                    "finished": bool}
+    frames = 0
+    for n, direction, conn, frame in records:
+        frames += 1
+        op = frame["op"]
+        state = hello.get(conn)
+        if direction == "in":
+            if op == "hello":
+                if state is not None:
+                    fail(f"{where}:{n}: conn {conn}: duplicate hello")
+                if frame.get("rpc") != "acp-rpc-v1":
+                    fail(f"{where}:{n}: hello rpc is "
+                         f"{frame.get('rpc')!r}")
+                for k in ("versionMin", "versionMax"):
+                    if not isinstance(frame.get(k), int):
+                        fail(f"{where}:{n}: hello missing int {k!r}")
+                hello[conn] = "sent"
+            elif state is None:
+                fail(f"{where}:{n}: conn {conn}: {op} before hello")
+            elif op == "submit":
+                sid = frame.get("id")
+                if not isinstance(sid, str) or not sid:
+                    fail(f"{where}:{n}: submit without a string id")
+                if (conn, sid) in subs:
+                    fail(f"{where}:{n}: conn {conn}: duplicate "
+                         f"submit id {sid!r}")
+                request = frame.get("request")
+                if not isinstance(request, dict):
+                    fail(f"{where}:{n}: submit without an embedded "
+                         f"request object")
+                if request.get("schema") != "acp-request-v1":
+                    fail(f"{where}:{n}: request schema is "
+                         f"{request.get('schema')!r}")
+                subs[(conn, sid)] = None  # awaiting accepted/error
+        else:
+            if op == "hello_ok":
+                if state != "sent":
+                    fail(f"{where}:{n}: conn {conn}: hello_ok without "
+                         f"a pending hello")
+                if frame.get("version") != 1:
+                    fail(f"{where}:{n}: hello_ok version "
+                         f"{frame.get('version')!r} != 1")
+                if frame.get("server") != "acpsimd":
+                    fail(f"{where}:{n}: hello_ok server "
+                         f"{frame.get('server')!r}")
+                hello[conn] = "ok"
+            elif op == "accepted":
+                sid = frame.get("id")
+                key = (conn, sid)
+                if key not in subs or subs[key] is not None:
+                    fail(f"{where}:{n}: accepted for unknown "
+                         f"submit id {sid!r}")
+                points = frame.get("points")
+                if not isinstance(points, int) or points <= 0:
+                    fail(f"{where}:{n}: accepted points {points!r} is "
+                         f"not a positive int")
+                subs[key] = {"points": points, "done": set(),
+                             "finished": False}
+            elif op == "point_done":
+                sub = subs.get((conn, frame.get("id")))
+                if not isinstance(sub, dict):
+                    fail(f"{where}:{n}: point_done for unaccepted "
+                         f"id {frame.get('id')!r}")
+                idx = frame.get("index")
+                if not isinstance(idx, int) or \
+                        not 0 <= idx < sub["points"]:
+                    fail(f"{where}:{n}: point_done index {idx!r} out "
+                         f"of range [0, {sub['points']})")
+                if idx in sub["done"]:
+                    fail(f"{where}:{n}: point_done index {idx} "
+                         f"delivered twice")
+                if not is_hex_digest(frame.get("digest")):
+                    fail(f"{where}:{n}: point_done digest "
+                         f"{frame.get('digest')!r} is not 64-hex")
+                if not isinstance(frame.get("fromCache"), bool):
+                    fail(f"{where}:{n}: point_done fromCache is not "
+                         f"a bool")
+                if not isinstance(frame.get("line"), str):
+                    fail(f"{where}:{n}: point_done missing payload "
+                         f"'line'")
+                sub["done"].add(idx)
+            elif op == "done":
+                sub = subs.get((conn, frame.get("id")))
+                if not isinstance(sub, dict):
+                    fail(f"{where}:{n}: done for unaccepted id "
+                         f"{frame.get('id')!r}")
+                if sub["finished"]:
+                    fail(f"{where}:{n}: duplicate done for id "
+                         f"{frame.get('id')!r}")
+                total = frame.get("total")
+                if total != sub["points"]:
+                    fail(f"{where}:{n}: done total {total!r} != "
+                         f"accepted points {sub['points']}")
+                if len(sub["done"]) != total:
+                    fail(f"{where}:{n}: done after "
+                         f"{len(sub['done'])}/{total} point_done "
+                         f"frames")
+                cached = frame.get("cached")
+                simulated = frame.get("simulated")
+                if not isinstance(cached, int) or \
+                        not isinstance(simulated, int) or \
+                        cached + simulated != total:
+                    fail(f"{where}:{n}: cached {cached!r} + simulated "
+                         f"{simulated!r} != total {total}")
+                store = frame.get("store")
+                if not isinstance(store, dict):
+                    fail(f"{where}:{n}: done missing store telemetry")
+                for k in STORE_KEYS:
+                    if not isinstance(store.get(k), int) or \
+                            store[k] < 0:
+                        fail(f"{where}:{n}: store.{k} "
+                             f"{store.get(k)!r} is not a "
+                             f"non-negative int")
+                sub["finished"] = True
+            elif op == "hb":
+                if not isinstance(frame.get("line"), str):
+                    fail(f"{where}:{n}: hb frame missing 'line'")
+            elif op == "error":
+                for k in ("code", "message"):
+                    if not isinstance(frame.get(k), str):
+                        fail(f"{where}:{n}: error missing {k!r}")
+                # An error may reject a pending submit.
+                key = (conn, frame.get("id"))
+                if key in subs and subs[key] is None:
+                    subs[key] = {"points": 0, "done": set(),
+                                 "finished": True}
+            elif op == "stats_ok":
+                if not isinstance(frame.get("store"), dict):
+                    fail(f"{where}:{n}: stats_ok missing store block")
+                if not isinstance(frame.get("workers"), list):
+                    fail(f"{where}:{n}: stats_ok missing workers list")
+
+    unanswered = [k for k, v in subs.items() if v is None]
+    if unanswered:
+        fail(f"{where}: submits never answered by accepted/error: "
+             f"{unanswered}")
+    unfinished = [k for k, v in subs.items()
+                  if isinstance(v, dict) and not v["finished"]]
+    if unfinished:
+        fail(f"{where}: submissions never closed by done: {unfinished}")
+    finished = sum(1 for v in subs.values()
+                   if isinstance(v, dict) and v["points"] > 0)
+    return finished, frames
+
+
+def check_file(path):
+    with open(path) as handle:
+        done, frames = check_stream(handle.readlines(), path)
+    print(f"check_rpc: OK: {path}: {done} submission(s), "
+          f"{frames} frame(s)")
+
+
+def self_test():
+    """Hermetic checks of the checker itself (run by ctest)."""
+
+    def stream_ok(lines):
+        try:
+            check_stream(lines, "<self-test>")
+            return True
+        except SystemExit:
+            return False
+
+    def rec(direction, conn, frame, wall=1.0):
+        return json.dumps({"dir": direction, "conn": conn,
+                           "wall": wall, "frame": frame})
+
+    digest_a = "a" * 64
+    digest_b = "b" * 64
+    good = [
+        rec("in", 1, {"op": "hello", "rpc": "acp-rpc-v1",
+                      "versionMin": 1, "versionMax": 1,
+                      "client": "acpsim"}),
+        rec("out", 1, {"op": "hello_ok", "version": 1,
+                       "server": "acpsimd", "workers": 2}),
+        rec("in", 1, {"op": "submit", "id": "s1", "subscribe": True,
+                      "request": {"schema": "acp-request-v1",
+                                  "workloads": ["mcf"]}}),
+        rec("out", 1, {"op": "accepted", "id": "s1", "points": 2}),
+        rec("out", 1, {"op": "hb", "id": "s1",
+                       "line": "{\"t\":\"tick\"}"}),
+        rec("out", 1, {"op": "point_done", "id": "s1", "index": 0,
+                       "digest": digest_a, "fromCache": False,
+                       "wall": 0.5, "line": "ipc=1 insts=2 cycles=3"}),
+        rec("out", 1, {"op": "point_done", "id": "s1", "index": 1,
+                       "digest": digest_b, "fromCache": True,
+                       "wall": 0.0, "line": "ipc=1 insts=2 cycles=3"}),
+        rec("out", 1, {"op": "done", "id": "s1", "total": 2,
+                       "cached": 1, "simulated": 1, "wallSeconds": 0.5,
+                       "store": {"hits": 1, "misses": 1, "stores": 1,
+                                 "evictions": 0, "entries": 2},
+                       "simulations": 1}),
+        rec("in", 1, {"op": "bye"}),
+    ]
+    assert stream_ok(good), "known-good transcript rejected"
+
+    # A rejected hello is a valid (complete) transcript too.
+    rejected = [
+        rec("in", 2, {"op": "hello", "rpc": "acp-rpc-v1",
+                      "versionMin": 2, "versionMax": 9}),
+        rec("out", 2, {"op": "error", "code": "version",
+                       "message": "only version 1 is spoken"}),
+    ]
+    assert stream_ok(rejected), "version-rejection transcript rejected"
+
+    no_hello = good[2:]
+    assert not stream_ok(no_hello), "submit before hello not caught"
+
+    dup = list(good)
+    dup.insert(7, good[6])
+    assert not stream_ok(dup), "duplicate point_done index not caught"
+
+    short = good[:5] + good[6:]
+    assert not stream_ok(short), \
+        "done with a missing point_done not caught"
+
+    bad_split = list(good)
+    bad_split[7] = rec("out", 1, {
+        "op": "done", "id": "s1", "total": 2, "cached": 2,
+        "simulated": 1, "wallSeconds": 0.5,
+        "store": {"hits": 1, "misses": 1, "stores": 1, "evictions": 0},
+        "simulations": 1})
+    assert not stream_ok(bad_split), \
+        "cached+simulated != total not caught"
+
+    bad_digest = list(good)
+    bad_digest[5] = rec("out", 1, {
+        "op": "point_done", "id": "s1", "index": 0, "digest": "xyz",
+        "fromCache": False, "wall": 0.5, "line": "ipc=1"})
+    assert not stream_ok(bad_digest), "malformed digest not caught"
+
+    truncated = good[:4]
+    assert not stream_ok(truncated), \
+        "submission never closed by done not caught"
+
+    garbage = good[:3] + ["{not json"] + good[3:]
+    assert not stream_ok(garbage), "non-JSON line not caught"
+
+    print("check_rpc: self-test OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -22,8 +22,8 @@
 #   git commit    # alongside the change that moved the numbers
 #
 # Profiled runs are uncacheable by design, so every number here is a
-# fresh measurement (the shared acp_bench_cache.txt is neither read
-# nor written). Honors ACP_JOBS and the usual scale knobs
+# fresh measurement (the shared ./acp_store result store is neither
+# read nor written). Honors ACP_JOBS and the usual scale knobs
 # (REPRO_MEASURE_INSTS, REPRO_WARMUP_INSTS, REPRO_WS_BYTES); the
 # committed baseline must be recorded at the default scale.
 #

@@ -111,8 +111,15 @@ submitRemote(const Request &req, const std::string &socket_path,
         workers = unsigned(w->asU64(1));
 
     // --- submission ------------------------------------------------
-    net::writeLine(fd, "{\"op\":\"submit\",\"id\":\"1\","
-                       "\"subscribe\":true,\"request\":" +
+    // The trace id rides beside the request payload, never inside it:
+    // acp-request-v1 text (and therefore every digest) is identical
+    // with and without tracing.
+    std::string trace_field =
+        req.traceId.empty()
+            ? std::string()
+            : ",\"trace\":" + json::quote(req.traceId);
+    net::writeLine(fd, "{\"op\":\"submit\",\"id\":\"1\"" + trace_field +
+                           ",\"subscribe\":true,\"request\":" +
                            req.toJson() + "}");
 
     std::size_t done = 0, cached = 0, simulated = 0;
@@ -138,6 +145,9 @@ submitRemote(const Request &req, const std::string &socket_path,
                             "(points mismatch)");
             }
             accepted = true;
+            if (const json::Value *t = frame.find("trace"))
+                if (t->isString())
+                    sub.traceId = t->str;
             if (req.heartbeat)
                 req.heartbeat->sweepStart(sub.points.size(), workers,
                                           obs::manifest());

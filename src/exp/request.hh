@@ -113,6 +113,14 @@ struct Request
      * cannot execute remotely.
      */
     std::function<void(std::vector<Point> &)> decorate;
+    /**
+     * Distributed trace id for daemon execution: sent alongside the
+     * submit frame (never inside the acp-request-v1 payload, so it
+     * cannot perturb digests) and echoed by the daemon in accepted
+     * frames, per-point fabric blocks, its structured log and the
+     * fleet Chrome trace. Empty = the daemon mints one.
+     */
+    std::string traceId;
 
     // ----- fluent builder (mirrors the old Sweep surface) -----------
 
@@ -187,6 +195,14 @@ struct Request
     mix(const std::vector<std::string> &names)
     {
         mixWorkloads = names;
+        return *this;
+    }
+
+    /** Name the distributed trace for daemon execution (local-only). */
+    Request &
+    trace(std::string id)
+    {
+        traceId = std::move(id);
         return *this;
     }
 

@@ -84,6 +84,9 @@ struct Submission
     bool ok = true;
     /** Human-readable failure (ok == false). */
     std::string error;
+    /** Distributed trace id of a daemon submission (echoed by the
+     *  daemon's accepted frame; empty for local execution). */
+    std::string traceId;
 };
 
 /** ACP_JOBS env or hardware concurrency (never 0). */

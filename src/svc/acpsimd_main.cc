@@ -37,7 +37,19 @@ usage()
         "300)\n"
         "  --retries N       re-queue attempts per point (default 2)\n"
         "  --transcript FILE JSONL transcript of all client frames\n"
-        "                    (validate with tools/check_rpc.py)\n");
+        "                    (validate with tools/check_rpc.py)\n"
+        "  --log-level L     structured-log gate: debug|info|warn|"
+        "error|off\n"
+        "                    (default info)\n"
+        "  --log-file FILE   structured JSONL log destination "
+        "(default stderr)\n"
+        "  --metrics-interval N\n"
+        "                    seconds between metrics snapshots in the "
+        "log (0=off)\n"
+        "  --fleet-trace FILE\n"
+        "                    merged Chrome/Perfetto trace of the whole "
+        "fleet\n"
+        "                    (validate with tools/check_fleet.py)\n");
 }
 
 void
@@ -52,12 +64,19 @@ int
 main(int argc, char **argv)
 {
     acp::svc::DaemonOptions opts;
+    // CLI errors pre-date the daemon's configured logger, so they go
+    // through an ad-hoc stderr logger at the same JSONL schema.
+    auto cliError = [](const char *event, const std::string &detail) {
+        acp::svc::Logger errlog(stderr, /*own=*/false,
+                                acp::svc::LogLevel::kError);
+        errlog.log(acp::svc::LogLevel::kError, event)
+            .str("detail", detail);
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "acpsimd: %s needs a value\n",
-                             arg.c_str());
+                cliError("cli.missing_value", arg);
                 std::exit(2);
             }
             return argv[++i];
@@ -77,12 +96,23 @@ main(int argc, char **argv)
             opts.maxRetries = unsigned(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--transcript") {
             opts.transcriptPath = next();
+        } else if (arg == "--log-level") {
+            std::string name = next();
+            if (!acp::svc::parseLogLevel(name, opts.logLevel)) {
+                cliError("cli.bad_log_level", name);
+                return 2;
+            }
+        } else if (arg == "--log-file") {
+            opts.logFile = next();
+        } else if (arg == "--metrics-interval") {
+            opts.metricsInterval = std::strtod(next(), nullptr);
+        } else if (arg == "--fleet-trace") {
+            opts.fleetTracePath = next();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else {
-            std::fprintf(stderr, "acpsimd: unknown option %s\n",
-                         arg.c_str());
+            cliError("cli.unknown_option", arg);
             usage();
             return 2;
         }

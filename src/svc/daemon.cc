@@ -68,6 +68,11 @@ struct Daemon::ClientSub
     std::size_t simulated = 0;
     double startedAt = 0.0;
     bool failed = false;
+    /** Distributed trace id: client-chosen (submit "trace") or
+     *  daemon-assigned; echoed in accepted and every fabric block. */
+    std::string traceId;
+    /** Fabric stamp of the submit frame (micros since start). */
+    std::uint64_t submitMicros = 0;
 };
 
 /** One unique digest being produced (queued or on a worker). */
@@ -81,6 +86,9 @@ struct Daemon::Inflight
     {
         std::shared_ptr<ClientSub> sub;
         std::size_t index;
+        /** Where this waiter's fabric decomposition starts: its own
+         *  submit stamp (shared work predating it is not charged). */
+        std::uint64_t startMicros = 0;
     };
     /** Every (submission, point index) waiting on this digest —
      *  possibly from several clients: cross-client dedupe. */
@@ -92,6 +100,19 @@ struct Daemon::Inflight
     /** Backoff gate (monotonic seconds); 0 = dispatchable now. */
     double notBefore = 0.0;
     bool running = false;
+
+    // --- fabric tracing (passive; never read by the scheduler) ---
+    /** Stamped scheduling steps, in time order. */
+    FabricTimeline timeline;
+    /** Trace id of the submission that created this item. */
+    std::string traceId;
+    /** Most recent stamps, for fleet-trace span boundaries. */
+    std::uint64_t queuedMicros = 0;
+    std::uint64_t leasedMicros = 0;
+    std::uint64_t workerStartMicros = 0;
+    std::uint64_t workerDoneMicros = 0;
+    /** Flow-arrow id of the current lease (fleet trace). */
+    std::uint64_t flowId = 0;
 };
 
 struct Daemon::Client
@@ -154,19 +175,92 @@ Daemon::now() const
     return std::chrono::duration<double>(t).count();
 }
 
+std::uint64_t
+Daemon::micros() const
+{
+    double elapsed = now() - startedAt_;
+    return elapsed <= 0.0 ? 0 : std::uint64_t(elapsed * 1e6);
+}
+
+void
+Daemon::syncStoreMetrics()
+{
+    if (!store_)
+        return;
+    exp::ResultStore::Stats st = store_->stats();
+    auto bump = [&](const char *name, std::uint64_t cur,
+                    std::uint64_t last) {
+        if (cur > last)
+            metrics_.inc(name, cur - last);
+    };
+    bump("store.hits", st.hits, syncedStore_.hits);
+    bump("store.misses", st.misses, syncedStore_.misses);
+    bump("store.stores", st.stores, syncedStore_.stores);
+    bump("store.evictions", st.evictions, syncedStore_.evictions);
+    if (trace_ && st.evictions > syncedStore_.evictions) {
+        char args[48];
+        std::snprintf(args, sizeof(args), "{\"count\":%llu}",
+                      (unsigned long long)(st.evictions -
+                                           syncedStore_.evictions));
+        trace_->instant(FleetTrace::kDaemonPid, micros(), "store evict",
+                        args);
+    }
+    syncedStore_ = st;
+}
+
+void
+Daemon::sampleQueueDepth()
+{
+    const std::uint64_t depth = ready_.size();
+    metrics_.set("queue.depth", depth);
+    metrics_.high("queue.depth_highwater", depth);
+    std::size_t busy = 0;
+    for (const WorkerSlot &slot : workers_)
+        if (slot.busy)
+            ++busy;
+    metrics_.set("workers.busy", busy);
+    metrics_.set("workers.idle", workers_.size() - busy);
+    if (trace_)
+        trace_->counter(micros(), "queue depth", depth);
+}
+
+void
+Daemon::logMetricsSnapshot(const char *reason)
+{
+    syncStoreMetrics();
+    sampleQueueDepth();
+    log_->log(LogLevel::kInfo, "metrics.snapshot")
+        .str("reason", reason)
+        .dbl("uptimeSeconds", now() - startedAt_)
+        .raw("metrics", metrics_.snapshotJson());
+}
+
 bool
 Daemon::start()
 {
     std::signal(SIGPIPE, SIG_IGN);
+    startedAt_ = now();
+    log_ = Logger::open(opts_.logFile, opts_.logLevel);
+    if (!log_)
+        return false;
     store_ = std::make_unique<exp::ResultStore>(opts_.storeDir,
                                                opts_.storeMaxEntries);
     if (!opts_.transcriptPath.empty()) {
         transcript_ = std::fopen(opts_.transcriptPath.c_str(), "w");
         if (!transcript_) {
-            std::fprintf(stderr, "acpsimd: cannot write %s\n",
-                         opts_.transcriptPath.c_str());
+            log_->log(LogLevel::kError, "daemon.transcript_failed")
+                .str("path", opts_.transcriptPath);
             return false;
         }
+    }
+    if (!opts_.fleetTracePath.empty()) {
+        trace_ = FleetTrace::open(opts_.fleetTracePath);
+        if (!trace_) {
+            log_->log(LogLevel::kError, "daemon.fleet_trace_failed")
+                .str("path", opts_.fleetTracePath);
+            return false;
+        }
+        trace_->processName(FleetTrace::kDaemonPid, "acpsimd daemon", 0);
     }
     listenFd_ = net::unixListen(opts_.socketPath);
     if (listenFd_ < 0)
@@ -175,11 +269,16 @@ Daemon::start()
     for (std::size_t i = 0; i < workers_.size(); ++i)
         if (!spawnWorker(i))
             return false;
-    std::fprintf(stderr,
-                 "acpsimd: listening on %s (%u workers, store %s, "
-                 "%zu entries)\n",
-                 opts_.socketPath.c_str(), opts_.workers,
-                 opts_.storeDir.c_str(), store_->size());
+    if (opts_.metricsInterval > 0)
+        nextMetricsAt_ = now() + opts_.metricsInterval;
+    sampleQueueDepth();
+    log_->log(LogLevel::kInfo, "daemon.start")
+        .str("socket", opts_.socketPath)
+        .u64("workers", opts_.workers)
+        .str("store", opts_.storeDir)
+        .u64("entries", store_->size())
+        .str("logLevel", logLevelName(opts_.logLevel))
+        .boolean("fleetTrace", trace_ != nullptr);
     return true;
 }
 
@@ -189,14 +288,18 @@ Daemon::spawnWorker(std::size_t slot_index)
     WorkerSlot &slot = workers_[slot_index];
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) < 0) {
-        std::perror("socketpair");
+        log_->log(LogLevel::kError, "worker.spawn_failed")
+            .u64("slot", slot_index)
+            .str("error", std::strerror(errno));
         return false;
     }
     // Flush before fork so the child can't replay buffered stdio.
     std::fflush(nullptr);
     pid_t pid = ::fork();
     if (pid < 0) {
-        std::perror("fork");
+        log_->log(LogLevel::kError, "worker.spawn_failed")
+            .u64("slot", slot_index)
+            .str("error", std::strerror(errno));
         ::close(sv[0]);
         ::close(sv[1]);
         return false;
@@ -225,6 +328,14 @@ Daemon::spawnWorker(std::size_t slot_index)
     slot.reader = std::make_unique<net::LineReader>(sv[0]);
     slot.busy = nullptr;
     slot.assignedAt = 0.0;
+    if (trace_) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "worker %zu", slot_index);
+        trace_->processName(int(pid), name, int(slot_index) + 1);
+    }
+    log_->log(LogLevel::kDebug, "worker.spawn")
+        .u64("slot", slot_index)
+        .i64("pid", pid);
     return true;
 }
 
@@ -245,7 +356,8 @@ Daemon::run()
 
         int rc = ::poll(fds.data(), nfds_t(fds.size()), 200);
         if (rc < 0 && errno != EINTR) {
-            std::perror("poll");
+            log_->log(LogLevel::kError, "daemon.poll_failed")
+                .str("error", std::strerror(errno));
             return 1;
         }
 
@@ -261,8 +373,17 @@ Daemon::run()
 
         checkLeases();
         dispatch();
+
+        if (opts_.metricsInterval > 0 && now() >= nextMetricsAt_) {
+            logMetricsSnapshot("interval");
+            nextMetricsAt_ = now() + opts_.metricsInterval;
+        }
     }
-    std::fprintf(stderr, "acpsimd: shutting down\n");
+    if (opts_.metricsInterval > 0)
+        logMetricsSnapshot("shutdown");
+    log_->log(LogLevel::kInfo, "daemon.stop")
+        .dbl("uptimeSeconds", now() - startedAt_)
+        .u64("simulations", simulations_);
     return 0;
 }
 
@@ -278,7 +399,9 @@ Daemon::acceptClient()
     client->fd = fd;
     client->conn = nextConn_++;
     client->reader = std::make_unique<net::LineReader>(fd);
+    log_->log(LogLevel::kDebug, "client.accept").i64("conn", client->conn);
     clients_[client->conn] = std::move(client);
+    metrics_.set("clients.connected", clients_.size());
 }
 
 void
@@ -312,6 +435,8 @@ Daemon::dropClient(int conn)
         sub->failed = true;
     ::close(it->second->fd);
     clients_.erase(it);
+    log_->log(LogLevel::kDebug, "client.drop").i64("conn", conn);
+    metrics_.set("clients.connected", clients_.size());
 }
 
 bool
@@ -375,7 +500,25 @@ Daemon::handleFrame(Client &client, const std::string &line)
         return;
     }
 
-    if (op->str == "hello") {
+    // Per-verb RPC accounting: count + handling-latency histogram.
+    // Unknown verbs share one bucket so garbage can't grow the
+    // registry without bound.
+    static const std::set<std::string> known_verbs = {
+        "hello", "submit", "stats", "metrics", "bye"};
+    const std::string verb =
+        known_verbs.count(op->str) ? op->str : "unknown";
+    const std::uint64_t t0 = micros();
+    handleOp(client, op->str, frame); // may drop (free) the client
+    metrics_.inc("rpc." + verb);
+    metrics_.observe("rpc." + verb + ".micros", micros() - t0);
+}
+
+void
+Daemon::handleOp(Client &client, const std::string &verb,
+                 const json::Value &frame)
+{
+    const int conn = client.conn;
+    if (verb == "hello") {
         const json::Value *rpc = frame.find("rpc");
         std::uint64_t vmin = 1, vmax = 1;
         if (const json::Value *v = frame.find("versionMin"))
@@ -406,15 +549,16 @@ Daemon::handleFrame(Client &client, const std::string &line)
         dropClient(conn);
         return;
     }
-    if (op->str == "submit") {
+    if (verb == "submit") {
         handleSubmit(client, frame);
         return;
     }
-    if (op->str == "stats") {
+    if (verb == "stats") {
         std::string id;
         if (const json::Value *v = frame.find("id"))
             if (v->isString())
                 id = v->str;
+        syncStoreMetrics();
         exp::ResultStore::Stats st = store_->stats();
         std::size_t queued = ready_.size();
         std::string out = "{\"op\":\"stats_ok\"";
@@ -434,21 +578,53 @@ Daemon::handleFrame(Client &client, const std::string &line)
                       store_->size(), queued, inflight_.size(),
                       (unsigned long long)simulations_);
         out += buf;
+        std::size_t busy = 0;
         for (std::size_t i = 0; i < workers_.size(); ++i) {
+            if (workers_[i].busy)
+                ++busy;
             std::snprintf(buf, sizeof(buf), "%s{\"pid\":%d,\"busy\":%s}",
                           i ? "," : "", int(workers_[i].pid),
                           workers_[i].busy ? "true" : "false");
             out += buf;
         }
-        out += "]}";
+        out += "]";
+        std::snprintf(buf, sizeof(buf),
+                      ",\"uptimeSeconds\":%.3f,"
+                      "\"workerPool\":{\"size\":%zu,\"busy\":%zu,"
+                      "\"idle\":%zu,\"respawned\":%llu},\"manifest\":",
+                      now() - startedAt_, workers_.size(), busy,
+                      workers_.size() - busy,
+                      (unsigned long long)workersRespawned_);
+        out += buf;
+        out += obs::manifestJsonLine(obs::manifest()) + "}";
         sendFrame(conn, out);
         return;
     }
-    if (op->str == "bye") {
+    if (verb == "metrics") {
+        std::string id;
+        if (const json::Value *v = frame.find("id"))
+            if (v->isString())
+                id = v->str;
+        syncStoreMetrics();
+        sampleQueueDepth();
+        std::string out = "{\"op\":\"metrics_ok\"";
+        if (!id.empty())
+            out += ",\"id\":" + json::quote(id);
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ",\"uptimeSeconds\":%.3f",
+                      now() - startedAt_);
+        out += buf;
+        out += ",\"snapshot\":" + metrics_.snapshotJson();
+        out += ",\"text\":" + json::quote(metrics_.prometheusText());
+        out += "}";
+        sendFrame(conn, out);
+        return;
+    }
+    if (verb == "bye") {
         dropClient(conn);
         return;
     }
-    sendError(conn, "", "unknown_op", "unknown op '" + op->str + "'");
+    sendError(conn, "", "unknown_op", "unknown op '" + verb + "'");
 }
 
 void
@@ -522,13 +698,33 @@ Daemon::handleSubmit(Client &client, const json::Value &frame)
     sub->prepared = prepared;
     sub->total = prepared->points.size();
     sub->startedAt = now();
+    sub->submitMicros = micros();
+    // Distributed trace id: the client's choice wins (so one id can
+    // span several daemons / local phases); otherwise mint one unique
+    // within this daemon's lifetime.
+    if (const json::Value *v = frame.find("trace"))
+        if (v->isString() && !v->str.empty())
+            sub->traceId = v->str;
+    if (sub->traceId.empty()) {
+        char tb[48];
+        std::snprintf(tb, sizeof(tb), "t%d.%llu", client.conn,
+                      (unsigned long long)nextTrace_++);
+        sub->traceId = tb;
+    }
     client.subs.push_back(sub);
+    metrics_.inc("points.submitted", prepared->points.size());
+    log_->log(LogLevel::kInfo, "submit.accepted")
+        .str("trace", sub->traceId)
+        .i64("conn", client.conn)
+        .str("id", id)
+        .u64("points", prepared->points.size());
 
     char buf[96];
-    std::snprintf(buf, sizeof(buf), ",\"points\":%zu}",
+    std::snprintf(buf, sizeof(buf), ",\"points\":%zu,\"trace\":",
                   prepared->points.size());
     if (!sendFrame(client.conn, "{\"op\":\"accepted\",\"id\":" +
-                                    json::quote(id) + buf))
+                                    json::quote(id) + buf +
+                                    json::quote(sub->traceId) + "}"))
         return;
 
     for (std::size_t i = 0; i < prepared->points.size(); ++i) {
@@ -536,14 +732,30 @@ Daemon::handleSubmit(Client &client, const json::Value &frame)
         exp::Result hit;
         if (store_->lookup(digest, hit)) {
             subPointDone(*sub, i, digest, /*from_cache=*/true, 0.0,
-                         exp::encodeResultTokens(hit));
+                         exp::encodeResultTokens(hit),
+                         /*timeline=*/nullptr, sub->submitMicros);
             continue;
         }
         auto it = inflight_.find(digest);
         if (it != inflight_.end()) {
             // Cross-client (or intra-sweep) dedupe: attach as waiter
             // and replay the heartbeat so far.
-            it->second->waiters.push_back({sub, i});
+            const std::uint64_t t_attach = micros();
+            it->second->waiters.push_back({sub, i, t_attach});
+            it->second->timeline.push_back(
+                {FabricEvent::kDeduped, t_attach});
+            metrics_.inc("points.deduped");
+            if (trace_)
+                trace_->instant(FleetTrace::kDaemonPid, t_attach,
+                                "dedupe",
+                                "{\"digest\":" +
+                                    json::quote(digest.substr(0, 12)) +
+                                    ",\"trace\":" +
+                                    json::quote(sub->traceId) + "}");
+            log_->log(LogLevel::kDebug, "point.dedupe")
+                .str("trace", sub->traceId)
+                .u64("index", i)
+                .str("digest", digest);
             if (sub->subscribe)
                 for (const std::string &hb : it->second->hbLines)
                     sendFrame(sub->conn,
@@ -556,10 +768,14 @@ Daemon::handleSubmit(Client &client, const json::Value &frame)
         item->digest = digest;
         item->prepared = prepared;
         item->pointIndex = i;
-        item->waiters.push_back({sub, i});
+        item->traceId = sub->traceId;
+        item->waiters.push_back({sub, i, sub->submitMicros});
+        item->timeline.push_back({FabricEvent::kSubmitted, micros()});
         enqueue(item.get());
         inflight_[digest] = std::move(item);
     }
+    syncStoreMetrics();
+    sampleQueueDepth();
     maybeFinishSub(*sub);
     dispatch();
 }
@@ -569,6 +785,9 @@ Daemon::handleSubmit(Client &client, const json::Value &frame)
 void
 Daemon::enqueue(Inflight *item)
 {
+    const std::uint64_t t = micros();
+    item->timeline.push_back({FabricEvent::kQueued, t});
+    item->queuedMicros = t;
     ready_.push_back(item->digest);
 }
 
@@ -612,6 +831,29 @@ Daemon::dispatch()
         slot.busy = item;
         slot.assignedAt = t;
         item->running = true;
+
+        const std::uint64_t t_leased = micros();
+        item->timeline.push_back({FabricEvent::kLeased, t_leased});
+        item->leasedMicros = t_leased;
+        item->workerStartMicros = 0;
+        item->workerDoneMicros = 0;
+        if (trace_) {
+            // Daemon-lane queue span + flow arrow into the lane of
+            // the worker that won the point.
+            item->flowId = nextFlow_++;
+            trace_->span(FleetTrace::kDaemonPid, item->queuedMicros,
+                         t_leased - item->queuedMicros,
+                         "queue " + item->digest.substr(0, 12),
+                         "{\"trace\":" + json::quote(item->traceId) +
+                             "}");
+            trace_->flow(item->flowId, t_leased, int(slot.pid),
+                         t_leased);
+        }
+        log_->log(LogLevel::kDebug, "point.leased")
+            .str("trace", item->traceId)
+            .str("digest", item->digest)
+            .i64("pid", slot.pid);
+        sampleQueueDepth();
     }
 }
 
@@ -642,6 +884,21 @@ Daemon::serviceWorker(std::size_t slot_index)
                                   json::quote(w.sub->id) +
                                   ",\"line\":" + json::quote(hb->str) +
                                   "}");
+        } else if (op->str == "started") {
+            // Worker acked the work frame: dispatch segment ends.
+            if (item) {
+                const std::uint64_t t = micros();
+                item->timeline.push_back({FabricEvent::kWorkerStart, t});
+                item->workerStartMicros = t;
+            }
+        } else if (op->str == "sim_done") {
+            // Simulation returned inside the worker; what follows is
+            // result encode + pipe transfer.
+            if (item) {
+                const std::uint64_t t = micros();
+                item->timeline.push_back({FabricEvent::kWorkerDone, t});
+                item->workerDoneMicros = t;
+            }
         } else if (op->str == "done") {
             const json::Value *payload = frame.find("line");
             double wall = 0.0;
@@ -651,6 +908,32 @@ Daemon::serviceWorker(std::size_t slot_index)
                 continue;
             slot.busy = nullptr;
             ++simulations_;
+            metrics_.inc("points.simulated");
+            const std::uint64_t t_enc = micros();
+            item->timeline.push_back({FabricEvent::kEncoded, t_enc});
+            if (trace_) {
+                const exp::Point &p =
+                    item->prepared->points[item->pointIndex];
+                char ib[48];
+                std::snprintf(ib, sizeof(ib),
+                              ",\"index\":%zu,\"wall\":%.6f",
+                              item->pointIndex, wall);
+                trace_->span(
+                    int(slot.pid), item->leasedMicros,
+                    t_enc - item->leasedMicros,
+                    "point " + item->digest.substr(0, 12),
+                    "{\"digest\":" + json::quote(item->digest) +
+                        ",\"trace\":" + json::quote(item->traceId) +
+                        ",\"workload\":" + json::quote(p.workload) +
+                        ",\"variant\":" + json::quote(p.label) + ib +
+                        "}");
+                if (item->workerStartMicros &&
+                    item->workerDoneMicros >= item->workerStartMicros)
+                    trace_->span(int(slot.pid), item->workerStartMicros,
+                                 item->workerDoneMicros -
+                                     item->workerStartMicros,
+                                 "sim");
+            }
             completeItem(item, payload->str, wall);
         } else if (op->str == "fail") {
             const json::Value *msg = frame.find("message");
@@ -673,6 +956,7 @@ Daemon::workerDied(std::size_t slot_index)
     WorkerSlot &slot = workers_[slot_index];
     if (slot.fd < 0)
         return;
+    const pid_t died_pid = slot.pid;
     ::close(slot.fd);
     slot.fd = -1;
     slot.reader.reset();
@@ -684,6 +968,9 @@ Daemon::workerDied(std::size_t slot_index)
         slot.pid = -1;
     }
 
+    if (trace_)
+        trace_->instant(FleetTrace::kDaemonPid, micros(), "worker died",
+                        "{\"slot\":" + std::to_string(slot_index) + "}");
     if (Inflight *item = slot.busy) {
         slot.busy = nullptr;
         item->running = false;
@@ -695,15 +982,36 @@ Daemon::workerDied(std::size_t slot_index)
             // shouldn't hog the pool.
             item->notBefore =
                 now() + 0.5 * double(1u << (item->retries - 1));
+            const std::uint64_t t = micros();
+            item->timeline.push_back({FabricEvent::kRequeued, t});
+            item->queuedMicros = t;
             ready_.push_back(item->digest);
-            std::fprintf(stderr,
-                         "acpsimd: worker died, requeued %.12s... "
-                         "(retry %u/%u)\n",
-                         item->digest.c_str(), item->retries,
-                         opts_.maxRetries);
+            metrics_.inc("points.requeued");
+            if (trace_)
+                trace_->instant(
+                    FleetTrace::kDaemonPid, t, "requeued",
+                    "{\"digest\":" +
+                        json::quote(item->digest.substr(0, 12)) +
+                        ",\"trace\":" + json::quote(item->traceId) +
+                        ",\"retry\":" + std::to_string(item->retries) +
+                        "}");
+            log_->log(LogLevel::kWarn, "worker.died")
+                .u64("slot", slot_index)
+                .i64("pid", died_pid)
+                .str("trace", item->traceId)
+                .str("digest", item->digest)
+                .u64("retry", item->retries)
+                .u64("maxRetries", opts_.maxRetries);
         }
+    } else {
+        log_->log(LogLevel::kWarn, "worker.died")
+            .u64("slot", slot_index)
+            .i64("pid", died_pid);
     }
+    ++workersRespawned_;
+    metrics_.inc("workers.respawned");
     spawnWorker(slot_index);
+    sampleQueueDepth();
 }
 
 void
@@ -716,10 +1024,22 @@ Daemon::checkLeases()
         if (!slot.busy || slot.pid <= 0)
             continue;
         if (t - slot.assignedAt > opts_.leaseSeconds) {
-            std::fprintf(stderr,
-                         "acpsimd: lease expired (%.0fs), killing "
-                         "worker %d\n",
-                         t - slot.assignedAt, int(slot.pid));
+            const std::uint64_t t_exp = micros();
+            slot.busy->timeline.push_back(
+                {FabricEvent::kLeaseExpired, t_exp});
+            metrics_.inc("leases.expired");
+            if (trace_)
+                trace_->instant(
+                    FleetTrace::kDaemonPid, t_exp, "lease expired",
+                    "{\"digest\":" +
+                        json::quote(slot.busy->digest.substr(0, 12)) +
+                        ",\"trace\":" +
+                        json::quote(slot.busy->traceId) + "}");
+            log_->log(LogLevel::kWarn, "lease.expired")
+                .i64("pid", slot.pid)
+                .dbl("heldSeconds", t - slot.assignedAt)
+                .str("trace", slot.busy->traceId)
+                .str("digest", slot.busy->digest);
             ::kill(slot.pid, SIGKILL);
             // The EOF on its pipe re-queues the point + respawns.
         }
@@ -733,19 +1053,28 @@ Daemon::completeItem(Inflight *item, const std::string &line,
     exp::Result result;
     exp::decodeResultTokens(line, result);
     store_->put(item->digest, result);
+    item->timeline.push_back({FabricEvent::kStored, micros()});
+    syncStoreMetrics();
     for (const Inflight::Waiter &w : item->waiters) {
         if (w.sub->failed)
             continue;
         subPointDone(*w.sub, w.index, item->digest,
-                     /*from_cache=*/false, wall, line);
+                     /*from_cache=*/false, wall, line, &item->timeline,
+                     w.startMicros);
         maybeFinishSub(*w.sub);
     }
     inflight_.erase(item->digest);
+    sampleQueueDepth();
 }
 
 void
 Daemon::failItem(Inflight *item, const std::string &message)
 {
+    metrics_.inc("points.failed");
+    log_->log(LogLevel::kError, "point.failed")
+        .str("trace", item->traceId)
+        .str("digest", item->digest)
+        .str("message", message);
     for (const Inflight::Waiter &w : item->waiters) {
         if (w.sub->failed)
             continue;
@@ -754,27 +1083,58 @@ Daemon::failItem(Inflight *item, const std::string &message)
                   message + " (digest " + item->digest + ")");
     }
     inflight_.erase(item->digest);
+    sampleQueueDepth();
 }
 
 void
 Daemon::subPointDone(ClientSub &sub, std::size_t index,
                      const std::string &digest, bool from_cache,
-                     double wall, const std::string &line)
+                     double wall, const std::string &line,
+                     const FabricTimeline *timeline,
+                     std::uint64_t start_micros)
 {
     ++sub.done;
-    if (from_cache)
+    if (from_cache) {
         ++sub.cached;
-    else
+        metrics_.inc("points.cached");
+    } else {
         ++sub.simulated;
+    }
+    metrics_.inc("points.replied");
+
+    // Telescope this waiter's fabric timeline: the reply stamp is
+    // taken now, so segments sum EXACTLY to submit->reply latency.
+    static const FabricTimeline kNoTimeline;
+    const FabricTimeline &tl = timeline ? *timeline : kNoTimeline;
+    const std::uint64_t replied = micros();
+    std::uint64_t total = 0;
+    FabricSegments segs = decomposeFabric(tl, start_micros, replied,
+                                          &total);
+    for (unsigned s = 0; s < kNumFabricSegments; ++s)
+        if (segs[s])
+            metrics_.observe(std::string("fabric.") +
+                                 fabricSegmentName(FabricSegment(s)) +
+                                 ".micros",
+                             segs[s]);
+    metrics_.observe("point.total.micros", total);
+    const std::string fabric =
+        fabricJson(sub.traceId, index, segs, total);
+    log_->log(LogLevel::kDebug, "point.replied")
+        .str("trace", sub.traceId)
+        .u64("index", index)
+        .str("digest", digest)
+        .boolean("fromCache", from_cache)
+        .raw("fabric", fabric);
+
     char buf[192];
     std::snprintf(buf, sizeof(buf),
                   ",\"index\":%zu,\"digest\":\"%s\",\"fromCache\":%s,"
-                  "\"wall\":%.6f,\"line\":",
+                  "\"wall\":%.6f,\"fabric\":",
                   index, digest.c_str(), from_cache ? "true" : "false",
                   wall);
     sendFrame(sub.conn, "{\"op\":\"point_done\",\"id\":" +
-                            json::quote(sub.id) + buf +
-                            json::quote(line) + "}");
+                            json::quote(sub.id) + buf + fabric +
+                            ",\"line\":" + json::quote(line) + "}");
 }
 
 void

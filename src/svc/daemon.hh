@@ -38,6 +38,10 @@
 #include "common/sockline.hh"
 #include "exp/request.hh"
 #include "exp/result_store.hh"
+#include "svc/fabric.hh"
+#include "svc/fleet_trace.hh"
+#include "svc/log.hh"
+#include "svc/metrics.hh"
 
 namespace acp::svc
 {
@@ -58,6 +62,14 @@ struct DaemonOptions
     unsigned maxRetries = 2;
     /** JSONL transcript of every client frame (empty = off). */
     std::string transcriptPath;
+    /** Structured-log gate (svc/log.hh); kOff silences everything. */
+    LogLevel logLevel = LogLevel::kInfo;
+    /** Structured-log destination (empty or "-" = stderr). */
+    std::string logFile;
+    /** Seconds between metrics snapshots in the log (0 = off). */
+    double metricsInterval = 0.0;
+    /** Merged fleet Chrome trace destination (empty = off). */
+    std::string fleetTracePath;
 };
 
 /** Entry point of the forked worker process: serve "work" frames on
@@ -91,6 +103,8 @@ class Daemon
     void serviceClient(int conn);
     void dropClient(int conn);
     void handleFrame(Client &client, const std::string &line);
+    void handleOp(Client &client, const std::string &verb,
+                  const json::Value &frame);
     void handleSubmit(Client &client, const json::Value &frame);
     bool sendFrame(int conn, const std::string &frame);
     void sendError(int conn, const std::string &id,
@@ -108,11 +122,24 @@ class Daemon
     void failItem(Inflight *item, const std::string &message);
     void subPointDone(ClientSub &sub, std::size_t index,
                       const std::string &digest, bool from_cache,
-                      double wall, const std::string &line);
+                      double wall, const std::string &line,
+                      const FabricTimeline *timeline,
+                      std::uint64_t start_micros);
     void maybeFinishSub(ClientSub &sub);
 
     bool spawnWorker(std::size_t slot);
     double now() const;
+
+    // --- observability (all strictly passive) ---
+    /** Monotonic microseconds since start() — the fabric clock. */
+    std::uint64_t micros() const;
+    /** Fold result-store counter deltas into the metrics registry
+     *  (and emit fleet-trace evict instants). */
+    void syncStoreMetrics();
+    /** Update queue/worker gauges + the fleet-trace counter track. */
+    void sampleQueueDepth();
+    /** Write one metrics snapshot into the structured log. */
+    void logMetricsSnapshot(const char *reason);
 
     DaemonOptions opts_;
     int listenFd_ = -1;
@@ -126,6 +153,18 @@ class Daemon
     /** Digests ready for an idle worker (FIFO + backoff holdback). */
     std::deque<std::string> ready_;
     std::uint64_t simulations_ = 0;
+
+    std::unique_ptr<Logger> log_;
+    Metrics metrics_;
+    std::unique_ptr<FleetTrace> trace_;
+    /** Monotonic zero point of the fabric clock (set by start()). */
+    double startedAt_ = 0.0;
+    double nextMetricsAt_ = 0.0;
+    /** Store counters already folded into metrics_. */
+    exp::ResultStore::Stats syncedStore_{};
+    std::uint64_t workersRespawned_ = 0;
+    std::uint64_t nextTrace_ = 1;
+    std::uint64_t nextFlow_ = 1;
 };
 
 } // namespace acp::svc

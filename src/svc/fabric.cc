@@ -1,0 +1,106 @@
+#include "svc/fabric.hh"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/json.hh"
+
+namespace acp::svc
+{
+
+const char *
+fabricEventName(FabricEvent event)
+{
+    switch (event) {
+      case FabricEvent::kSubmitted:    return "submitted";
+      case FabricEvent::kDeduped:      return "deduped";
+      case FabricEvent::kQueued:       return "queued";
+      case FabricEvent::kLeased:       return "leased";
+      case FabricEvent::kWorkerStart:  return "worker_start";
+      case FabricEvent::kWorkerDone:   return "worker_done";
+      case FabricEvent::kEncoded:      return "encoded";
+      case FabricEvent::kStored:       return "stored";
+      case FabricEvent::kReplied:      return "replied";
+      case FabricEvent::kLeaseExpired: return "lease_expired";
+      case FabricEvent::kRequeued:     return "requeued";
+    }
+    return "?";
+}
+
+const char *
+fabricSegmentName(FabricSegment seg)
+{
+    switch (seg) {
+      case FabricSegment::kQueueWait:   return "queue_wait";
+      case FabricSegment::kDispatch:    return "dispatch";
+      case FabricSegment::kSim:         return "sim";
+      case FabricSegment::kEncode:      return "encode";
+      case FabricSegment::kStore:       return "store";
+      case FabricSegment::kReply:       return "reply";
+      case FabricSegment::kNumSegments: break;
+    }
+    return "?";
+}
+
+FabricSegments
+decomposeFabric(const FabricTimeline &timeline,
+                std::uint64_t start_micros, std::uint64_t replied_micros,
+                std::uint64_t *total_out)
+{
+    FabricSegments segs{};
+    std::uint64_t prev = start_micros;
+    for (const FabricStamp &stamp : timeline) {
+        if (stamp.micros < prev)
+            continue; // predates this waiter (shared in-flight work)
+        segs[unsigned(segmentOfFabricEvent(stamp.event))] +=
+            stamp.micros - prev;
+        prev = stamp.micros;
+    }
+    // The closing delta — last recorded step to the point_done render
+    // — is the reply fan-out. For a store hit with no timeline this is
+    // the whole (lookup + reply) latency.
+    std::uint64_t replied =
+        replied_micros < prev ? prev : replied_micros;
+    segs[unsigned(FabricSegment::kReply)] += replied - prev;
+
+    std::uint64_t total = replied - start_micros;
+    if (total_out)
+        *total_out = total;
+
+    // The telescoping invariant this whole file exists for: integer
+    // deltas over one monotone clock cannot leave a residue. A
+    // violation means a stamp was recorded out of order upstream.
+    std::uint64_t sum = 0;
+    for (std::uint64_t s : segs)
+        sum += s;
+    assert(sum == total && "fabric segments must telescope exactly");
+    (void)sum;
+    return segs;
+}
+
+std::string
+fabricJson(const std::string &trace_id, std::uint64_t span,
+           const FabricSegments &segments, std::uint64_t total_micros)
+{
+    std::string out = "{\"trace\":" + json::quote(trace_id);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"span\":%llu,\"segments\":{",
+                  (unsigned long long)span);
+    out += buf;
+    bool first = true;
+    for (unsigned i = 0; i < kNumFabricSegments; ++i) {
+        if (segments[i] == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                      fabricSegmentName(FabricSegment(i)),
+                      (unsigned long long)segments[i]);
+        out += buf;
+        first = false;
+    }
+    std::snprintf(buf, sizeof(buf), "},\"totalMicros\":%llu}",
+                  (unsigned long long)total_micros);
+    out += buf;
+    return out;
+}
+
+} // namespace acp::svc

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Distributed point tracing for the acpsimd sweep fabric: where did a
+ * submitted point's wall-clock go between the client's submit frame
+ * and the daemon's point_done reply?
+ *
+ * The daemon stamps every scheduling step of a point with a
+ * monotonic-microsecond FabricEvent (kSubmitted when the submit frame
+ * materializes the point, kQueued on ready-queue entry, kLeased on
+ * worker assignment, kWorkerStart/kWorkerDone when the worker's
+ * started/sim_done acks arrive, kEncoded when the result payload
+ * lands, kStored after the store put, kReplied when the point_done
+ * frame is rendered — plus kLeaseExpired/kRequeued on the failure
+ * path and kDeduped when a submission attaches to in-flight work).
+ *
+ * Exactly like the PR 4 transaction path profiler, the timeline
+ * telescopes: each delta between consecutive stamps is charged to the
+ * *later* stamp's FabricSegment, so
+ *
+ *     sum(segments) == replied - submitted
+ *
+ * holds EXACTLY for every point (integer microseconds — no float
+ * residue), including retried points (the wasted lease is charged to
+ * the sim segment) and dedupe waiters (a waiter's decomposition
+ * starts at its own submit stamp; shared work that predates the
+ * waiter is not charged to it). decomposeFabric() asserts the
+ * invariant; tests/test_svc.cc and tools/check_fleet.py re-check it
+ * end to end over the wire and the log.
+ *
+ * Tracing is strictly passive: stamps are taken from the daemon's
+ * wall clock, never fed back into scheduling, so a traced sweep is
+ * bit-identical to an untraced one.
+ */
+
+#ifndef ACP_SVC_FABRIC_HH
+#define ACP_SVC_FABRIC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acp::svc
+{
+
+/** Scheduling steps of one point through the fabric. */
+enum class FabricEvent : std::uint8_t
+{
+    kSubmitted,    // submit frame materialized this point
+    kDeduped,      // attached as waiter to in-flight work
+    kQueued,       // entered the ready queue
+    kLeased,       // work frame written to a worker
+    kWorkerStart,  // worker's "started" ack arrived
+    kWorkerDone,   // worker's "sim_done" ack arrived
+    kEncoded,      // worker's "done" payload arrived
+    kStored,       // result-store put finished
+    kReplied,      // point_done frame rendered for a waiter
+    kLeaseExpired, // lease ran out, worker killed
+    kRequeued,     // back on the ready queue after a worker death
+};
+
+/** Stable name of a fabric event ("submitted", "lease_expired", ...). */
+const char *fabricEventName(FabricEvent event);
+
+/** Latency segments a point's submit-to-reply time decomposes into. */
+enum class FabricSegment : std::uint8_t
+{
+    kQueueWait, // waiting for an idle worker (plus admit/dedupe time)
+    kDispatch,  // work frame written -> worker picked it up
+    kSim,       // worker simulating (plus wasted retried attempts)
+    kEncode,    // result encoding + pipe transfer back to the daemon
+    kStore,     // result-store put (journal append + eviction)
+    kReply,     // store -> point_done render (waiter fan-out)
+    kNumSegments,
+};
+
+constexpr unsigned kNumFabricSegments =
+    unsigned(FabricSegment::kNumSegments);
+
+/** Stable stat/JSON name of a segment ("queue_wait", "sim", ...). */
+const char *fabricSegmentName(FabricSegment seg);
+
+/** Segment a timeline delta ending at @p event is charged to. */
+constexpr FabricSegment
+segmentOfFabricEvent(FabricEvent event)
+{
+    switch (event) {
+      case FabricEvent::kSubmitted:    return FabricSegment::kQueueWait;
+      case FabricEvent::kDeduped:      return FabricSegment::kQueueWait;
+      case FabricEvent::kQueued:       return FabricSegment::kQueueWait;
+      case FabricEvent::kLeased:       return FabricSegment::kQueueWait;
+      case FabricEvent::kWorkerStart:  return FabricSegment::kDispatch;
+      case FabricEvent::kWorkerDone:   return FabricSegment::kSim;
+      case FabricEvent::kEncoded:      return FabricSegment::kEncode;
+      case FabricEvent::kStored:       return FabricSegment::kStore;
+      case FabricEvent::kReplied:      return FabricSegment::kReply;
+      case FabricEvent::kLeaseExpired: return FabricSegment::kSim;
+      case FabricEvent::kRequeued:     return FabricSegment::kSim;
+    }
+    return FabricSegment::kQueueWait;
+}
+
+/** One stamped step (microseconds since daemon start, monotonic). */
+struct FabricStamp
+{
+    FabricEvent event;
+    std::uint64_t micros;
+};
+
+/** Stamps in append (= time) order. */
+using FabricTimeline = std::vector<FabricStamp>;
+
+/** Per-segment microsecond totals, indexed by FabricSegment. */
+using FabricSegments = std::array<std::uint64_t, kNumFabricSegments>;
+
+/**
+ * Telescope @p timeline into per-segment charges for a waiter whose
+ * submit stamp is @p start_micros and whose point_done was rendered
+ * at @p replied_micros. Stamps before @p start_micros (shared work
+ * that predates this waiter) are dropped; the closing reply delta is
+ * charged to kReply. *total_out == replied - start, and the returned
+ * segments sum to it exactly (asserted).
+ */
+FabricSegments decomposeFabric(const FabricTimeline &timeline,
+                               std::uint64_t start_micros,
+                               std::uint64_t replied_micros,
+                               std::uint64_t *total_out);
+
+/**
+ * Render a point_done/log "fabric" block: trace + span identity, the
+ * per-segment microsecond charges (zero segments omitted) and the
+ * exact total:
+ *
+ *   {"trace":"...","span":3,"segments":{"queue_wait":120,...},
+ *    "totalMicros":5120}
+ */
+std::string fabricJson(const std::string &trace_id, std::uint64_t span,
+                       const FabricSegments &segments,
+                       std::uint64_t total_micros);
+
+} // namespace acp::svc
+
+#endif // ACP_SVC_FABRIC_HH

@@ -1,0 +1,123 @@
+#include "svc/fleet_trace.hh"
+
+#include <cinttypes>
+
+#include "common/json.hh"
+
+namespace acp::svc
+{
+
+std::unique_ptr<FleetTrace>
+FleetTrace::open(const std::string &path)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out)
+        return nullptr; // caller logs the failure
+    return std::make_unique<FleetTrace>(out);
+}
+
+FleetTrace::FleetTrace(std::FILE *out) : out_(out)
+{
+    std::fputs("{\"traceEvents\":[\n", out_);
+    std::fflush(out_);
+}
+
+FleetTrace::~FleetTrace()
+{
+    std::fputs("\n]}\n", out_);
+    std::fclose(out_);
+}
+
+void
+FleetTrace::emit(const std::string &event_json)
+{
+    if (!first_)
+        std::fputs(",\n", out_);
+    first_ = false;
+    std::fputs(event_json.c_str(), out_);
+    // Per-event flush: a killed daemon still leaves a loadable trace.
+    std::fflush(out_);
+}
+
+void
+FleetTrace::processName(int pid, const std::string &name, int sort_index)
+{
+    char buf[96];
+    std::string ev = "{\"ph\":\"M\",\"name\":\"process_name\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":0,\"args\":{",
+                  pid);
+    ev += buf;
+    ev += "\"name\":" + json::quote(name) + "}}";
+    emit(ev);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"process_sort_index\","
+                  "\"pid\":%d,\"tid\":0,\"args\":{\"sort_index\":%d}}",
+                  pid, sort_index);
+    emit(buf);
+}
+
+void
+FleetTrace::counter(std::uint64_t ts, const char *name,
+                    std::uint64_t value)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"C\",\"name\":\"%s\",\"pid\":%d,\"tid\":0,"
+                  "\"ts\":%" PRIu64 ",\"args\":{\"value\":%" PRIu64 "}}",
+                  name, kDaemonPid, ts, value);
+    emit(buf);
+}
+
+void
+FleetTrace::instant(int pid, std::uint64_t ts, const std::string &name,
+                    const std::string &args_json)
+{
+    std::string ev = "{\"ph\":\"i\",\"name\":" + json::quote(name);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"pid\":%d,\"tid\":0,\"ts\":%" PRIu64 ",\"s\":\"p\"",
+                  pid, ts);
+    ev += buf;
+    if (!args_json.empty())
+        ev += ",\"args\":" + args_json;
+    ev += "}";
+    emit(ev);
+}
+
+void
+FleetTrace::span(int pid, std::uint64_t ts, std::uint64_t dur,
+                 const std::string &name, const std::string &args_json)
+{
+    std::string ev = "{\"ph\":\"X\",\"name\":" + json::quote(name);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"pid\":%d,\"tid\":0,\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64,
+                  pid, ts, dur);
+    ev += buf;
+    if (!args_json.empty())
+        ev += ",\"args\":" + args_json;
+    ev += "}";
+    emit(ev);
+}
+
+void
+FleetTrace::flow(std::uint64_t flow_id, std::uint64_t ts_from,
+                 int pid_to, std::uint64_t ts_to)
+{
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"s\",\"name\":\"queue\",\"cat\":\"queue\","
+                  "\"id\":%" PRIu64 ",\"pid\":%d,\"tid\":0,"
+                  "\"ts\":%" PRIu64 "}",
+                  flow_id, kDaemonPid, ts_from);
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"f\",\"name\":\"queue\",\"cat\":\"queue\","
+                  "\"id\":%" PRIu64 ",\"pid\":%d,\"tid\":0,"
+                  "\"ts\":%" PRIu64 ",\"bp\":\"e\"}",
+                  flow_id, pid_to, ts_to);
+    emit(buf);
+}
+
+} // namespace acp::svc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Merged fleet Chrome trace (`acpsimd --fleet-trace FILE`): one
+ * Perfetto-loadable trace-event JSON document covering the whole
+ * daemon session, with
+ *
+ *   - a lane per worker *process* (pid = the real child pid) carrying
+ *     a "point <digest>" span for every leased point (dispatch
+ *     through payload receipt) with a nested "sim" span for the
+ *     worker's actual simulation window, args carrying digest,
+ *     workload, variant label, point index and trace id;
+ *   - a daemon lane (pid 0) with a queue-depth counter track,
+ *     per-point "queue" spans (ready-queue residency), and instants
+ *     for dedupe hits, store evictions, lease expiries, requeues and
+ *     worker deaths;
+ *   - a flow arrow from each queue span to the worker-lane point
+ *     span it became, so cross-worker contention reads the way the
+ *     PR 3 bus trace made bus contention read.
+ *
+ * Timestamps are monotonic microseconds since daemon start — the same
+ * clock the fabric timelines (svc/fabric.hh) and the structured log
+ * use, so all three join on (trace id, microsecond).
+ *
+ * The file is streamed: the JSON prologue is written at open, one
+ * event object per append (flushed), and the closing bracket on
+ * destruction. Perfetto's JSON importer tolerates a truncated tail,
+ * so a SIGKILLed daemon still leaves a loadable trace;
+ * tools/check_fleet.py repairs + validates either form.
+ */
+
+#ifndef ACP_SVC_FLEET_TRACE_HH
+#define ACP_SVC_FLEET_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace acp::svc
+{
+
+class FleetTrace
+{
+  public:
+    /** pid of the daemon lane (workers use their real pids). */
+    static constexpr int kDaemonPid = 0;
+
+    /** Open @p path and write the prologue; nullptr when the file
+     *  can't be created (the caller logs the failure). */
+    static std::unique_ptr<FleetTrace> open(const std::string &path);
+
+    explicit FleetTrace(std::FILE *out);
+    ~FleetTrace();
+
+    FleetTrace(const FleetTrace &) = delete;
+    FleetTrace &operator=(const FleetTrace &) = delete;
+
+    /** Name lane @p pid ("acpsimd daemon", "worker 3"); @p sort_index
+     *  orders lanes in the UI (daemon on top). */
+    void processName(int pid, const std::string &name, int sort_index);
+
+    /** Counter sample on the daemon lane (one series per @p name). */
+    void counter(std::uint64_t ts, const char *name, std::uint64_t value);
+
+    /** Instant event; @p args_json is a complete JSON object or "". */
+    void instant(int pid, std::uint64_t ts, const std::string &name,
+                 const std::string &args_json = "");
+
+    /** Complete span [ts, ts+dur] on lane @p pid. */
+    void span(int pid, std::uint64_t ts, std::uint64_t dur,
+              const std::string &name,
+              const std::string &args_json = "");
+
+    /** Flow arrow @p flow_id from (kDaemonPid, ts_from) to
+     *  (@p pid_to, ts_to); both ends must lie inside emitted spans. */
+    void flow(std::uint64_t flow_id, std::uint64_t ts_from, int pid_to,
+              std::uint64_t ts_to);
+
+  private:
+    void emit(const std::string &event_json);
+
+    std::FILE *out_;
+    bool first_ = true;
+};
+
+} // namespace acp::svc
+
+#endif // ACP_SVC_FLEET_TRACE_HH

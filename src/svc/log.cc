@@ -1,0 +1,179 @@
+#include "svc/log.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/json.hh"
+
+namespace acp::svc
+{
+
+namespace
+{
+
+/** Seconds since the epoch, millisecond resolution (record "ts"). */
+double
+wallNow()
+{
+    auto now = std::chrono::system_clock::now().time_since_epoch();
+    return double(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now)
+                      .count()) /
+           1000.0;
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo:  return "info";
+      case LogLevel::kWarn:  return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff:   return "off";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                       LogLevel::kError, LogLevel::kOff}) {
+        if (name == logLevelName(l)) {
+            out = l;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<Logger>
+Logger::open(const std::string &path, LogLevel level)
+{
+    if (path.empty() || path == "-")
+        return std::make_unique<Logger>(stderr, /*own=*/false, level);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "acpsimd: cannot write log file %s\n",
+                     path.c_str());
+        return nullptr;
+    }
+    return std::make_unique<Logger>(f, /*own=*/true, level);
+}
+
+Logger::Logger(std::FILE *out, bool own, LogLevel level)
+    : out_(out), own_(own), level_(level)
+{
+}
+
+Logger::~Logger()
+{
+    if (own_ && out_)
+        std::fclose(out_);
+}
+
+void
+Logger::emit(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fputs(line.c_str(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+}
+
+Logger::Record
+Logger::log(LogLevel level, const char *event)
+{
+    return Record(enabled(level) ? this : nullptr, level, event);
+}
+
+Logger::Record::Record(Logger *logger, LogLevel level, const char *event)
+    : logger_(logger)
+{
+    if (!logger_)
+        return;
+    char head[64];
+    std::snprintf(head, sizeof(head), "{\"ts\":%.3f,\"level\":\"%s\"",
+                  wallNow(), logLevelName(level));
+    line_ = head;
+    line_ += ",\"event\":" + json::quote(event);
+}
+
+Logger::Record::Record(Record &&other) noexcept
+    : logger_(other.logger_), line_(std::move(other.line_))
+{
+    other.logger_ = nullptr;
+}
+
+Logger::Record::~Record()
+{
+    if (!logger_)
+        return;
+    line_ += '}';
+    logger_->emit(line_);
+}
+
+Logger::Record &
+Logger::Record::str(const char *key, const std::string &value)
+{
+    if (logger_)
+        line_ += std::string(",\"") + key + "\":" + json::quote(value);
+    return *this;
+}
+
+Logger::Record &
+Logger::Record::u64(const char *key, std::uint64_t value)
+{
+    if (logger_) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                      (unsigned long long)value);
+        line_ += buf;
+    }
+    return *this;
+}
+
+Logger::Record &
+Logger::Record::i64(const char *key, std::int64_t value)
+{
+    if (logger_) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", key,
+                      (long long)value);
+        line_ += buf;
+    }
+    return *this;
+}
+
+Logger::Record &
+Logger::Record::dbl(const char *key, double value)
+{
+    if (logger_) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ",\"%s\":%.6f", key, value);
+        line_ += buf;
+    }
+    return *this;
+}
+
+Logger::Record &
+Logger::Record::boolean(const char *key, bool value)
+{
+    if (logger_)
+        line_ += std::string(",\"") + key +
+                 "\":" + (value ? "true" : "false");
+    return *this;
+}
+
+Logger::Record &
+Logger::Record::raw(const char *key, const std::string &json)
+{
+    if (logger_)
+        line_ += std::string(",\"") + key + "\":" + json;
+    return *this;
+}
+
+} // namespace acp::svc

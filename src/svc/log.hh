@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Structured JSONL logging for the acpsimd service layer. Every
+ * daemon-side event that used to be a free-text fprintf(stderr) line
+ * is one JSON object per line:
+ *
+ *   {"ts": 1786243192.608, "level": "info", "event": "worker.died",
+ *    "slot": 3, "pid": 4242, "digest": "7921...", "trace": "a1b2..."}
+ *
+ * so fleet events are greppable/joinable: each record carries the
+ * trace id of the submission it concerns, which is the same id the
+ * fleet Chrome trace and the acp-rpc-v1 frames carry — `grep trace
+ * daemon.log` reconstructs one point's life across every surface.
+ *
+ * The logger is a sink with a level gate ("--log-level debug|info|
+ * warn|error|off") and a destination ("--log-file FILE"; default
+ * stderr). Records are built with a small fluent builder and written
+ * atomically (single line + flush) under a lock, mirroring
+ * obs::Heartbeat. Logging is strictly passive: nothing the daemon
+ * computes or serves depends on whether a record was emitted.
+ * tools/check_fleet.py validates a log file's well-formedness.
+ */
+
+#ifndef ACP_SVC_LOG_HH
+#define ACP_SVC_LOG_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace acp::svc
+{
+
+enum class LogLevel : std::uint8_t
+{
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/** Stable record/CLI name of a level ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a --log-level argument; false on an unknown name. */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+class Logger
+{
+  public:
+    /**
+     * Open a logger from CLI specs: an empty @p path (or "-") logs to
+     * stderr, anything else truncates a file. Returns nullptr with a
+     * message on stderr when the file can't be opened.
+     */
+    static std::unique_ptr<Logger> open(const std::string &path,
+                                        LogLevel level);
+
+    /** Wrap an open stream; closes it on destruction iff @p own. */
+    Logger(std::FILE *out, bool own, LogLevel level);
+    ~Logger();
+
+    Logger(const Logger &) = delete;
+    Logger &operator=(const Logger &) = delete;
+
+    bool enabled(LogLevel level) const { return level >= level_; }
+    LogLevel level() const { return level_; }
+
+    /**
+     * One record under construction. Field appenders return *this for
+     * chaining; the record is rendered and written when the Record
+     * goes out of scope. A Record from a level below the gate is
+     * inert (fields are dropped, nothing is written).
+     */
+    class Record
+    {
+      public:
+        Record(Logger *logger, LogLevel level, const char *event);
+        ~Record();
+
+        Record(Record &&other) noexcept;
+        Record(const Record &) = delete;
+        Record &operator=(const Record &) = delete;
+        Record &operator=(Record &&) = delete;
+
+        Record &str(const char *key, const std::string &value);
+        Record &u64(const char *key, std::uint64_t value);
+        Record &i64(const char *key, std::int64_t value);
+        Record &dbl(const char *key, double value);
+        Record &boolean(const char *key, bool value);
+        /** Append @p json verbatim (must be a complete JSON value). */
+        Record &raw(const char *key, const std::string &json);
+
+      private:
+        Logger *logger_; // nullptr = suppressed by the level gate
+        std::string line_;
+    };
+
+    /** Start a record: log(kWarn, "lease.expired").u64("pid", p); */
+    Record log(LogLevel level, const char *event);
+
+  private:
+    friend class Record;
+    /** Write one complete line + flush under the lock. */
+    void emit(const std::string &line);
+
+    std::FILE *out_;
+    bool own_;
+    LogLevel level_;
+    std::mutex mutex_;
+};
+
+} // namespace acp::svc
+
+#endif // ACP_SVC_LOG_HH

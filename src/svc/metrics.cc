@@ -1,0 +1,102 @@
+#include "svc/metrics.hh"
+
+#include <cstdio>
+
+namespace acp::svc
+{
+
+namespace
+{
+
+/** "queue.depth_highwater" -> "queue_depth_highwater". */
+std::string
+flatten(const std::string &dotted)
+{
+    std::string out = dotted;
+    for (char &c : out)
+        if (c == '.')
+            c = '_';
+    return out;
+}
+
+void
+appendU64(std::string &out, const char *fmt, const std::string &name,
+          std::uint64_t value)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, name.c_str(),
+                  (unsigned long long)value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+Metrics::snapshotJson() const
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        appendU64(out, first ? "\"%s\":%llu" : ",\"%s\":%llu", name,
+                  value);
+        first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        appendU64(out, first ? "\"%s\":%llu" : ",\"%s\":%llu", name,
+                  value);
+        first = false;
+    }
+    out += "},\"hists\":{";
+    first = true;
+    for (const auto &[name, dist] : hists_) {
+        char buf[224];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"%s\":{\"count\":%llu,\"sum\":%llu,"
+                      "\"min\":%llu,\"max\":%llu,\"buckets\":[",
+                      first ? "" : ",", name.c_str(),
+                      (unsigned long long)dist.count(),
+                      (unsigned long long)dist.sum(),
+                      (unsigned long long)dist.min(),
+                      (unsigned long long)dist.max());
+        out += buf;
+        const auto &buckets = dist.buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%s%llu", i ? "," : "",
+                          (unsigned long long)buckets[i]);
+            out += buf;
+        }
+        out += "]}";
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+Metrics::prometheusText(const std::string &prefix) const
+{
+    std::string out;
+    for (const auto &[name, value] : counters_) {
+        std::string flat = prefix + "_" + flatten(name) + "_total";
+        out += "# TYPE " + flat + " counter\n";
+        appendU64(out, "%s %llu\n", flat, value);
+    }
+    for (const auto &[name, value] : gauges_) {
+        std::string flat = prefix + "_" + flatten(name);
+        out += "# TYPE " + flat + " gauge\n";
+        appendU64(out, "%s %llu\n", flat, value);
+    }
+    for (const auto &[name, dist] : hists_) {
+        std::string flat = prefix + "_" + flatten(name);
+        out += "# TYPE " + flat + " summary\n";
+        appendU64(out, "%s_count %llu\n", flat, dist.count());
+        appendU64(out, "%s_sum %llu\n", flat, dist.sum());
+        appendU64(out, "%s_min %llu\n", flat, dist.min());
+        appendU64(out, "%s_max %llu\n", flat, dist.max());
+    }
+    return out;
+}
+
+} // namespace acp::svc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * svc::Metrics — the acpsimd daemon's counter/gauge/histogram
+ * registry. Everything the fabric can be asked about at runtime
+ * lives here under dotted names:
+ *
+ *   counters  rpc.<verb>, points.{submitted,replied,cached,deduped,
+ *             simulated,failed,requeued}, leases.expired,
+ *             workers.respawned, store.{hits,misses,stores,evictions}
+ *   gauges    queue.depth, queue.depth_highwater, workers.busy,
+ *             clients.connected, ...
+ *   hists     log2-bucketed distributions (StatDistribution):
+ *             rpc.<verb>.micros, fabric.<segment>.micros,
+ *             point.total.micros
+ *
+ * Three expositions, all read-only over the same registry:
+ *   - the extended acp-rpc-v1 stats_ok frame and the new `metrics`
+ *     verb's snapshot block (snapshotJson()),
+ *   - Prometheus-style text (prometheusText(): dots become
+ *     underscores, counters get a _total suffix, histograms expose
+ *     _count/_sum/_min/_max),
+ *   - periodic JSONL snapshots through the structured logger
+ *     (`acpsimd --metrics-interval N`).
+ *
+ * Maps are ordered so every exposition is deterministic. The daemon
+ * is single-threaded; no locking here.
+ */
+
+#ifndef ACP_SVC_METRICS_HH
+#define ACP_SVC_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace acp::svc
+{
+
+class Metrics
+{
+  public:
+    /** Bump counter @p name by @p delta (created at 0 on first use). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set gauge @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        gauges_[name] = value;
+    }
+
+    /** Raise gauge @p name to @p value if it is higher (high-water). */
+    void
+    high(const std::string &name, std::uint64_t value)
+    {
+        std::uint64_t &g = gauges_[name];
+        if (value > g)
+            g = value;
+    }
+
+    /** Record one sample into log2 histogram @p name. */
+    void
+    observe(const std::string &name, std::uint64_t value)
+    {
+        hists_[name].sample(value);
+    }
+
+    /** Counter value (0 when never incremented). */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Gauge value (0 when never set). */
+    std::uint64_t
+    gauge(const std::string &name) const
+    {
+        auto it = gauges_.find(name);
+        return it == gauges_.end() ? 0 : it->second;
+    }
+
+    /**
+     * One-line JSON snapshot of the whole registry:
+     *
+     *   {"counters":{"rpc.submit":3,...},
+     *    "gauges":{"queue.depth":0,...},
+     *    "hists":{"fabric.sim.micros":{"count":6,"sum":...,
+     *             "min":...,"max":...,"buckets":[...]}}}
+     */
+    std::string snapshotJson() const;
+
+    /**
+     * Prometheus-style text exposition. Metric names are
+     * @p prefix + "_" + dotted-name-with-underscores; counters carry
+     * a `_total` suffix and a `# TYPE` line, histograms expose
+     * `_count`/`_sum`/`_min`/`_max` series.
+     */
+    std::string prometheusText(const std::string &prefix = "acpsimd") const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::uint64_t> gauges_;
+    std::map<std::string, StatDistribution> hists_;
+};
+
+} // namespace acp::svc
+
+#endif // ACP_SVC_METRICS_HH

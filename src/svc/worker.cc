@@ -71,6 +71,16 @@ workerMain(int fd)
             continue;
         }
 
+        // Fabric stamp kWorkerStart: ack the lease before any real
+        // work so the daemon can split dispatch from sim time.
+        {
+            char ack[48];
+            std::snprintf(ack, sizeof(ack),
+                          "{\"op\":\"started\",\"index\":%llu}",
+                          (unsigned long long)index);
+            net::writeLine(fd, ack);
+        }
+
         if (request_v->str != cached_json) {
             exp::Request req;
             if (!exp::Request::fromJsonText(request_v->str, req, &err)) {
@@ -101,6 +111,17 @@ workerMain(int fd)
         double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+
+        // Fabric stamp kWorkerDone: the simulation returned; what the
+        // daemon sees between this ack and the done payload is result
+        // encode + pipe transfer.
+        {
+            char ack[48];
+            std::snprintf(ack, sizeof(ack),
+                          "{\"op\":\"sim_done\",\"index\":%llu}",
+                          (unsigned long long)index);
+            net::writeLine(fd, ack);
+        }
 
         char head[96];
         std::snprintf(head, sizeof(head),

@@ -1,0 +1,496 @@
+#!/usr/bin/env python3
+"""Validate acpsimd fleet observability artifacts.
+
+Stdlib-only checker for the three surfaces `acpsimd` can emit, run by
+CI against the daemon smoke run:
+
+  --trace FILE   merged fleet Chrome trace (--fleet-trace). Verifies
+                 the stream is loadable (tolerating + repairing a
+                 truncated tail, like Perfetto's JSON importer), that
+                 the daemon lane is named, every "point" span on a
+                 worker lane carries digest/trace/workload/variant
+                 args, every flow arrow pairs s->f onto a worker lane,
+                 every "sim" span nests inside a point span on its
+                 lane, and queue-depth counter samples are well-formed.
+  --log FILE     structured JSONL log (--log-file). Verifies every
+                 record has ts/level/event, levels are known, every
+                 "point.replied" fabric block telescopes EXACTLY
+                 (sum(segments) == totalMicros), and every
+                 "metrics.snapshot" is internally consistent:
+                 histogram buckets sum to their counts,
+                 queue.depth_highwater >= queue.depth, and the global
+                 exactness invariant sum over all fabric segment
+                 histogram sums == the point.total.micros histogram
+                 sum (the telescoping invariant, aggregated).
+  --points N     require exactly N simulated "point" spans in the
+                 trace (one per done frame the daemon processed).
+
+Exit status 0 = valid; any violation prints a diagnostic and exits 1.
+
+Usage: tools/check_fleet.py [--trace FILE] [--log FILE] [--points N]
+       tools/check_fleet.py --self-test
+"""
+
+import json
+import sys
+
+LOG_LEVELS = {"debug", "info", "warn", "error"}
+FABRIC_SEGMENTS = {"queue_wait", "dispatch", "sim", "encode", "store",
+                   "reply"}
+
+
+def fail(msg):
+    print(f"check_fleet: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ----- fleet trace ------------------------------------------------------
+
+def load_trace_events(text, where):
+    """Parse a streamed fleet trace, tolerating a truncated tail the
+    way Perfetto's JSON importer does. Returns (events, truncated)."""
+    try:
+        doc = json.loads(text)
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            fail(f"{where}: no traceEvents array")
+        return events, False
+    except json.JSONDecodeError:
+        pass
+    # Truncated (daemon killed mid-write): recover line by line. The
+    # writer emits one event per line after the prologue line.
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("{\"traceEvents\":["):
+        fail(f"{where}: not a fleet trace (bad prologue)")
+    events = []
+    for line in lines[1:]:
+        line = line.strip().rstrip(",")
+        if not line or line in ("]}", "]"):
+            break
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            break  # torn final line from the kill
+    return events, True
+
+
+def check_trace(path, expected_points=None):
+    with open(path) as handle:
+        text = handle.read()
+    events, truncated = load_trace_events(text, path)
+    if not events:
+        fail(f"{path}: trace has no events")
+
+    process_names = {}
+    point_spans = []   # (pid, ts, dur)
+    sim_spans = []     # (pid, ts, dur)
+    queue_spans = 0
+    counter_samples = 0
+    flow_starts = {}
+    flow_ends = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "C", "i", "s", "f"):
+            fail(f"{path}: event {i} has unknown ph {ph!r}")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                fail(f"{path}: event {i} ts {ts!r} is not a "
+                     f"non-negative int")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                process_names[ev.get("pid")] = \
+                    ev.get("args", {}).get("name")
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(f"{path}: span {i} dur {dur!r} is not a "
+                     f"non-negative int")
+            name = ev.get("name", "")
+            pid = ev.get("pid")
+            if name.startswith("point "):
+                if pid == 0:
+                    fail(f"{path}: span {i}: point span on the daemon "
+                         f"lane")
+                args = ev.get("args")
+                if not isinstance(args, dict):
+                    fail(f"{path}: point span {i} has no args")
+                for key in ("digest", "trace", "workload", "variant"):
+                    if not isinstance(args.get(key), str):
+                        fail(f"{path}: point span {i} missing str "
+                             f"arg {key!r}")
+                point_spans.append((pid, ev["ts"], dur))
+            elif name == "sim":
+                sim_spans.append((pid, ev["ts"], dur))
+            elif name.startswith("queue "):
+                if pid != 0:
+                    fail(f"{path}: span {i}: queue span off the "
+                         f"daemon lane")
+                queue_spans += 1
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, int) or value < 0:
+                fail(f"{path}: counter {i} value {value!r} is not a "
+                     f"non-negative int")
+            counter_samples += 1
+        elif ph == "s":
+            flow_starts[ev.get("id")] = ev
+        elif ph == "f":
+            flow_ends[ev.get("id")] = ev
+
+    if process_names.get(0) != "acpsimd daemon":
+        fail(f"{path}: daemon lane (pid 0) is not named")
+    if counter_samples == 0:
+        fail(f"{path}: no queue-depth counter samples")
+
+    # Every flow arrow pairs a daemon-lane start with a worker-lane
+    # end (a truncated trace may lose the final f halves).
+    for fid, start in flow_starts.items():
+        if start.get("pid") != 0:
+            fail(f"{path}: flow {fid} starts off the daemon lane")
+        end = flow_ends.get(fid)
+        if end is None:
+            if truncated:
+                continue
+            fail(f"{path}: flow {fid} has no finish half")
+        if end.get("pid") == 0:
+            fail(f"{path}: flow {fid} finishes on the daemon lane")
+    for fid in flow_ends:
+        if fid not in flow_starts:
+            fail(f"{path}: flow {fid} finishes without a start")
+
+    # Every sim span nests inside a point span on the same lane.
+    for pid, ts, dur in sim_spans:
+        if not any(p == pid and pts <= ts and ts + dur <= pts + pdur
+                   for p, pts, pdur in point_spans):
+            fail(f"{path}: sim span at pid={pid} ts={ts} is not "
+                 f"nested in any point span")
+
+    # A point span only exists for a lease that completed; every one
+    # of those came off the ready queue.
+    if not truncated and len(point_spans) > queue_spans:
+        fail(f"{path}: {len(point_spans)} point spans but only "
+             f"{queue_spans} queue spans")
+
+    if expected_points is not None and \
+            len(point_spans) != expected_points:
+        fail(f"{path}: expected {expected_points} point spans, found "
+             f"{len(point_spans)}")
+
+    note = " (truncated tail repaired)" if truncated else ""
+    print(f"check_fleet: OK: {path}: {len(events)} events, "
+          f"{len(point_spans)} point spans, {len(sim_spans)} sim "
+          f"spans, {counter_samples} counter samples{note}")
+    return len(point_spans)
+
+
+# ----- structured log ---------------------------------------------------
+
+def check_fabric_block(fabric, where):
+    if not isinstance(fabric, dict):
+        fail(f"{where}: fabric is not an object")
+    if not isinstance(fabric.get("trace"), str) or not fabric["trace"]:
+        fail(f"{where}: fabric missing non-empty trace id")
+    segments = fabric.get("segments")
+    total = fabric.get("totalMicros")
+    if not isinstance(segments, dict) or not isinstance(total, int):
+        fail(f"{where}: fabric missing segments/totalMicros")
+    for name, value in segments.items():
+        if name not in FABRIC_SEGMENTS:
+            fail(f"{where}: unknown fabric segment {name!r}")
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: fabric segment {name!r} value {value!r}")
+    if sum(segments.values()) != total:
+        fail(f"{where}: fabric segments sum {sum(segments.values())} "
+             f"!= totalMicros {total} (telescoping violated)")
+
+
+def check_snapshot(snapshot, where):
+    for section in ("counters", "gauges", "hists"):
+        if not isinstance(snapshot.get(section), dict):
+            fail(f"{where}: metrics snapshot missing {section!r}")
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: counter {name!r} value {value!r}")
+    gauges = snapshot["gauges"]
+    for name, value in gauges.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: gauge {name!r} value {value!r}")
+    if "queue.depth" in gauges and "queue.depth_highwater" in gauges \
+            and gauges["queue.depth_highwater"] < gauges["queue.depth"]:
+        fail(f"{where}: queue.depth_highwater "
+             f"{gauges['queue.depth_highwater']} < queue.depth "
+             f"{gauges['queue.depth']}")
+    fabric_sum = 0
+    have_fabric = False
+    for name, hist in snapshot["hists"].items():
+        for key in ("count", "sum", "min", "max"):
+            if not isinstance(hist.get(key), int):
+                fail(f"{where}: histogram {name!r} missing int {key!r}")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"{where}: histogram {name!r} missing buckets")
+        if sum(buckets) != hist["count"]:
+            fail(f"{where}: histogram {name!r} buckets sum "
+                 f"{sum(buckets)} != count {hist['count']}")
+        if hist["count"] > 0 and hist["min"] > hist["max"]:
+            fail(f"{where}: histogram {name!r} min > max")
+        if name.startswith("fabric.") and name.endswith(".micros"):
+            have_fabric = True
+            fabric_sum += hist["sum"]
+    total_hist = snapshot["hists"].get("point.total.micros")
+    if have_fabric:
+        if total_hist is None:
+            fail(f"{where}: fabric histograms without "
+                 f"point.total.micros")
+        # The telescoping invariant, aggregated over every reply the
+        # daemon ever sent: per-segment sums add up EXACTLY.
+        if fabric_sum != total_hist["sum"]:
+            fail(f"{where}: sum of fabric segment histograms "
+                 f"{fabric_sum} != point.total.micros sum "
+                 f"{total_hist['sum']} (aggregate telescoping "
+                 f"violated)")
+
+
+def check_log(path):
+    replied = 0
+    snapshots = 0
+    with open(path) as handle:
+        for n, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{path}:{n}: not valid JSON: {exc}")
+            if not isinstance(record, dict):
+                fail(f"{path}:{n}: record is not an object")
+            if not isinstance(record.get("ts"), (int, float)):
+                fail(f"{path}:{n}: record missing numeric ts")
+            if record.get("level") not in LOG_LEVELS:
+                fail(f"{path}:{n}: unknown level "
+                     f"{record.get('level')!r}")
+            event = record.get("event")
+            if not isinstance(event, str) or not event:
+                fail(f"{path}:{n}: record missing event name")
+            if event == "point.replied":
+                check_fabric_block(record.get("fabric"),
+                                   f"{path}:{n}")
+                replied += 1
+            elif event == "metrics.snapshot":
+                check_snapshot(record.get("metrics") or {},
+                               f"{path}:{n}")
+                snapshots += 1
+    if replied == 0 and snapshots == 0:
+        # A quiet log is fine, but an empty file means the daemon
+        # never even logged daemon.start.
+        pass
+    print(f"check_fleet: OK: {path}: {replied} fabric record(s), "
+          f"{snapshots} metrics snapshot(s)")
+
+
+# ----- self test --------------------------------------------------------
+
+def self_test():
+    import io
+    import os
+    import tempfile
+
+    def run_ok(fn, *args):
+        try:
+            fn(*args)
+            return True
+        except SystemExit:
+            return False
+
+    def write_tmp(text):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        return path
+
+    # --- trace checks ---
+    good_events = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": "acpsimd daemon"}},
+        {"ph": "M", "name": "process_name", "pid": 42, "tid": 0,
+         "args": {"name": "worker 0"}},
+        {"ph": "C", "name": "queue depth", "pid": 0, "tid": 0,
+         "ts": 5, "args": {"value": 1}},
+        {"ph": "X", "name": "queue abc", "pid": 0, "tid": 0, "ts": 5,
+         "dur": 10, "args": {"trace": "t1.1"}},
+        {"ph": "s", "name": "queue", "cat": "queue", "id": 1, "pid": 0,
+         "tid": 0, "ts": 15},
+        {"ph": "f", "name": "queue", "cat": "queue", "id": 1,
+         "pid": 42, "tid": 0, "ts": 15, "bp": "e"},
+        {"ph": "X", "name": "point abcdef123456", "pid": 42, "tid": 0,
+         "ts": 15, "dur": 100,
+         "args": {"digest": "a" * 64, "trace": "t1.1",
+                  "workload": "mcf", "variant": "base", "index": 0,
+                  "wall": 0.01}},
+        {"ph": "X", "name": "sim", "pid": 42, "tid": 0, "ts": 20,
+         "dur": 80},
+        {"ph": "i", "name": "dedupe", "pid": 0, "tid": 0, "ts": 30,
+         "s": "p", "args": {"digest": "abcdef123456", "trace": "t2.1"}},
+        {"ph": "C", "name": "queue depth", "pid": 0, "tid": 0,
+         "ts": 130, "args": {"value": 0}},
+    ]
+
+    def render(events, closed=True):
+        body = ",\n".join(json.dumps(e) for e in events)
+        return "{\"traceEvents\":[\n" + body + ("\n]}\n" if closed
+                                                else "")
+
+    good_path = write_tmp(render(good_events))
+    assert run_ok(check_trace, good_path, 1), \
+        "known-good trace rejected"
+    os.unlink(good_path)
+
+    # Truncated mid-event: must repair and still validate.
+    text = render(good_events)
+    cut = text.rindex("{\"ph\": \"C\"")
+    trunc_path = write_tmp(text[:cut + 25])
+    assert run_ok(check_trace, trunc_path), \
+        "truncated trace not repaired"
+    os.unlink(trunc_path)
+
+    # A point span without args must fail.
+    bad = [dict(e) for e in good_events]
+    del bad[6]["args"]
+    bad_path = write_tmp(render(bad))
+    assert not run_ok(check_trace, bad_path), \
+        "argless point span not caught"
+    os.unlink(bad_path)
+
+    # A sim span outside every point span must fail.
+    bad = [dict(e) for e in good_events]
+    bad[7] = dict(bad[7], ts=500)
+    bad_path = write_tmp(render(bad))
+    assert not run_ok(check_trace, bad_path), \
+        "non-nested sim span not caught"
+    os.unlink(bad_path)
+
+    # Wrong expected point count must fail.
+    good_path = write_tmp(render(good_events))
+    assert not run_ok(check_trace, good_path, 7), \
+        "point-count mismatch not caught"
+    os.unlink(good_path)
+
+    # --- log checks ---
+    fabric = {"trace": "t1.1", "span": 0,
+              "segments": {"queue_wait": 10, "sim": 88, "reply": 2},
+              "totalMicros": 100}
+    snapshot = {
+        "counters": {"rpc.submit": 1, "points.replied": 1},
+        "gauges": {"queue.depth": 0, "queue.depth_highwater": 3},
+        "hists": {
+            "fabric.queue_wait.micros": {"count": 1, "sum": 10,
+                                         "min": 10, "max": 10,
+                                         "buckets": [0, 0, 0, 0, 1]},
+            "fabric.sim.micros": {"count": 1, "sum": 88, "min": 88,
+                                  "max": 88, "buckets": [0, 0, 0, 0, 0,
+                                                         0, 0, 1]},
+            "fabric.reply.micros": {"count": 1, "sum": 2, "min": 2,
+                                    "max": 2, "buckets": [0, 0, 1]},
+            "point.total.micros": {"count": 1, "sum": 100, "min": 100,
+                                   "max": 100,
+                                   "buckets": [0, 0, 0, 0, 0, 0, 0, 1]},
+        },
+    }
+    good_log = [
+        {"ts": 1.0, "level": "info", "event": "daemon.start",
+         "socket": "x.sock", "workers": 2},
+        {"ts": 1.5, "level": "debug", "event": "point.replied",
+         "trace": "t1.1", "index": 0, "digest": "a" * 64,
+         "fromCache": False, "fabric": fabric},
+        {"ts": 2.0, "level": "info", "event": "metrics.snapshot",
+         "reason": "interval", "uptimeSeconds": 1.0,
+         "metrics": snapshot},
+        {"ts": 3.0, "level": "info", "event": "daemon.stop"},
+    ]
+
+    def log_text(records):
+        return "".join(json.dumps(r) + "\n" for r in records)
+
+    log_path = write_tmp(log_text(good_log))
+    assert run_ok(check_log, log_path), "known-good log rejected"
+    os.unlink(log_path)
+
+    bad_fabric = dict(fabric, totalMicros=101)
+    bad_log = [dict(r) for r in good_log]
+    bad_log[1] = dict(bad_log[1], fabric=bad_fabric)
+    log_path = write_tmp(log_text(bad_log))
+    assert not run_ok(check_log, log_path), \
+        "fabric telescoping violation not caught"
+    os.unlink(log_path)
+
+    bad_snapshot = json.loads(json.dumps(snapshot))
+    bad_snapshot["hists"]["fabric.sim.micros"]["sum"] = 89
+    bad_log = [dict(r) for r in good_log]
+    bad_log[2] = dict(bad_log[2], metrics=bad_snapshot)
+    log_path = write_tmp(log_text(bad_log))
+    assert not run_ok(check_log, log_path), \
+        "aggregate telescoping violation not caught"
+    os.unlink(log_path)
+
+    bad_snapshot = json.loads(json.dumps(snapshot))
+    bad_snapshot["gauges"]["queue.depth_highwater"] = 0
+    bad_snapshot["gauges"]["queue.depth"] = 2
+    bad_log = [dict(r) for r in good_log]
+    bad_log[2] = dict(bad_log[2], metrics=bad_snapshot)
+    log_path = write_tmp(log_text(bad_log))
+    assert not run_ok(check_log, log_path), \
+        "high-water below live gauge not caught"
+    os.unlink(log_path)
+
+    bad_log = [dict(r) for r in good_log]
+    bad_log[0] = dict(bad_log[0], level="chatty")
+    log_path = write_tmp(log_text(bad_log))
+    assert not run_ok(check_log, log_path), "unknown level not caught"
+    os.unlink(log_path)
+
+    log_path = write_tmp("{\"ts\": 1.0, \"level\": \"info\"\n")
+    assert not run_ok(check_log, log_path), "torn log line not caught"
+    os.unlink(log_path)
+
+    print("check_fleet: self-test OK")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv[1:]:
+        return self_test()
+    trace = None
+    log = None
+    points = None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--trace":
+            i += 1
+            trace = argv[i]
+        elif arg == "--log":
+            i += 1
+            log = argv[i]
+        elif arg == "--points":
+            i += 1
+            points = int(argv[i])
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+        i += 1
+    if trace is None and log is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if trace is not None:
+        check_trace(trace, points)
+    if log is not None:
+        check_log(log)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

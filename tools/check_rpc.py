@@ -20,7 +20,15 @@ Checked invariants (docs/RPC.md is the normative spec):
   - the done frame's total matches the accepted point count, its
     cached + simulated split adds up, and it carries the store
     telemetry block (hits/misses/stores/evictions);
-  - hb relays and error frames are well-formed.
+  - a point_done "fabric" block, when present, telescopes EXACTLY:
+    sum(segments) == totalMicros, with a non-empty trace id;
+  - stats_ok carries uptimeSeconds, an acp-manifest-v1 manifest and a
+    consistent workerPool block (busy + idle == size);
+  - metrics_ok carries a snapshot (counters/gauges/hists) and a
+    Prometheus text exposition;
+  - hb relays and error frames are well-formed;
+  - unknown ops are skipped with a note (forward compatibility), not
+    failed.
 
 Exit status 0 = valid; any violation prints a diagnostic and exits 1.
 
@@ -31,9 +39,9 @@ Usage: tools/check_rpc.py transcript.jsonl [more.jsonl ...]
 import json
 import sys
 
-IN_OPS = {"hello", "submit", "stats", "bye"}
+IN_OPS = {"hello", "submit", "stats", "metrics", "bye"}
 OUT_OPS = {"hello_ok", "accepted", "hb", "point_done", "done", "error",
-           "stats_ok"}
+           "stats_ok", "metrics_ok"}
 STORE_KEYS = ("hits", "misses", "stores", "evictions")
 
 
@@ -47,8 +55,39 @@ def is_hex_digest(s):
             and all(c in "0123456789abcdef" for c in s))
 
 
+def check_fabric(frame, where, n):
+    """Validate an optional point_done 'fabric' block: identity plus
+    the exact telescoping invariant sum(segments) == totalMicros."""
+    fabric = frame.get("fabric")
+    if fabric is None:
+        return
+    if not isinstance(fabric, dict):
+        fail(f"{where}:{n}: fabric block is not an object")
+    trace = fabric.get("trace")
+    if not isinstance(trace, str) or not trace:
+        fail(f"{where}:{n}: fabric missing non-empty trace id")
+    if not isinstance(fabric.get("span"), int):
+        fail(f"{where}:{n}: fabric missing int span")
+    segments = fabric.get("segments")
+    total = fabric.get("totalMicros")
+    if not isinstance(segments, dict):
+        fail(f"{where}:{n}: fabric missing segments object")
+    if not isinstance(total, int) or total < 0:
+        fail(f"{where}:{n}: fabric totalMicros {total!r} is not a "
+             f"non-negative int")
+    for name, value in segments.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}:{n}: fabric segment {name!r} value "
+                 f"{value!r} is not a non-negative int")
+    if sum(segments.values()) != total:
+        fail(f"{where}:{n}: fabric segments sum "
+             f"{sum(segments.values())} != totalMicros {total} "
+             f"(telescoping violated)")
+
+
 def check_stream(lines, where):
     records = []
+    skipped = []
     for n, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
@@ -71,9 +110,14 @@ def check_stream(lines, where):
         if not isinstance(frame, dict):
             fail(f"{where}:{n}: missing 'frame' object")
         op = frame.get("op")
+        if not isinstance(op, str) or not op:
+            fail(f"{where}:{n}: frame has no op")
         known = IN_OPS if direction == "in" else OUT_OPS
         if op not in known:
-            fail(f"{where}:{n}: unknown {direction}bound op {op!r}")
+            # Forward compatibility: a newer daemon/client may speak
+            # verbs this checker predates. Skip, don't fail.
+            skipped.append((n, direction, op))
+            continue
         records.append((n, direction, rec["conn"], frame))
 
     if not records:
@@ -162,6 +206,7 @@ def check_stream(lines, where):
                 if not isinstance(frame.get("line"), str):
                     fail(f"{where}:{n}: point_done missing payload "
                          f"'line'")
+                check_fabric(frame, where, n)
                 sub["done"].add(idx)
             elif op == "done":
                 sub = subs.get((conn, frame.get("id")))
@@ -213,7 +258,61 @@ def check_stream(lines, where):
                     fail(f"{where}:{n}: stats_ok missing store block")
                 if not isinstance(frame.get("workers"), list):
                     fail(f"{where}:{n}: stats_ok missing workers list")
+                uptime = frame.get("uptimeSeconds")
+                if not isinstance(uptime, (int, float)) or uptime < 0:
+                    fail(f"{where}:{n}: stats_ok uptimeSeconds "
+                         f"{uptime!r} is not a non-negative number")
+                manifest = frame.get("manifest")
+                if not isinstance(manifest, dict) or \
+                        manifest.get("schema") != "acp-manifest-v1":
+                    fail(f"{where}:{n}: stats_ok missing acp-manifest-v1"
+                         f" manifest")
+                pool = frame.get("workerPool")
+                if not isinstance(pool, dict):
+                    fail(f"{where}:{n}: stats_ok missing workerPool")
+                for k in ("size", "busy", "idle", "respawned"):
+                    if not isinstance(pool.get(k), int) or pool[k] < 0:
+                        fail(f"{where}:{n}: workerPool.{k} "
+                             f"{pool.get(k)!r} is not a non-negative "
+                             f"int")
+                if pool["busy"] + pool["idle"] != pool["size"]:
+                    fail(f"{where}:{n}: workerPool busy {pool['busy']} "
+                         f"+ idle {pool['idle']} != size "
+                         f"{pool['size']}")
+                if pool["size"] != len(frame["workers"]):
+                    fail(f"{where}:{n}: workerPool size {pool['size']} "
+                         f"!= workers list length "
+                         f"{len(frame['workers'])}")
+            elif op == "metrics_ok":
+                snapshot = frame.get("snapshot")
+                if not isinstance(snapshot, dict):
+                    fail(f"{where}:{n}: metrics_ok missing snapshot")
+                for section in ("counters", "gauges", "hists"):
+                    if not isinstance(snapshot.get(section), dict):
+                        fail(f"{where}:{n}: metrics snapshot missing "
+                             f"{section!r}")
+                for name, value in snapshot["counters"].items():
+                    if not isinstance(value, int) or value < 0:
+                        fail(f"{where}:{n}: counter {name!r} value "
+                             f"{value!r} is not a non-negative int")
+                for name, hist in snapshot["hists"].items():
+                    if not isinstance(hist, dict) or \
+                            not isinstance(hist.get("count"), int) or \
+                            not isinstance(hist.get("buckets"), list):
+                        fail(f"{where}:{n}: histogram {name!r} is "
+                             f"malformed")
+                    if sum(hist["buckets"]) != hist["count"]:
+                        fail(f"{where}:{n}: histogram {name!r} buckets "
+                             f"sum {sum(hist['buckets'])} != count "
+                             f"{hist['count']}")
+                if not isinstance(frame.get("text"), str) or \
+                        "# TYPE" not in frame["text"]:
+                    fail(f"{where}:{n}: metrics_ok missing Prometheus "
+                         f"text exposition")
 
+    for n, direction, op in skipped:
+        print(f"check_rpc: note: {where}:{n}: skipped unknown "
+              f"{direction}bound op {op!r}", file=sys.stderr)
     unanswered = [k for k, v in subs.items() if v is None]
     if unanswered:
         fail(f"{where}: submits never answered by accepted/error: "
@@ -250,6 +349,9 @@ def self_test():
 
     digest_a = "a" * 64
     digest_b = "b" * 64
+    fabric = {"trace": "t1.1", "span": 0,
+              "segments": {"queue_wait": 120, "sim": 5000, "reply": 7},
+              "totalMicros": 5127}
     good = [
         rec("in", 1, {"op": "hello", "rpc": "acp-rpc-v1",
                       "versionMin": 1, "versionMax": 1,
@@ -259,12 +361,14 @@ def self_test():
         rec("in", 1, {"op": "submit", "id": "s1", "subscribe": True,
                       "request": {"schema": "acp-request-v1",
                                   "workloads": ["mcf"]}}),
-        rec("out", 1, {"op": "accepted", "id": "s1", "points": 2}),
+        rec("out", 1, {"op": "accepted", "id": "s1", "points": 2,
+                       "trace": "t1.1"}),
         rec("out", 1, {"op": "hb", "id": "s1",
                        "line": "{\"t\":\"tick\"}"}),
         rec("out", 1, {"op": "point_done", "id": "s1", "index": 0,
                        "digest": digest_a, "fromCache": False,
-                       "wall": 0.5, "line": "ipc=1 insts=2 cycles=3"}),
+                       "wall": 0.5, "fabric": fabric,
+                       "line": "ipc=1 insts=2 cycles=3"}),
         rec("out", 1, {"op": "point_done", "id": "s1", "index": 1,
                        "digest": digest_b, "fromCache": True,
                        "wall": 0.0, "line": "ipc=1 insts=2 cycles=3"}),
@@ -273,6 +377,27 @@ def self_test():
                        "store": {"hits": 1, "misses": 1, "stores": 1,
                                  "evictions": 0, "entries": 2},
                        "simulations": 1}),
+        rec("in", 1, {"op": "stats"}),
+        rec("out", 1, {"op": "stats_ok",
+                       "store": {"hits": 1, "misses": 1, "stores": 1,
+                                 "evictions": 0, "entries": 2},
+                       "queued": 0, "inflight": 0, "simulations": 1,
+                       "workers": [{"pid": 10, "busy": False},
+                                   {"pid": 11, "busy": True}],
+                       "uptimeSeconds": 4.2,
+                       "workerPool": {"size": 2, "busy": 1, "idle": 1,
+                                      "respawned": 0},
+                       "manifest": {"schema": "acp-manifest-v1"}}),
+        rec("in", 1, {"op": "metrics"}),
+        rec("out", 1, {"op": "metrics_ok", "uptimeSeconds": 4.3,
+                       "snapshot": {"counters": {"rpc.hello": 1},
+                                    "gauges": {"queue.depth": 0},
+                                    "hists": {"point.total.micros": {
+                                        "count": 2, "sum": 10, "min": 3,
+                                        "max": 7,
+                                        "buckets": [0, 0, 1, 1]}}},
+                       "text": "# TYPE acpsimd_rpc_hello_total counter"
+                               "\nacpsimd_rpc_hello_total 1\n"}),
         rec("in", 1, {"op": "bye"}),
     ]
     assert stream_ok(good), "known-good transcript rejected"
@@ -318,6 +443,40 @@ def self_test():
 
     garbage = good[:3] + ["{not json"] + good[3:]
     assert not stream_ok(garbage), "non-JSON line not caught"
+
+    # Unknown ops are forward-compat: skipped, transcript still valid.
+    future = list(good)
+    future.insert(4, rec("out", 1, {"op": "telemetry_v9", "x": 1}))
+    future.insert(2, rec("in", 1, {"op": "subscribe_logs"}))
+    assert stream_ok(future), "unknown ops must be skipped, not fatal"
+
+    bad_fabric = list(good)
+    broken = dict(fabric, totalMicros=fabric["totalMicros"] + 1)
+    bad_fabric[5] = rec("out", 1, {
+        "op": "point_done", "id": "s1", "index": 0, "digest": digest_a,
+        "fromCache": False, "wall": 0.5, "fabric": broken,
+        "line": "ipc=1 insts=2 cycles=3"})
+    assert not stream_ok(bad_fabric), \
+        "fabric telescoping violation not caught"
+
+    bad_pool = json.loads(good[9])
+    bad_pool["frame"]["workerPool"]["idle"] = 5
+    bad_pool_stream = good[:9] + [json.dumps(bad_pool)] + good[10:]
+    assert not stream_ok(bad_pool_stream), \
+        "workerPool busy+idle != size not caught"
+
+    no_manifest = json.loads(good[9])
+    del no_manifest["frame"]["manifest"]
+    no_manifest_stream = good[:9] + [json.dumps(no_manifest)] + good[10:]
+    assert not stream_ok(no_manifest_stream), \
+        "stats_ok without manifest not caught"
+
+    bad_hist = json.loads(good[11])
+    bad_hist["frame"]["snapshot"]["hists"]["point.total.micros"][
+        "buckets"] = [0, 9]
+    bad_hist_stream = good[:11] + [json.dumps(bad_hist)] + good[12:]
+    assert not stream_ok(bad_hist_stream), \
+        "histogram buckets/count mismatch not caught"
 
     print("check_rpc: self-test OK")
     return 0
